@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared scaffolding for the table/figure reproduction benches: one
+ * ExperimentContext per process, paper-style number formatting, and
+ * environment-tunable evaluation sizes.
+ *
+ * Environment knobs (also see core/context.h):
+ *   SWORDFISH_FAST=1            shrink everything for a smoke run
+ *   SWORDFISH_EVAL_READS=N      reads per accuracy measurement
+ *   SWORDFISH_EVAL_RUNS=N       noisy instantiations per error bar
+ *   SWORDFISH_RETRAIN_EPOCHS=N  enhancer fine-tune epochs
+ *   SWORDFISH_ARTIFACTS=dir     artifact cache directory
+ */
+
+#ifndef SWORDFISH_BENCH_COMMON_H
+#define SWORDFISH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+
+#include "core/swordfish.h"
+#include "util/env.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace swordfish::bench {
+
+/** Percentage string with paper-style two decimals ("97.32%"). */
+inline std::string
+pct(double fraction)
+{
+    return TextTable::num(fraction * 100.0, 2) + "%";
+}
+
+/** Mean +- stddev percentage cell. */
+inline std::string
+pctErr(const core::AccuracySummary& s)
+{
+    return TextTable::num(s.mean * 100.0, 2) + "+-"
+        + TextTable::num(s.stddev * 100.0, 2) + "%";
+}
+
+/** Enhancer fine-tune epochs (env-tunable; benches default to 1). */
+inline std::size_t
+retrainEpochs()
+{
+    return static_cast<std::size_t>(
+        envLong("SWORDFISH_RETRAIN_EPOCHS", fastMode() ? 1 : 1));
+}
+
+/**
+ * Pure write-variation scenario (Figs. 7 and 11): synaptic variation only,
+ * wire and sneak effects disabled so the sweep isolates programming noise.
+ */
+inline core::NonIdealityConfig
+writeVariationScenario(double rate, std::size_t size = 64)
+{
+    core::NonIdealityConfig cfg;
+    cfg.kind = core::NonIdealityKind::SynapticWires;
+    cfg.crossbar.size = size;
+    cfg.crossbar.writeVariationRate = rate;
+    cfg.crossbar.wire.segmentResistanceRatio = 0.0;
+    cfg.crossbar.wire.sneakCoefficient = 0.0;
+    return cfg;
+}
+
+/** The write-variation rates swept in Figs. 7 and 11. */
+inline std::vector<double>
+writeVariationSweep()
+{
+    return {0.0, 0.05, 0.10, 0.15, 0.25, 0.40};
+}
+
+/** Print the standard bench header naming the experiment. */
+inline void
+banner(const std::string& what)
+{
+    std::printf("==============================================\n");
+    std::printf("Swordfish reproduction: %s\n", what.c_str());
+    std::printf("==============================================\n");
+}
+
+} // namespace swordfish::bench
+
+#endif // SWORDFISH_BENCH_COMMON_H

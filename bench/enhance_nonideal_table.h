@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared implementation of the Figs. 12/13 benches: accuracy of each
+ * enhancement technique under each non-ideality group, averaged over the
+ * datasets, one crossbar size per binary (paper Section 5.4.2; 10% write
+ * variation, 5% of weights in SRAM for the RSA-based techniques).
+ */
+
+#ifndef SWORDFISH_BENCH_ENHANCE_NONIDEAL_TABLE_H
+#define SWORDFISH_BENCH_ENHANCE_NONIDEAL_TABLE_H
+
+#include "bench_common.h"
+
+namespace swordfish::bench {
+
+/** Run the Fig. 12/13 experiment for one crossbar size. */
+inline int
+runEnhanceNonIdealTable(std::size_t crossbar_size, const char* figure)
+{
+    using namespace swordfish::core;
+
+    banner(std::string(figure)
+           + " - enhancement vs. non-idealities, "
+           + std::to_string(crossbar_size) + "x"
+           + std::to_string(crossbar_size)
+           + " (10% write var, 5% SRAM, dataset average)");
+
+    ExperimentContext ctx;
+    auto student = quantizeModel(ctx.teacher(), QuantConfig::deployment());
+    const std::size_t reads = std::min<std::size_t>(
+        ExperimentContext::evalReads(), 8);
+    const std::size_t runs = ExperimentContext::evalRuns(3);
+
+    TextTable table;
+    std::vector<std::string> header = {"Non-ideality", "No enh."};
+    for (auto tech : figureTenSweep())
+        header.push_back(techniqueName(tech));
+    table.header(header);
+
+    for (auto kind : figureEightSweep()) {
+        NonIdealityConfig scenario;
+        scenario.kind = kind;
+        scenario.crossbar.size = crossbar_size;
+
+        std::vector<std::string> row = {nonIdealityName(kind)};
+
+        double base_sum = 0.0;
+        for (const auto& ds : ctx.datasets()) {
+            const auto s = evaluateNonIdealAccuracy(student, scenario, {},
+                                                    ds, runs, reads);
+            base_sum += s.mean;
+        }
+        row.push_back(pct(base_sum
+                          / static_cast<double>(ctx.datasets().size())));
+        std::fflush(stdout);
+
+        for (auto tech : figureTenSweep()) {
+            EnhancerConfig ec;
+            ec.technique = tech;
+            ec.retrainEpochs = retrainEpochs();
+            auto enhanced = ctx.enhanced(scenario, ec);
+
+            double sum = 0.0;
+            for (const auto& ds : ctx.datasets()) {
+                const auto s = evaluateNonIdealAccuracy(
+                    enhanced.model, enhanced.evalConfig, enhanced.remap,
+                    ds, runs, reads);
+                sum += s.mean;
+            }
+            row.push_back(pct(sum
+                / static_cast<double>(ctx.datasets().size())));
+            std::fflush(stdout);
+        }
+        table.row(row);
+    }
+    table.print();
+    std::printf("\nPaper shape: techniques compose non-additively; "
+                "effectiveness depends on the targeted non-ideality; "
+                "recovery is larger on bigger crossbars because their "
+                "un-mitigated loss is larger.\n");
+    return 0;
+}
+
+} // namespace swordfish::bench
+
+#endif // SWORDFISH_BENCH_ENHANCE_NONIDEAL_TABLE_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fig. 1 reproduction: execution-time breakdown of the nanopore genome
+ * analysis pipeline (basecalling -> read mapping -> consensus/polish),
+ * reproducing the observation that basecalling dominates (>40%).
+ */
+
+#include "bench_common.h"
+
+#include "basecall/pipeline.h"
+
+using namespace swordfish;
+using namespace swordfish::bench;
+
+int
+main()
+{
+    banner("Fig. 1 - genome analysis pipeline execution breakdown");
+
+    core::ExperimentContext ctx;
+    auto& model = ctx.teacher();
+    const std::size_t reads = fastMode() ? 6 : 20;
+
+    TextTable table;
+    table.header({"Dataset", "Stage", "Seconds", "Fraction"});
+    double basecall_fraction_sum = 0.0;
+    std::size_t n = 0;
+    for (const auto& ds : ctx.datasets()) {
+        const auto report = basecall::runPipeline(model, ds, reads);
+        for (const auto& stage : report.stages) {
+            table.row({ds.spec.id, stage.name,
+                       TextTable::num(stage.seconds, 3),
+                       pct(stage.fractionOfTotal)});
+            if (stage.name == "Basecalling")
+                basecall_fraction_sum += stage.fractionOfTotal;
+        }
+        table.row({ds.spec.id, "(mapped " + pct(report.mappedFraction)
+                   + ", map identity " + pct(report.meanMapIdentity) + ")",
+                   "", ""});
+        ++n;
+    }
+    table.print();
+    std::printf("\nBasecalling fraction of pipeline time (mean): %s\n",
+                pct(basecall_fraction_sum / static_cast<double>(n)).c_str());
+    std::printf("Paper observation: basecalling dominates, > 40%%.\n");
+    return 0;
+}

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Fig. 9 reproduction: accuracy after accounting for non-idealities on
+ * 256x256 crossbars for D1-D4 (paper Section 5.2.2).
+ */
+
+#include "nonideality_table.h"
+
+int
+main()
+{
+    return swordfish::bench::runNonIdealityTable(256, "Fig. 9");
+}

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Fig. 12 reproduction: accuracy after enhancement mechanisms for the
+ * evaluated non-idealities on 64x64 crossbars (paper Section 5.4.2).
+ */
+
+#include "enhance_nonideal_table.h"
+
+int
+main()
+{
+    return swordfish::bench::runEnhanceNonIdealTable(64, "Fig. 12");
+}

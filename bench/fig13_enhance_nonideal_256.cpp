@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Fig. 13 reproduction: accuracy after enhancement mechanisms for the
+ * evaluated non-idealities on 256x256 crossbars (paper Section 5.4.2).
+ */
+
+#include "enhance_nonideal_table.h"
+
+int
+main()
+{
+    return swordfish::bench::runEnhanceNonIdealTable(256, "Fig. 13");
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fig. 14 reproduction: basecalling throughput (Kbp/s) of Bonito-GPU,
+ * Ideal-SwordfishAccel, and the Realistic variants (R-V-W, RSA, RSA+KD)
+ * per dataset and averaged (paper Section 5.5). 64x64 crossbars, 10%
+ * write variation, 5% SRAM weights for RSA / 1% for RSA+KD.
+ */
+
+#include "bench_common.h"
+
+#include "arch/energy.h"
+
+using namespace swordfish;
+using namespace swordfish::bench;
+using namespace swordfish::core;
+using namespace swordfish::arch;
+
+int
+main()
+{
+    banner("Fig. 14 - throughput comparison of Swordfish variations");
+
+    ExperimentContext ctx;
+    auto& model = ctx.teacher();
+    const auto map = buildPartitionMap(model, 64);
+    const TimingParams timing;
+
+    std::printf("%s\n", map.describe().c_str());
+
+    const std::vector<Variant> variants = {
+        Variant::BonitoGpu, Variant::Ideal, Variant::RealisticRvw,
+        Variant::RealisticRsa, Variant::RealisticRsaKd,
+    };
+
+    TextTable table;
+    std::vector<std::string> header = {"Variant"};
+    for (const auto& ds : ctx.datasets())
+        header.push_back(ds.spec.id + " (Kbp/s)");
+    header.push_back("Average");
+    header.push_back("vs GPU");
+    header.push_back("Energy (uJ/Kb)");
+    table.header(header);
+
+    const EnergyParams energy;
+    double gpu_avg = 0.0;
+    for (Variant v : variants) {
+        std::vector<std::string> row = {variantName(v)};
+        double sum = 0.0;
+        double energy_uj_per_kb = 0.0;
+        for (const auto& ds : ctx.datasets()) {
+            WorkloadProfile wl;
+            wl.samplesPerBase = ds.spec.signal.dwellMean;
+            wl.convStride = ExperimentContext::modelConfig().convStride;
+            wl.meanReadLenBases = static_cast<double>(ds.totalBases())
+                / static_cast<double>(ds.reads.size());
+            const auto r = estimateThroughput(v, map, timing, wl);
+            row.push_back(TextTable::num(r.kbps, 1));
+            sum += r.kbps;
+            energy_uj_per_kb += estimateEnergy(v, map, timing, energy,
+                                               wl).ujPerKb;
+        }
+        const double avg = sum / static_cast<double>(ctx.datasets().size());
+        if (v == Variant::BonitoGpu)
+            gpu_avg = avg;
+        row.push_back(TextTable::num(avg, 1));
+        row.push_back(TextTable::num(avg / gpu_avg, 2) + "x");
+        row.push_back(TextTable::num(
+            energy_uj_per_kb
+                / static_cast<double>(ctx.datasets().size()), 3));
+        table.row(row);
+    }
+    table.print();
+    std::printf("\nPaper shape: Ideal ~414x over GPU; R-V-W maintenance "
+                "makes it ~0.7x (slower than GPU); RSA ~5.2x; RSA+KD "
+                "~25.7x.\n");
+    return 0;
+}

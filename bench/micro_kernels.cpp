@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Kernel microbenchmarks (google-benchmark): the hot computational paths
+ * of the framework — GEMM, ideal vs. non-ideal crossbar VMM, CTC loss and
+ * decode, and banded alignment. Useful for tracking simulator performance
+ * regressions; not a paper figure.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "crossbar/crossbar.h"
+#include "genomics/align.h"
+#include "genomics/dataset.h"
+#include "nn/ctc.h"
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+using namespace swordfish;
+
+namespace {
+
+Matrix
+randomMatrix(std::size_t rows, std::size_t cols, std::uint64_t seed)
+{
+    Matrix m(rows, cols);
+    Rng rng(seed);
+    for (float& v : m.raw())
+        v = static_cast<float>(rng.gauss(0.0, 0.5));
+    return m;
+}
+
+void
+BM_GemmBT(benchmark::State& state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const Matrix x = randomMatrix(128, n, 1);
+    const Matrix w = randomMatrix(4 * n, n, 2);
+    Matrix y;
+    for (auto _ : state) {
+        gemmBT(x, w, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations())
+                            * 128 * n * 4 * n);
+}
+BENCHMARK(BM_GemmBT)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_CrossbarVmmFast(benchmark::State& state)
+{
+    const auto size = static_cast<std::size_t>(state.range(0));
+    crossbar::CrossbarConfig config;
+    config.size = size;
+    const Matrix w = randomMatrix(size, size, 3);
+    const crossbar::CrossbarTile tile(
+        config, w, 0.0f, crossbar::NoiseToggles::combined(), 7);
+    const Matrix x = randomMatrix(128, size, 4);
+    Rng rng(5);
+    for (auto _ : state) {
+        Matrix y = tile.vmmFast(x, rng);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_CrossbarVmmFast)->Arg(64)->Arg(256);
+
+void
+BM_CrossbarProgram(benchmark::State& state)
+{
+    const auto size = static_cast<std::size_t>(state.range(0));
+    crossbar::CrossbarConfig config;
+    config.size = size;
+    const Matrix w = randomMatrix(size, size, 3);
+    std::uint64_t seed = 0;
+    for (auto _ : state) {
+        crossbar::CrossbarTile tile(
+            config, w, 0.0f, crossbar::NoiseToggles::combined(), ++seed);
+        benchmark::DoNotOptimize(tile.effectiveWeights().data());
+    }
+}
+BENCHMARK(BM_CrossbarProgram)->Arg(64)->Arg(256);
+
+void
+BM_CtcLoss(benchmark::State& state)
+{
+    const Matrix logits = randomMatrix(128, 5, 6);
+    std::vector<int> target;
+    Rng rng(7);
+    for (int i = 0; i < 50; ++i)
+        target.push_back(static_cast<int>(rng.range(1, 4)));
+    for (auto _ : state) {
+        auto res = nn::ctcLoss(logits, target);
+        benchmark::DoNotOptimize(res.loss);
+    }
+}
+BENCHMARK(BM_CtcLoss);
+
+void
+BM_CtcGreedyDecode(benchmark::State& state)
+{
+    const Matrix logits = randomMatrix(2048, 5, 8);
+    for (auto _ : state) {
+        auto seq = nn::ctcGreedyDecode(logits);
+        benchmark::DoNotOptimize(seq.data());
+    }
+}
+BENCHMARK(BM_CtcGreedyDecode);
+
+void
+BM_BandedAlignment(benchmark::State& state)
+{
+    Rng rng(9);
+    const auto len = static_cast<std::size_t>(state.range(0));
+    genomics::Sequence a = genomics::generateGenome(len, 0.5, rng);
+    genomics::Sequence b = a;
+    for (std::size_t i = 0; i < b.size(); i += 37)
+        b[i] = static_cast<std::uint8_t>((b[i] + 1) % 4);
+    for (auto _ : state) {
+        auto res = genomics::alignGlobal(a, b);
+        benchmark::DoNotOptimize(res.matches);
+    }
+}
+BENCHMARK(BM_BandedAlignment)->Arg(400)->Arg(1000);
+
+void
+BM_SquiggleSimulation(benchmark::State& state)
+{
+    const genomics::PoreModel pore;
+    Rng rng(10);
+    const genomics::Sequence seq = genomics::generateGenome(400, 0.5, rng);
+    const genomics::SignalParams params;
+    for (auto _ : state) {
+        auto signal = pore.simulate(seq, params, rng);
+        benchmark::DoNotOptimize(signal.data());
+    }
+}
+BENCHMARK(BM_SquiggleSimulation);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared implementation of the Figs. 8/9 benches (accuracy under each
+ * non-ideality group, per dataset, one crossbar size per binary).
+ */
+
+#ifndef SWORDFISH_BENCH_NONIDEALITY_TABLE_H
+#define SWORDFISH_BENCH_NONIDEALITY_TABLE_H
+
+#include "bench_common.h"
+
+namespace swordfish::bench {
+
+/** Run the Fig. 8/9 experiment for one crossbar size. */
+inline int
+runNonIdealityTable(std::size_t crossbar_size, const char* figure)
+{
+    banner(std::string(figure)
+           + " - accuracy under non-idealities, "
+           + std::to_string(crossbar_size) + "x"
+           + std::to_string(crossbar_size)
+           + " crossbars (10% write variation, no enhancement)");
+
+    core::ExperimentContext ctx;
+    auto student = core::quantizeModel(ctx.teacher(),
+                                       QuantConfig::deployment());
+    const std::size_t reads = core::ExperimentContext::evalReads();
+    const std::size_t runs = core::ExperimentContext::evalRuns(5);
+
+    TextTable table;
+    std::vector<std::string> header = {"Dataset"};
+    for (auto kind : core::figureEightSweep())
+        header.push_back(core::nonIdealityName(kind));
+    table.header(header);
+
+    for (const auto& ds : ctx.datasets()) {
+        std::vector<std::string> row = {ds.spec.id};
+        for (auto kind : core::figureEightSweep()) {
+            core::NonIdealityConfig cfg;
+            cfg.kind = kind;
+            cfg.crossbar.size = crossbar_size;
+            const auto s = core::evaluateNonIdealAccuracy(
+                student, cfg, {}, ds, runs, reads);
+            row.push_back(pctErr(s));
+        }
+        table.row(row);
+        std::fflush(stdout);
+    }
+    table.print();
+    std::printf("\nPaper shape: every individual non-ideality costs "
+                "double-digit accuracy; Combined/Measured are worse and "
+                "non-additive; larger crossbars lose more.\n");
+    return 0;
+}
+
+} // namespace swordfish::bench
+
+#endif // SWORDFISH_BENCH_NONIDEALITY_TABLE_H

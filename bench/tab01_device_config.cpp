@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Table 1 reproduction: the memristor array and device configuration used
+ * by every crossbar experiment, printed from the live defaults so the
+ * table can never drift from the code.
+ */
+
+#include "bench_common.h"
+
+using namespace swordfish;
+using namespace swordfish::bench;
+
+int
+main()
+{
+    banner("Table 1 - array and device configuration");
+
+    const crossbar::CrossbarConfig config;
+    TextTable table;
+    table.header({"Parameter", "Value"});
+    table.row({"Technology and device", "ReRAM HfO2/TiOx (simulated)"});
+    table.row({"Cell configuration", "1T1R (NMOS T: 460 nm/40 nm)"});
+    table.row({"HRS/LRS",
+               TextTable::num(1.0 / config.device.gMin / 1e6, 0) + " MOhm / "
+               + TextTable::num(1.0 / config.device.gMax / 1e3, 0)
+               + " kOhm"});
+    table.row({"Conductance levels",
+               std::to_string(config.device.conductanceLevels)});
+    table.row({"State nonlinearity (n)",
+               TextTable::num(config.device.stateNonlinearity, 2)});
+    table.row({"Array sizes", "64x64 and 256x256"});
+    table.row({"SA V_min",
+               TextTable::num(config.device.senseMarginV * 1e3, 0) + " mV"});
+    table.row({"Read voltage",
+               TextTable::num(config.device.readVoltage, 2) + " V"});
+    table.row({"DAC resolution", std::to_string(config.dac.bits) + " bits"});
+    table.row({"ADC resolution", std::to_string(config.adc.bits) + " bits"});
+    table.row({"Default write scheme",
+               crossbar::writeSchemeName(config.scheme)});
+    table.row({"Write variation rate",
+               pct(config.writeVariationRate)});
+    table.print();
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Design-space exploration: the kind of study Swordfish exists for.
+ *
+ * Sweeps crossbar size x ADC resolution and reports accuracy, throughput,
+ * and area for each point, so a designer can pick the configuration that
+ * meets an accuracy floor at the best performance/area. (Paper Section 6:
+ * "Swordfish enables the designer to rigorously explore" these tradeoffs.)
+ *
+ * Run: ./build/examples/design_space_explorer [accuracy_floor_percent]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/swordfish.h"
+#include "util/table.h"
+
+using namespace swordfish;
+using namespace swordfish::core;
+
+int
+main(int argc, char** argv)
+{
+    const double floor_pct = argc > 1 ? std::atof(argv[1]) : 90.0;
+
+    ExperimentContext ctx;
+    auto student = quantizeModel(ctx.teacher(), QuantConfig::deployment());
+    const auto& ds = ctx.dataset("D1");
+
+    std::printf("Design-space exploration (accuracy floor %.1f%%)\n\n",
+                floor_pct);
+
+    TextTable table;
+    table.header({"Crossbar", "ADC bits", "Accuracy", "Kbp/s", "mm^2",
+                  "Meets floor"});
+
+    const arch::TimingParams timing;
+    arch::WorkloadProfile workload;
+    workload.samplesPerBase = ds.spec.signal.dwellMean;
+
+    for (std::size_t size : {std::size_t{64}, std::size_t{256}}) {
+        for (int adc_bits : {6, 7, 8}) {
+            NonIdealityConfig scenario;
+            scenario.kind = NonIdealityKind::Combined;
+            scenario.crossbar.size = size;
+            scenario.crossbar.adc.bits = adc_bits;
+
+            const auto acc = evaluateNonIdealAccuracy(
+                student, scenario, {}, ds, 2, 6);
+
+            auto map = arch::buildPartitionMap(student, size);
+            const auto thr = arch::estimateThroughput(
+                arch::Variant::Ideal, map, timing, workload);
+            const auto area = arch::computeArea(map, arch::AreaParams{},
+                                                0.0);
+            table.row({scenario.crossbar.describe(),
+                       std::to_string(adc_bits),
+                       TextTable::num(acc.mean * 100.0, 2) + "%",
+                       TextTable::num(thr.kbps, 0),
+                       TextTable::num(area.totalMm2, 3),
+                       acc.mean * 100.0 >= floor_pct ? "yes" : "no"});
+            std::fflush(stdout);
+        }
+    }
+    table.print();
+    std::printf("\nHigher ADC resolution buys accuracy at area cost; "
+                "smaller crossbars are more robust but need more tiles.\n");
+    return 0;
+}

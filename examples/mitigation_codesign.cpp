@@ -1,0 +1,101 @@
+/**
+ * @file
+ * HW/SW co-design walkthrough: given a target accuracy, evaluate the
+ * mitigation ladder (nothing -> VAT -> KD -> R-V-W -> RSA+KD -> All) under
+ * measured non-idealities and report the accuracy/throughput cost of each
+ * rung — the decision the paper's Section 6 asks designers to make.
+ *
+ * Run: ./build/examples/mitigation_codesign [target_accuracy_percent]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/swordfish.h"
+#include "util/table.h"
+
+using namespace swordfish;
+using namespace swordfish::core;
+
+namespace {
+
+arch::Variant
+variantFor(Technique tech)
+{
+    switch (tech) {
+      case Technique::None: return arch::Variant::Ideal;
+      case Technique::Rvw: return arch::Variant::RealisticRvw;
+      case Technique::Rsa: return arch::Variant::RealisticRsa;
+      case Technique::RsaKd: return arch::Variant::RealisticRsaKd;
+      case Technique::All: return arch::Variant::RealisticRsaKd;
+      default: return arch::Variant::Ideal; // VAT/KD: offline only
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const double target_pct = argc > 1 ? std::atof(argv[1]) : 92.0;
+
+    ExperimentContext ctx;
+    const auto& ds = ctx.dataset("D2");
+    NonIdealityConfig scenario;
+    scenario.kind = NonIdealityKind::Measured;
+    scenario.crossbar.size = 64;
+
+    auto map = arch::buildPartitionMap(ctx.teacher(), 64);
+    const arch::TimingParams timing;
+    arch::WorkloadProfile workload;
+    workload.samplesPerBase = ds.spec.signal.dwellMean;
+    const double gpu_kbps = arch::estimateThroughput(
+        arch::Variant::BonitoGpu, map, timing, workload).kbps;
+
+    std::printf("Mitigation co-design for target accuracy %.1f%% "
+                "(Measured non-idealities, 64x64, dataset %s)\n\n",
+                target_pct, ds.spec.id.c_str());
+
+    TextTable table;
+    table.header({"Mitigation", "Accuracy", "Kbp/s", "vs GPU",
+                  "Meets target"});
+
+    Technique chosen = Technique::None;
+    double chosen_kbps = -1.0;
+    bool found = false;
+    for (auto tech : {Technique::None, Technique::Vat, Technique::Kd,
+                      Technique::Rvw, Technique::RsaKd, Technique::All}) {
+        EnhancerConfig ec;
+        ec.technique = tech;
+        ec.retrainEpochs = 1;
+        auto enhanced = ctx.enhanced(scenario, ec);
+        const auto acc = evaluateNonIdealAccuracy(
+            enhanced.model, enhanced.evalConfig, enhanced.remap, ds, 2, 6);
+        const auto thr = arch::estimateThroughput(
+            variantFor(tech), map, timing, workload);
+        const bool meets = acc.mean * 100.0 >= target_pct;
+        if (meets && thr.kbps > chosen_kbps) {
+            chosen = tech;
+            chosen_kbps = thr.kbps;
+            found = true;
+        }
+        table.row({techniqueName(tech),
+                   TextTable::num(acc.mean * 100.0, 2) + "%",
+                   TextTable::num(thr.kbps, 1),
+                   TextTable::num(thr.kbps / gpu_kbps, 2) + "x",
+                   meets ? "yes" : "no"});
+        std::fflush(stdout);
+    }
+    table.print();
+
+    if (found) {
+        std::printf("\nFastest mitigation meeting the target: %s "
+                    "(%.1f Kbp/s)\n",
+                    techniqueName(chosen), chosen_kbps);
+    } else {
+        std::printf("\nNo evaluated mitigation meets %.1f%% — consider a "
+                    "smaller crossbar, a better device, or a larger SRAM "
+                    "fraction (see fig15_area_accuracy).\n", target_pct);
+    }
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Quickstart: the complete Swordfish flow in ~60 lines.
+ *
+ *  1. Get a trained FP32 basecaller (trained once, cached in artifacts/).
+ *  2. Quantize it for deployment (FPP 16-16).
+ *  3. Partition & map it onto 64x64 memristor crossbars.
+ *  4. Evaluate basecalling accuracy under combined non-idealities.
+ *  5. Apply the RSA+KD mitigation and evaluate again.
+ *  6. Report throughput and area from the architecture model.
+ *
+ * Build and run:   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/swordfish.h"
+
+using namespace swordfish;
+using namespace swordfish::core;
+
+int
+main()
+{
+    // 1. Teacher basecaller (BonitoLite: Conv -> 3x LSTM -> Linear, CTC).
+    ExperimentContext ctx;
+    auto& teacher = ctx.teacher();
+    const auto& d1 = ctx.dataset("D1");
+    const auto baseline = basecall::evaluateAccuracy(teacher, d1, 8);
+    std::printf("FP32 baseline read accuracy on %s: %.2f%%\n",
+                d1.spec.id.c_str(), 100.0 * baseline.meanIdentity);
+
+    // 2. Deployment quantization (the paper settles on 16-bit fixed).
+    auto student = quantizeModel(teacher, QuantConfig::deployment());
+
+    // 3. Partition & map onto crossbars.
+    const auto map = arch::buildPartitionMap(student, 64);
+    std::printf("\n%s\n", map.describe().c_str());
+
+    // 4. Accuracy with all analytical non-idealities, no mitigation.
+    NonIdealityConfig scenario; // defaults: Combined, 64x64, 10% write var
+    const auto unmitigated = evaluateNonIdealAccuracy(
+        student, scenario, {}, d1, /*runs=*/3, /*max_reads=*/8);
+    std::printf("Unmitigated on non-ideal crossbars: %.2f%% (+-%.2f%%)\n",
+                100.0 * unmitigated.mean, 100.0 * unmitigated.stddev);
+
+    // 5. Mitigate with RSA+KD (online retraining, 5% of weights in SRAM).
+    EnhancerConfig enh;
+    enh.technique = Technique::RsaKd;
+    enh.retrainEpochs = 1;
+    auto enhanced = ctx.enhanced(scenario, enh);
+    const auto mitigated = evaluateNonIdealAccuracy(
+        enhanced.model, enhanced.evalConfig, enhanced.remap, d1, 3, 8);
+    std::printf("With RSA+KD mitigation:            %.2f%% (+-%.2f%%)\n",
+                100.0 * mitigated.mean, 100.0 * mitigated.stddev);
+
+    // 6. Throughput and area from the architecture model.
+    const arch::TimingParams timing;
+    arch::WorkloadProfile workload;
+    workload.samplesPerBase = d1.spec.signal.dwellMean;
+    const auto gpu = arch::estimateThroughput(
+        arch::Variant::BonitoGpu, map, timing, workload);
+    const auto accel = arch::estimateThroughput(
+        arch::Variant::RealisticRsaKd, map, timing, workload);
+    const auto area = arch::computeArea(map, arch::AreaParams{}, 0.05);
+    std::printf("\nThroughput: Bonito-GPU %.1f Kbp/s, "
+                "Realistic-SwordfishAccel-RSA+KD %.1f Kbp/s (%.1fx)\n",
+                gpu.kbps, accel.kbps, accel.kbps / gpu.kbps);
+    std::printf("Accelerator area: %.3f mm^2 (SRAM share %.1f%%)\n",
+                area.totalMm2, 100.0 * area.sramFraction());
+    return 0;
+}

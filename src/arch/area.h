@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Area model (System Evaluator output 3, paper Section 3.5): per-component
+ * silicon area at 40 nm for a partition map, including the RSA SRAM
+ * overhead (Fig. 15's x-axis).
+ */
+
+#ifndef SWORDFISH_ARCH_AREA_H
+#define SWORDFISH_ARCH_AREA_H
+
+#include "arch/partition.h"
+#include "arch/puma.h"
+
+namespace swordfish::arch {
+
+/** Area breakdown in mm^2. */
+struct AreaReport
+{
+    double crossbarMm2 = 0.0;
+    double adcMm2 = 0.0;
+    double dacMm2 = 0.0;
+    double sramMm2 = 0.0;    ///< RSA remap SRAM + metadata
+    double digitalMm2 = 0.0; ///< control, routing, ALUs
+    double totalMm2 = 0.0;
+
+    /** SRAM share of total area (Fig. 15 discussion). */
+    double
+    sramFraction() const
+    {
+        return totalMm2 > 0.0 ? sramMm2 / totalMm2 : 0.0;
+    }
+};
+
+/**
+ * Compute the accelerator area for a mapping.
+ *
+ * @param map           the partition map
+ * @param params        area constants
+ * @param sram_fraction fraction of weights remapped to SRAM by RSA
+ * @param weight_bits   deployed weight precision (16 in the paper)
+ */
+AreaReport computeArea(const PartitionMap& map, const AreaParams& params,
+                       double sram_fraction, int weight_bits = 16);
+
+} // namespace swordfish::arch
+
+#endif // SWORDFISH_ARCH_AREA_H

@@ -1,0 +1,89 @@
+#include "partition.h"
+
+#include <sstream>
+
+#include "nn/conv1d.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "util/logging.h"
+
+namespace swordfish::arch {
+
+namespace {
+
+std::size_t
+ceilDiv(std::size_t a, std::size_t b)
+{
+    return (a + b - 1) / b;
+}
+
+VmmSite
+makeSite(const std::string& name, VmmKind kind, std::size_t rows,
+         std::size_t cols, std::size_t crossbar_size)
+{
+    VmmSite site;
+    site.name = name;
+    site.kind = kind;
+    site.rows = rows;
+    site.cols = cols;
+    site.rowTiles = ceilDiv(rows, crossbar_size);
+    site.colTiles = ceilDiv(cols, crossbar_size);
+    return site;
+}
+
+} // namespace
+
+PartitionMap
+buildPartitionMap(nn::SequenceModel& model, std::size_t crossbar_size)
+{
+    if (crossbar_size == 0)
+        fatal("buildPartitionMap: crossbar size must be positive");
+
+    PartitionMap map;
+    map.crossbarSize = crossbar_size;
+
+    for (std::size_t i = 0; i < model.layerCount(); ++i) {
+        nn::Module& layer = model.layer(i);
+        if (auto* conv = dynamic_cast<nn::Conv1d*>(&layer)) {
+            map.sites.push_back(makeSite(
+                conv->weight().name, VmmKind::Convolution,
+                conv->weight().value.rows(), conv->weight().value.cols(),
+                crossbar_size));
+        } else if (auto* lstm = dynamic_cast<nn::Lstm*>(&layer)) {
+            map.sites.push_back(makeSite(
+                lstm->inputWeight().name, VmmKind::LstmInput,
+                lstm->inputWeight().value.rows(),
+                lstm->inputWeight().value.cols(), crossbar_size));
+            map.sites.push_back(makeSite(
+                lstm->recurrentWeight().name, VmmKind::LstmRecurrent,
+                lstm->recurrentWeight().value.rows(),
+                lstm->recurrentWeight().value.cols(), crossbar_size));
+        } else if (auto* linear = dynamic_cast<nn::Linear*>(&layer)) {
+            map.sites.push_back(makeSite(
+                linear->weight().name, VmmKind::Linear,
+                linear->weight().value.rows(),
+                linear->weight().value.cols(), crossbar_size));
+        }
+        // Activation layers have no VMM weights: they run on the digital
+        // peripheral units (paper Section 3.2 step 1).
+    }
+    return map;
+}
+
+std::string
+PartitionMap::describe() const
+{
+    std::ostringstream oss;
+    oss << "Partition & Map onto " << crossbarSize << "x" << crossbarSize
+        << " crossbars:\n";
+    for (const VmmSite& s : sites) {
+        oss << "  " << s.name << " [" << s.rows << "x" << s.cols << "] ("
+            << vmmKindName(s.kind) << ") -> " << s.rowTiles << "x"
+            << s.colTiles << " = " << s.tileCount() << " tile(s)\n";
+    }
+    oss << "  total: " << totalTiles() << " tiles, " << totalMappedWeights()
+        << " mapped weights\n";
+    return oss.str();
+}
+
+} // namespace swordfish::arch

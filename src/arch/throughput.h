@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Throughput model (System Evaluator output 2): basecalling Kbp/s for the
+ * Bonito-GPU baseline and the four SwordfishAccel variants of Fig. 14
+ * (Ideal, Realistic-RVW, Realistic-RSA, Realistic-RSA+KD).
+ *
+ * The accelerator side follows the paper's Section 3.2 design choices: all
+ * layers are pipelined, every tile of a layer operates in parallel, and
+ * per-timestep latency is bounded by the recurrent (LSTM) stage. Input and
+ * output movement time is included (Section 3.5 footnote).
+ */
+
+#ifndef SWORDFISH_ARCH_THROUGHPUT_H
+#define SWORDFISH_ARCH_THROUGHPUT_H
+
+#include <string>
+
+#include "arch/partition.h"
+#include "arch/puma.h"
+
+namespace swordfish::arch {
+
+/** Accelerator variants compared in Fig. 14. */
+enum class Variant
+{
+    BonitoGpu,       ///< software baseline on a V100-class GPU
+    Ideal,           ///< no mitigation (Ideal-SwordfishAccel)
+    RealisticRvw,    ///< R-V-W in-the-loop compensation
+    RealisticRsa,    ///< RSA with 5% of weights in SRAM
+    RealisticRsaKd   ///< RSA+KD with 1% of weights in SRAM
+};
+
+/** Display name matching the paper's figure labels. */
+inline const char*
+variantName(Variant v)
+{
+    switch (v) {
+      case Variant::BonitoGpu: return "Bonito-GPU";
+      case Variant::Ideal: return "Ideal-SwordfishAccel";
+      case Variant::RealisticRvw: return "Realistic-SwordfishAccel-RVW";
+      case Variant::RealisticRsa: return "Realistic-SwordfishAccel-RSA";
+      default: return "Realistic-SwordfishAccel-RSA+KD";
+    }
+}
+
+/** Workload characteristics the throughput depends on. */
+struct WorkloadProfile
+{
+    double samplesPerBase = 6.0;   ///< dataset dwell mean
+    std::size_t convStride = 2;    ///< network downsampling factor
+    double meanReadLenBases = 420; ///< amortizes per-read overhead
+};
+
+/** Throughput estimation result. */
+struct ThroughputResult
+{
+    double perBaseNs = 0.0;
+    double kbps = 0.0; ///< kilo-basepairs per second (paper metric)
+};
+
+/**
+ * Per-network-timestep latency of the mapped pipeline's bounding stage
+ * (recurrent VMM + conversion + digital post-processing).
+ */
+double pipelineStepNs(const PartitionMap& map, const TimingParams& timing);
+
+/** FLOPs executed per network timestep (2 x mapped MACs). */
+double flopsPerStep(const PartitionMap& map);
+
+/**
+ * Estimate basecalling throughput for a variant.
+ *
+ * @param variant    which Fig. 14 bar
+ * @param map        the partition map of the deployed network
+ * @param timing     timing constants
+ * @param workload   dataset workload profile
+ * @param sram_fraction RSA SRAM fraction override (defaults: RSA 5%,
+ *                   RSA+KD 1%; ignored for other variants when < 0)
+ */
+ThroughputResult estimateThroughput(Variant variant,
+                                    const PartitionMap& map,
+                                    const TimingParams& timing,
+                                    const WorkloadProfile& workload,
+                                    double sram_fraction = -1.0);
+
+} // namespace swordfish::arch
+
+#endif // SWORDFISH_ARCH_THROUGHPUT_H

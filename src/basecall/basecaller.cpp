@@ -1,0 +1,47 @@
+#include "basecaller.h"
+
+#include <algorithm>
+
+#include "basecall/chunker.h"
+#include "nn/ctc.h"
+
+namespace swordfish::basecall {
+
+genomics::Sequence
+basecallRead(nn::SequenceModel& model, const genomics::Read& read,
+             Decoder decoder, std::size_t beam_width)
+{
+    const Matrix signal = normalizeSignal(read.signal);
+    const Matrix logits = model.forward(signal);
+    const std::vector<int> labels = decoder == Decoder::Greedy
+        ? nn::ctcGreedyDecode(logits)
+        : nn::ctcBeamDecode(logits, beam_width);
+    return genomics::fromCtcLabels(labels);
+}
+
+AccuracyResult
+evaluateAccuracy(nn::SequenceModel& model, const genomics::Dataset& dataset,
+                 std::size_t max_reads, Decoder decoder)
+{
+    AccuracyResult res;
+    const std::size_t n = max_reads == 0
+        ? dataset.reads.size()
+        : std::min(dataset.reads.size(), max_reads);
+
+    double identity_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const genomics::Read& read = dataset.reads[i];
+        const genomics::Sequence called = basecallRead(model, read, decoder);
+        const genomics::AlignmentResult aln =
+            genomics::alignGlobal(called, read.bases);
+        identity_sum += aln.identity();
+        res.minIdentity = std::min(res.minIdentity, aln.identity());
+        res.basesCalled += called.size();
+        ++res.readsEvaluated;
+    }
+    res.meanIdentity = res.readsEvaluated > 0
+        ? identity_sum / static_cast<double>(res.readsEvaluated) : 0.0;
+    return res;
+}
+
+} // namespace swordfish::basecall

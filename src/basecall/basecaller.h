@@ -1,0 +1,48 @@
+/**
+ * @file
+ * End-to-end basecalling and read-accuracy evaluation (the paper's primary
+ * metric, Section 3.5: matches / alignment length against the reference).
+ */
+
+#ifndef SWORDFISH_BASECALL_BASECALLER_H
+#define SWORDFISH_BASECALL_BASECALLER_H
+
+#include <string>
+#include <vector>
+
+#include "genomics/align.h"
+#include "genomics/dataset.h"
+#include "nn/model.h"
+
+namespace swordfish::basecall {
+
+/** Decoder selection for turning logits into bases. */
+enum class Decoder { Greedy, Beam };
+
+/** Basecall one read: whole-signal forward pass + CTC decode. */
+genomics::Sequence basecallRead(nn::SequenceModel& model,
+                                const genomics::Read& read,
+                                Decoder decoder = Decoder::Greedy,
+                                std::size_t beam_width = 8);
+
+/** Accuracy evaluation result over a dataset. */
+struct AccuracyResult
+{
+    double meanIdentity = 0.0;    ///< mean per-read identity (the metric)
+    double minIdentity = 1.0;
+    std::size_t readsEvaluated = 0;
+    std::size_t basesCalled = 0;  ///< total bases emitted by the decoder
+};
+
+/**
+ * Basecall up to max_reads reads of a dataset and align each call against
+ * its ground-truth bases.
+ */
+AccuracyResult evaluateAccuracy(nn::SequenceModel& model,
+                                const genomics::Dataset& dataset,
+                                std::size_t max_reads = 0,
+                                Decoder decoder = Decoder::Greedy);
+
+} // namespace swordfish::basecall
+
+#endif // SWORDFISH_BASECALL_BASECALLER_H

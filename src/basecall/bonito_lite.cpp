@@ -1,0 +1,26 @@
+#include "bonito_lite.h"
+
+namespace swordfish::basecall {
+
+nn::SequenceModel
+buildBonitoLite(const BonitoLiteConfig& config)
+{
+    Rng rng(config.initSeed);
+    nn::SequenceModel model;
+    model.emplace<nn::Conv1d>("conv0", 1, config.convChannels,
+                              config.convKernel, config.convStride, rng);
+    model.emplace<nn::SiLU>();
+
+    std::size_t in = config.convChannels;
+    for (std::size_t i = 0; i < config.lstmLayers; ++i) {
+        // Alternate directions starting reversed, like Bonito's encoder.
+        const bool reverse = (i % 2) == 0;
+        model.emplace<nn::Lstm>("lstm" + std::to_string(i), in,
+                                config.lstmHidden, reverse, rng);
+        in = config.lstmHidden;
+    }
+    model.emplace<nn::Linear>("head", in, config.numClasses, rng);
+    return model;
+}
+
+} // namespace swordfish::basecall

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * BonitoLite: the scaled-down Bonito-style basecaller network.
+ *
+ * Architecture (matching Bonito's layer *types*, which are exactly the set
+ * PUMA supports and the paper evaluates — CNN, LSTM, linear):
+ *
+ *   Conv1d(1 -> C, k, stride) -> SiLU
+ *   -> LSTM(C -> H, reverse) -> LSTM(H -> H, forward) -> LSTM(H -> H,
+ *      reverse)   [alternating directions, as in Bonito's encoder]
+ *   -> Linear(H -> 5)                                   [blank + ACGT]
+ *
+ * trained with CTC. Scale is chosen so the full experiment suite runs on a
+ * 2-core machine; the crossbar mapping machinery is size-agnostic.
+ */
+
+#ifndef SWORDFISH_BASECALL_BONITO_LITE_H
+#define SWORDFISH_BASECALL_BONITO_LITE_H
+
+#include <cstdint>
+
+#include "nn/activations.h"
+#include "nn/conv1d.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/model.h"
+
+namespace swordfish::basecall {
+
+/** Hyperparameters of the BonitoLite network. */
+struct BonitoLiteConfig
+{
+    std::size_t convChannels = 32;
+    std::size_t convKernel = 5;
+    std::size_t convStride = 2;
+    std::size_t lstmHidden = 32;
+    std::size_t lstmLayers = 3;
+    std::size_t numClasses = 5; ///< CTC blank + {A, C, G, T}
+    std::uint64_t initSeed = 0xb0b170ULL;
+};
+
+/** Build a freshly initialized BonitoLite network. */
+nn::SequenceModel buildBonitoLite(const BonitoLiteConfig& config = {});
+
+} // namespace swordfish::basecall
+
+#endif // SWORDFISH_BASECALL_BONITO_LITE_H

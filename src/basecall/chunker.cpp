@@ -1,0 +1,77 @@
+#include "chunker.h"
+
+#include <cmath>
+
+#include "genomics/sequence.h"
+#include "util/logging.h"
+
+namespace swordfish::basecall {
+
+Matrix
+normalizeSignal(const float* samples, std::size_t count)
+{
+    Matrix out(count, 1);
+    if (count == 0)
+        return out;
+    double mean = 0.0;
+    for (std::size_t i = 0; i < count; ++i)
+        mean += samples[i];
+    mean /= static_cast<double>(count);
+    double var = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+        const double d = samples[i] - mean;
+        var += d * d;
+    }
+    const double std_dev = std::sqrt(var / static_cast<double>(count));
+    const float scale = std_dev > 1e-6 ? static_cast<float>(1.0 / std_dev)
+                                       : 1.0f;
+    for (std::size_t i = 0; i < count; ++i)
+        out(i, 0) = (samples[i] - static_cast<float>(mean)) * scale;
+    return out;
+}
+
+void
+chunkRead(const genomics::Read& read, std::size_t chunk_len,
+          std::vector<TrainChunk>& out)
+{
+    if (read.sampleToBase.size() != read.signal.size())
+        panic("chunkRead: read lacks sample-to-base annotations");
+
+    for (std::size_t start = 0; start + chunk_len <= read.signal.size();
+         start += chunk_len) {
+        const std::size_t end = start + chunk_len;
+
+        // Labels: bases whose *every* sample lies inside [start, end).
+        const std::int32_t first_base = read.sampleToBase[start];
+        const std::int32_t last_base = read.sampleToBase[end - 1];
+        std::int32_t lo = first_base;
+        if (start > 0 && read.sampleToBase[start - 1] == first_base)
+            ++lo; // first base is clipped at the window start
+        std::int32_t hi = last_base;
+        if (end < read.signal.size() && read.sampleToBase[end] == last_base)
+            --hi; // last base is clipped at the window end
+
+        if (hi < lo)
+            continue;
+
+        TrainChunk chunk;
+        chunk.signal = normalizeSignal(read.signal.data() + start,
+                                       chunk_len);
+        chunk.labels.reserve(static_cast<std::size_t>(hi - lo + 1));
+        for (std::int32_t b = lo; b <= hi; ++b)
+            chunk.labels.push_back(static_cast<int>(read.bases[
+                static_cast<std::size_t>(b)]) + 1);
+        out.push_back(std::move(chunk));
+    }
+}
+
+std::vector<TrainChunk>
+chunkDataset(const genomics::Dataset& dataset, std::size_t chunk_len)
+{
+    std::vector<TrainChunk> chunks;
+    for (const genomics::Read& read : dataset.reads)
+        chunkRead(read, chunk_len, chunks);
+    return chunks;
+}
+
+} // namespace swordfish::basecall

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Signal chunking and normalization for training.
+ *
+ * Training consumes fixed-length signal windows with the base labels whose
+ * samples fall entirely inside the window. Inference, by contrast, runs the
+ * network over the whole read signal at once (LSTMs accept any length), so
+ * no chunk-boundary stitching losses pollute the accuracy metric.
+ */
+
+#ifndef SWORDFISH_BASECALL_CHUNKER_H
+#define SWORDFISH_BASECALL_CHUNKER_H
+
+#include <vector>
+
+#include "genomics/dataset.h"
+#include "tensor/matrix.h"
+
+namespace swordfish::basecall {
+
+/** One training example: normalized signal window plus CTC labels. */
+struct TrainChunk
+{
+    Matrix signal;             ///< [T x 1] normalized samples
+    std::vector<int> labels;   ///< CTC labels (1..4)
+};
+
+/** Normalize a raw signal slice to zero mean, unit variance, as [T x 1]. */
+Matrix normalizeSignal(const float* samples, std::size_t count);
+
+/** Convenience overload over a full vector. */
+inline Matrix
+normalizeSignal(const std::vector<float>& samples)
+{
+    return normalizeSignal(samples.data(), samples.size());
+}
+
+/**
+ * Cut a read into non-overlapping training chunks.
+ *
+ * @param read      source read with sampleToBase populated
+ * @param chunk_len window length in samples
+ * @param out       chunks are appended here
+ */
+void chunkRead(const genomics::Read& read, std::size_t chunk_len,
+               std::vector<TrainChunk>& out);
+
+/** Chunk every read of a dataset. */
+std::vector<TrainChunk> chunkDataset(const genomics::Dataset& dataset,
+                                     std::size_t chunk_len);
+
+} // namespace swordfish::basecall
+
+#endif // SWORDFISH_BASECALL_CHUNKER_H

@@ -1,0 +1,78 @@
+#include "pipeline.h"
+
+#include <algorithm>
+
+#include "genomics/mapper.h"
+#include "util/timer.h"
+
+namespace swordfish::basecall {
+
+PipelineReport
+runPipeline(nn::SequenceModel& model, const genomics::Dataset& dataset,
+            std::size_t max_reads)
+{
+    PipelineReport report;
+    const std::size_t n = max_reads == 0
+        ? dataset.reads.size()
+        : std::min(dataset.reads.size(), max_reads);
+
+    // Stage 1: basecalling.
+    Stopwatch watch;
+    std::vector<genomics::Sequence> calls;
+    calls.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        calls.push_back(basecallRead(model, dataset.reads[i]));
+    report.stages.push_back({"Basecalling", watch.seconds(), 0.0});
+
+    // Stage 2: read mapping (index construction counts as mapping work,
+    // as it does in minimap2).
+    watch.restart();
+    genomics::ReadMapper mapper(dataset.reference);
+    std::vector<genomics::MappingResult> mappings;
+    mappings.reserve(n);
+    double identity_sum = 0.0;
+    std::size_t mapped = 0;
+    for (const genomics::Sequence& call : calls) {
+        mappings.push_back(mapper.map(call));
+        if (mappings.back().mapped) {
+            ++mapped;
+            identity_sum += mappings.back().identity;
+        }
+    }
+    report.stages.push_back({"Read mapping", watch.seconds(), 0.0});
+
+    // Stage 3: consensus/polishing — per mapped read, realign against its
+    // window and tally agreement (a pileup-style polish pass).
+    watch.restart();
+    std::size_t polish_columns = 0;
+    for (std::size_t i = 0; i < calls.size(); ++i) {
+        if (!mappings[i].mapped)
+            continue;
+        const std::size_t start = mappings[i].refStart;
+        const std::size_t end = std::min(dataset.reference.size(),
+                                         start + calls[i].size() + 64);
+        const genomics::Sequence window(
+            dataset.reference.begin()
+                + static_cast<std::ptrdiff_t>(start),
+            dataset.reference.begin() + static_cast<std::ptrdiff_t>(end));
+        const genomics::AlignmentResult aln =
+            genomics::alignGlocal(calls[i], window, 96);
+        polish_columns += aln.alignmentLength;
+    }
+    (void)polish_columns;
+    report.stages.push_back({"Consensus/polish", watch.seconds(), 0.0});
+
+    for (const StageReport& s : report.stages)
+        report.totalSeconds += s.seconds;
+    for (StageReport& s : report.stages)
+        s.fractionOfTotal = report.totalSeconds > 0.0
+            ? s.seconds / report.totalSeconds : 0.0;
+
+    report.mappedFraction = n > 0
+        ? static_cast<double>(mapped) / static_cast<double>(n) : 0.0;
+    report.meanMapIdentity = mapped > 0
+        ? identity_sum / static_cast<double>(mapped) : 0.0;
+    return report;
+}
+
+} // namespace swordfish::basecall

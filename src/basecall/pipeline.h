@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The nanopore genome analysis pipeline used for the Fig. 1 experiment:
+ * basecalling -> read mapping -> consensus/polishing, with wall-clock
+ * timing per stage to reproduce the paper's observation that basecalling
+ * dominates (>40% of) end-to-end execution time.
+ */
+
+#ifndef SWORDFISH_BASECALL_PIPELINE_H
+#define SWORDFISH_BASECALL_PIPELINE_H
+
+#include <string>
+#include <vector>
+
+#include "basecall/basecaller.h"
+#include "genomics/dataset.h"
+#include "nn/model.h"
+
+namespace swordfish::basecall {
+
+/** Timing and quality of one pipeline stage. */
+struct StageReport
+{
+    std::string name;
+    double seconds = 0.0;
+    double fractionOfTotal = 0.0;
+};
+
+/** Full pipeline output. */
+struct PipelineReport
+{
+    std::vector<StageReport> stages;
+    double totalSeconds = 0.0;
+    double mappedFraction = 0.0;   ///< reads the mapper placed
+    double meanMapIdentity = 0.0;  ///< identity at mapped locations
+};
+
+/**
+ * Run basecalling, mapping, and consensus over a dataset, timing each
+ * stage.
+ *
+ * @param model     trained basecaller
+ * @param dataset   reads + reference
+ * @param max_reads optional read cap (0 = all)
+ */
+PipelineReport runPipeline(nn::SequenceModel& model,
+                           const genomics::Dataset& dataset,
+                           std::size_t max_reads = 0);
+
+} // namespace swordfish::basecall
+
+#endif // SWORDFISH_BASECALL_PIPELINE_H

@@ -1,0 +1,94 @@
+#include "trainer.h"
+
+#include <numeric>
+
+#include "nn/ctc.h"
+#include "util/logging.h"
+
+namespace swordfish::basecall {
+
+double
+trainCtc(nn::SequenceModel& model, const std::vector<TrainChunk>& chunks,
+         const TrainConfig& config, const TrainHooks& hooks,
+         const std::function<void(const EpochStats&)>& on_epoch)
+{
+    if (chunks.empty())
+        fatal("trainCtc: no training chunks");
+
+    nn::AdamConfig adam_config;
+    adam_config.lr = config.lr;
+    nn::Adam adam(model.parameters(), adam_config);
+    if (hooks.configureOptimizer)
+        hooks.configureOptimizer(adam);
+    Rng rng(config.shuffleSeed);
+
+    std::vector<std::size_t> order(chunks.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    double last_epoch_loss = 0.0;
+    for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+        rng.shuffle(order);
+        double loss_sum = 0.0;
+        std::size_t loss_count = 0;
+        std::size_t in_batch = 0;
+
+        for (std::size_t idx : order) {
+            const TrainChunk& chunk = chunks[idx];
+            if (hooks.preForward)
+                hooks.preForward();
+            Matrix logits = model.forward(chunk.signal);
+            nn::CtcResult ctc = nn::ctcLoss(logits, chunk.labels);
+            if (!ctc.feasible) {
+                if (hooks.postBackward)
+                    hooks.postBackward();
+                continue;
+            }
+            if (hooks.extraGrad) {
+                Matrix extra = hooks.extraGrad(chunk, logits);
+                if (!extra.empty())
+                    ctc.dLogits += extra;
+            }
+            model.backward(ctc.dLogits);
+            if (hooks.postBackward)
+                hooks.postBackward();
+
+            loss_sum += ctc.loss;
+            ++loss_count;
+            if (++in_batch >= config.batchSize) {
+                nn::clipGradNorm(adam.params(), config.gradClip);
+                adam.step();
+                in_batch = 0;
+            }
+        }
+        if (in_batch > 0) {
+            nn::clipGradNorm(adam.params(), config.gradClip);
+            adam.step();
+        }
+        adam.scaleLr(config.lrDecay);
+
+        last_epoch_loss = loss_count > 0
+            ? loss_sum / static_cast<double>(loss_count) : 0.0;
+        if (on_epoch)
+            on_epoch({epoch, last_epoch_loss, loss_count});
+    }
+    return last_epoch_loss;
+}
+
+double
+evaluateCtcLoss(nn::SequenceModel& model,
+                const std::vector<TrainChunk>& chunks)
+{
+    double loss_sum = 0.0;
+    std::size_t count = 0;
+    for (const TrainChunk& chunk : chunks) {
+        Matrix logits = model.forward(chunk.signal);
+        const nn::CtcResult ctc = nn::ctcLoss(logits, chunk.labels);
+        if (ctc.feasible) {
+            loss_sum += ctc.loss;
+            ++count;
+        }
+    }
+    return count > 0 ? loss_sum / static_cast<double>(count) : 0.0;
+}
+
+} // namespace swordfish::basecall

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * CTC training loop for BonitoLite, reused by the Accuracy Enhancer's
+ * retraining passes (VAT noise injection and KD hook points).
+ */
+
+#ifndef SWORDFISH_BASECALL_TRAINER_H
+#define SWORDFISH_BASECALL_TRAINER_H
+
+#include <functional>
+
+#include "basecall/chunker.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace swordfish::basecall {
+
+/** Training hyperparameters. */
+struct TrainConfig
+{
+    std::size_t epochs = 12;
+    std::size_t batchSize = 4;    ///< chunks per optimizer step
+    float lr = 2e-3f;
+    float lrDecay = 0.92f;        ///< per-epoch multiplicative decay
+    float gradClip = 2.0f;
+    std::uint64_t shuffleSeed = 0x50f71eULL;
+};
+
+/** Per-epoch progress report. */
+struct EpochStats
+{
+    std::size_t epoch = 0;
+    double meanLoss = 0.0;
+    std::size_t chunks = 0;
+};
+
+/**
+ * Hooks that customize the inner loop.
+ *
+ * preForward fires before each chunk's forward pass (VAT perturbs weights
+ * here); postBackward fires after the gradients of a chunk are accumulated
+ * (VAT restores weights here). extraGrad can add an auxiliary loss gradient
+ * given the chunk logits (KD distillation term); it returns the gradient to
+ * *add* to the CTC gradient, or an empty matrix for none.
+ */
+struct TrainHooks
+{
+    std::function<void()> preForward;
+    std::function<void()> postBackward;
+    std::function<Matrix(const TrainChunk&, const Matrix& logits)> extraGrad;
+    /** Called once after the optimizer is built (e.g. to set RSA masks). */
+    std::function<void(nn::Adam&)> configureOptimizer;
+};
+
+/**
+ * Train a model in place with CTC.
+ *
+ * @param model    the network (modified in place)
+ * @param chunks   training examples
+ * @param config   hyperparameters
+ * @param hooks    optional inner-loop hooks (may be default-constructed)
+ * @param on_epoch optional per-epoch callback
+ * @return final epoch's mean CTC loss
+ */
+double trainCtc(nn::SequenceModel& model,
+                const std::vector<TrainChunk>& chunks,
+                const TrainConfig& config, const TrainHooks& hooks = {},
+                const std::function<void(const EpochStats&)>& on_epoch = {});
+
+/** Mean CTC loss of a model over a chunk set (no gradient updates). */
+double evaluateCtcLoss(nn::SequenceModel& model,
+                       const std::vector<TrainChunk>& chunks);
+
+} // namespace swordfish::basecall
+
+#endif // SWORDFISH_BASECALL_TRAINER_H

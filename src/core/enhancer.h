@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The Accuracy Enhancer (Swordfish module 3, paper Section 3.4): the four
+ * mitigation techniques — analytical variation-aware training (VAT),
+ * knowledge-distillation training (KD), read-verify-write programming
+ * (R-V-W) and random sparse adaptation (RSA, optionally with online KD
+ * retraining) — plus their combination ("All").
+ */
+
+#ifndef SWORDFISH_CORE_ENHANCER_H
+#define SWORDFISH_CORE_ENHANCER_H
+
+#include <vector>
+
+#include "basecall/trainer.h"
+#include "core/nonideality.h"
+#include "core/vmm_backend.h"
+#include "nn/model.h"
+
+namespace swordfish::core {
+
+/** Mitigation techniques evaluated in Figs. 10-14. */
+enum class Technique { None, Vat, Kd, Rvw, Rsa, RsaKd, All };
+
+/** Paper-style label. */
+inline const char*
+techniqueName(Technique t)
+{
+    switch (t) {
+      case Technique::None: return "None";
+      case Technique::Vat: return "VAT";
+      case Technique::Kd: return "KD";
+      case Technique::Rvw: return "R-V-W";
+      case Technique::Rsa: return "RSA";
+      case Technique::RsaKd: return "RSA+KD";
+      default: return "All";
+    }
+}
+
+/** The five techniques of Figs. 10-13, figure order. */
+inline std::vector<Technique>
+figureTenSweep()
+{
+    return {Technique::Vat, Technique::Kd, Technique::Rvw,
+            Technique::RsaKd, Technique::All};
+}
+
+/** Enhancer knobs. */
+struct EnhancerConfig
+{
+    Technique technique = Technique::None;
+    double sramFraction = 0.05;   ///< RSA remap fraction
+    std::size_t retrainEpochs = 2;///< short fine-tune (offline/online)
+    float retrainLr = 5e-4f;
+    std::uint64_t seed = 0xe14a4ceULL;
+};
+
+/**
+ * A deployment-ready enhanced model: retrained weights plus the scenario
+ * modifications (programming scheme, SRAM remap) to apply at evaluation.
+ */
+struct EnhancedModel
+{
+    nn::SequenceModel model;
+    NonIdealityConfig evalConfig;
+    SramRemapConfig remap; ///< fraction 0 when RSA is not part of the mix
+};
+
+/**
+ * Applies mitigation techniques to a deployed (quantized) model.
+ *
+ * The teacher (FP32 baseline) and the training chunks are shared across
+ * invocations; enhance() never mutates them.
+ */
+class AccuracyEnhancer
+{
+  public:
+    /**
+     * @param teacher ideal FP32 basecaller (KD teacher; never modified)
+     * @param chunks  retraining corpus
+     */
+    AccuracyEnhancer(const nn::SequenceModel& teacher,
+                     const std::vector<basecall::TrainChunk>& chunks);
+
+    /**
+     * Apply a technique to a deployed model under a non-ideality scenario.
+     *
+     * @param deployed   the quantized student model (copied, not mutated)
+     * @param scenario   the non-ideality being mitigated
+     * @param config     technique and knobs
+     */
+    EnhancedModel enhance(const nn::SequenceModel& deployed,
+                          const NonIdealityConfig& scenario,
+                          const EnhancerConfig& config);
+
+  private:
+    /** Retrain `model` with noise injection and optional KD guidance. */
+    void retrain(nn::SequenceModel& model,
+                 const NonIdealityConfig& scenario,
+                 const EnhancerConfig& config, bool distill,
+                 const std::map<std::string,
+                                std::vector<std::uint8_t>>* masks);
+
+    const nn::SequenceModel& teacher_;
+    const std::vector<basecall::TrainChunk>& chunks_;
+};
+
+} // namespace swordfish::core
+
+#endif // SWORDFISH_CORE_ENHANCER_H

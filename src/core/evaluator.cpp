@@ -1,0 +1,49 @@
+#include "evaluator.h"
+
+#include "core/deploy.h"
+
+namespace swordfish::core {
+
+AccuracySummary
+evaluateNonIdealAccuracy(nn::SequenceModel& model,
+                         const NonIdealityConfig& scenario,
+                         const SramRemapConfig& remap,
+                         const genomics::Dataset& dataset,
+                         std::size_t runs, std::size_t max_reads,
+                         std::uint64_t seed_base)
+{
+    RunningStat stat;
+    for (std::size_t r = 0; r < runs; ++r) {
+        CrossbarVmmBackend backend(scenario, seed_base + r);
+        backend.setSramRemap(remap);
+        model.setBackend(&backend);
+        const auto acc = basecall::evaluateAccuracy(model, dataset,
+                                                    max_reads);
+        stat.add(acc.meanIdentity);
+    }
+    model.setBackend(nullptr);
+
+    AccuracySummary summary;
+    summary.mean = stat.mean();
+    summary.stddev = stat.stddev();
+    summary.min = stat.min();
+    summary.max = stat.max();
+    summary.runs = stat.count();
+    return summary;
+}
+
+double
+evaluateQuantizedAccuracy(const nn::SequenceModel& model,
+                          const QuantConfig& quant,
+                          const genomics::Dataset& dataset,
+                          std::size_t max_reads)
+{
+    nn::SequenceModel deployed = quantizeModel(model, quant);
+    QuantOnlyBackend backend(quant);
+    deployed.setBackend(&backend);
+    const auto acc = basecall::evaluateAccuracy(deployed, dataset,
+                                                max_reads);
+    return acc.meanIdentity;
+}
+
+} // namespace swordfish::core

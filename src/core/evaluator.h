@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The System Evaluator (Swordfish module 4, paper Section 3.5): end-to-end
+ * basecalling accuracy under a non-ideality scenario (with error bars over
+ * repeated noisy instantiations), basecalling throughput in Kbp/s, and
+ * accelerator area.
+ */
+
+#ifndef SWORDFISH_CORE_EVALUATOR_H
+#define SWORDFISH_CORE_EVALUATOR_H
+
+#include "arch/area.h"
+#include "arch/throughput.h"
+#include "basecall/basecaller.h"
+#include "core/nonideality.h"
+#include "core/vmm_backend.h"
+#include "genomics/dataset.h"
+#include "nn/model.h"
+#include "util/stats.h"
+
+namespace swordfish::core {
+
+/** Accuracy distribution over repeated noisy runs (figure error bars). */
+struct AccuracySummary
+{
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::size_t runs = 0;
+};
+
+/**
+ * Evaluate basecalling accuracy of a model executed on non-ideal crossbars.
+ *
+ * Each run programs a fresh set of tiles (new programming noise, die
+ * profiles, and library draws) and basecalls `max_reads` reads of the
+ * dataset — mirroring the paper's methodology of 1000 model instantiations
+ * per configuration (scaled down via `runs`).
+ *
+ * @param model     deployed (quantized) model; restored to the ideal
+ *                  backend before returning
+ * @param scenario  non-ideality configuration
+ * @param remap     RSA SRAM remap to apply while programming
+ * @param dataset   evaluation dataset
+ * @param runs      noisy instantiations
+ * @param max_reads reads per run (0 = all)
+ * @param seed_base run r uses seed_base + r
+ */
+AccuracySummary evaluateNonIdealAccuracy(nn::SequenceModel& model,
+                                         const NonIdealityConfig& scenario,
+                                         const SramRemapConfig& remap,
+                                         const genomics::Dataset& dataset,
+                                         std::size_t runs,
+                                         std::size_t max_reads,
+                                         std::uint64_t seed_base = 1);
+
+/**
+ * Digital fixed-point accuracy (quantization only, no crossbar) — the
+ * Table 3 evaluation path.
+ */
+double evaluateQuantizedAccuracy(const nn::SequenceModel& model,
+                                 const QuantConfig& quant,
+                                 const genomics::Dataset& dataset,
+                                 std::size_t max_reads);
+
+} // namespace swordfish::core
+
+#endif // SWORDFISH_CORE_EVALUATOR_H

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Umbrella header: the Swordfish framework public API.
+ *
+ * Swordfish evaluates DNN-based basecallers on memristor-based
+ * Computation-In-Memory hardware with realistic device/circuit
+ * non-idealities, and measures the accuracy/throughput/area impact of
+ * mitigation techniques. The four framework modules (paper Fig. 3) map to:
+ *
+ *   1. Partition & Map      -> arch/partition.h
+ *   2. VMM Model Generator  -> core/vmm_backend.h (+ crossbar/)
+ *   3. Accuracy Enhancer    -> core/enhancer.h
+ *   4. System Evaluator     -> core/evaluator.h (+ arch/throughput.h,
+ *                              arch/area.h)
+ *
+ * Typical usage:
+ * @code
+ *   core::ExperimentContext ctx;
+ *   auto& teacher = ctx.teacher();                 // FP32 Bonito(Lite)
+ *   core::NonIdealityConfig scenario;              // 64x64, Combined
+ *   core::EnhancerConfig enh{core::Technique::RsaKd};
+ *   auto enhanced = ctx.enhanced(scenario, enh);
+ *   auto acc = core::evaluateNonIdealAccuracy(
+ *       enhanced.model, enhanced.evalConfig, enhanced.remap,
+ *       ctx.dataset("D1"), 5, 10);
+ * @endcode
+ */
+
+#ifndef SWORDFISH_CORE_SWORDFISH_H
+#define SWORDFISH_CORE_SWORDFISH_H
+
+#include "arch/area.h"
+#include "arch/partition.h"
+#include "arch/throughput.h"
+#include "core/context.h"
+#include "core/deploy.h"
+#include "core/enhancer.h"
+#include "core/evaluator.h"
+#include "core/nonideality.h"
+#include "core/vmm_backend.h"
+
+#endif // SWORDFISH_CORE_SWORDFISH_H

@@ -1,0 +1,249 @@
+#include "vmm_backend.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace swordfish::core {
+
+CrossbarVmmBackend::CrossbarVmmBackend(const NonIdealityConfig& config,
+                                       std::uint64_t run_seed)
+    : config_(config), runSeed_(run_seed),
+      activationQuant_(config.quant.activationBits),
+      conversionRng_(hashSeed({run_seed, 0xc0417e27ULL}))
+{
+    if (config_.usesLibrary()) {
+        library_.emplace(config_.crossbar.size, config_.library, 10000,
+                         hashSeed({0x11b5eedULL}));
+    }
+}
+
+void
+CrossbarVmmBackend::onActivations(Matrix& activations)
+{
+    activationQuant_.apply(activations);
+}
+
+CrossbarVmmBackend::MappedWeight&
+CrossbarVmmBackend::mapped(const std::string& name, const Matrix& w)
+{
+    auto it = weights_.find(name);
+    if (it != weights_.end()) {
+        if (it->second.rows != w.rows() || it->second.cols != w.cols())
+            panic("CrossbarVmmBackend: shape of ", name,
+                  " changed after programming");
+        return it->second;
+    }
+
+    MappedWeight mw;
+    mw.rows = w.rows();
+    mw.cols = w.cols();
+    mw.absMax = w.absMax() > 0.0f ? w.absMax() : 1.0f;
+    sramMasks_[name].assign(w.size(), 0);
+    if (config_.usesLibrary())
+        programMeasured(mw, name, w);
+    else
+        programAnalytical(mw, name, w);
+    return weights_.emplace(name, std::move(mw)).first->second;
+}
+
+std::vector<std::uint8_t>
+CrossbarVmmBackend::selectSramCells(const Matrix& error,
+                                    const std::string& name,
+                                    std::size_t tile_index)
+{
+    std::vector<std::uint8_t> mask(error.size(), 0);
+    const auto k = static_cast<std::size_t>(
+        remap_.fraction * static_cast<double>(error.size()) + 0.5);
+    if (k == 0)
+        return mask;
+
+    std::vector<std::size_t> order(error.size());
+    std::iota(order.begin(), order.end(), 0);
+    if (remap_.useErrorKnowledge) {
+        std::nth_element(order.begin(), order.begin()
+                             + static_cast<std::ptrdiff_t>(k - 1),
+                         order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return error.raw()[a] > error.raw()[b];
+                         });
+    } else {
+        Rng rng(hashSeed({runSeed_,
+                          std::hash<std::string>{}(name), tile_index,
+                          0x25aULL}));
+        rng.shuffle(order);
+    }
+    for (std::size_t i = 0; i < k; ++i)
+        mask[order[i]] = 1;
+    return mask;
+}
+
+void
+CrossbarVmmBackend::programAnalytical(MappedWeight& mw,
+                                      const std::string& name,
+                                      const Matrix& w)
+{
+    const std::size_t s = config_.crossbar.size;
+    const std::size_t row_tiles = (mw.rows + s - 1) / s;
+    const std::size_t col_tiles = (mw.cols + s - 1) / s;
+    const auto toggles = config_.toggles();
+    auto& masks = sramMasks_[name];
+
+    mw.tiles.resize(row_tiles);
+    std::size_t tile_index = 0;
+    for (std::size_t rt = 0; rt < row_tiles; ++rt) {
+        const std::size_t r0 = rt * s;
+        const std::size_t r1 = std::min(mw.rows, r0 + s);
+        for (std::size_t ct = 0; ct < col_tiles; ++ct, ++tile_index) {
+            const std::size_t c0 = ct * s;
+            const std::size_t c1 = std::min(mw.cols, c0 + s);
+
+            Matrix sub(r1 - r0, c1 - c0);
+            for (std::size_t r = r0; r < r1; ++r)
+                for (std::size_t c = c0; c < c1; ++c)
+                    sub(r - r0, c - c0) = w(r, c);
+
+            const std::uint64_t tile_seed = hashSeed(
+                {runSeed_, std::hash<std::string>{}(name), rt, ct});
+            crossbar::CrossbarTile tile(config_.crossbar, sub, mw.absMax,
+                                        toggles, tile_seed);
+
+            if (remap_.fraction > 0.0) {
+                const auto mask = selectSramCells(
+                    tile.cellErrorMagnitude(), name, tile_index);
+                tile.remapCellsToSram(mask);
+                for (std::size_t r = r0; r < r1; ++r)
+                    for (std::size_t c = c0; c < c1; ++c)
+                        masks[r * mw.cols + c] = mask[
+                            (r - r0) * (c1 - c0) + (c - c0)];
+            }
+            mw.tiles[rt].push_back(std::move(tile));
+            ++tileCount_;
+        }
+    }
+}
+
+void
+CrossbarVmmBackend::programMeasured(MappedWeight& mw,
+                                    const std::string& name,
+                                    const Matrix& w)
+{
+    const std::size_t s = config_.crossbar.size;
+    const std::size_t row_tiles = (mw.rows + s - 1) / s;
+    const std::size_t col_tiles = (mw.cols + s - 1) / s;
+    auto& masks = sramMasks_[name];
+
+    Rng draw(hashSeed({runSeed_, std::hash<std::string>{}(name),
+                       0x11bULL}));
+    mw.measuredWeights = Matrix(mw.rows, mw.cols);
+    mw.measuredGain.assign(mw.rows, 1.0f);
+    mw.measuredOffset.assign(mw.rows, 0.0f);
+
+    std::size_t tile_index = 0;
+    for (std::size_t rt = 0; rt < row_tiles; ++rt) {
+        const std::size_t r0 = rt * s;
+        const std::size_t r1 = std::min(mw.rows, r0 + s);
+        for (std::size_t ct = 0; ct < col_tiles; ++ct, ++tile_index) {
+            const std::size_t c0 = ct * s;
+            const std::size_t c1 = std::min(mw.cols, c0 + s);
+            const std::size_t tr = r1 - r0, tc = c1 - c0;
+
+            const auto profile = library_->profile(
+                library_->sampleInstance(draw), tr, tc);
+            ++tileCount_;
+
+            // R-V-W programming shrinks the programming-induced part of
+            // the measured error (~70% of the per-cell error in the
+            // characterized chips); die-level gain/offset is untouched.
+            const double prog_scale = 0.3 + 0.7
+                * crossbar::effectiveWriteSigma(
+                      config_.crossbar.scheme, 1.0,
+                      config_.crossbar.verifyIterations);
+
+            Matrix eff(tr, tc), err(tr, tc);
+            for (std::size_t r = 0; r < tr; ++r) {
+                for (std::size_t c = 0; c < tc; ++c) {
+                    const float mult = 1.0f + static_cast<float>(
+                        prog_scale)
+                        * (profile.cellError(r, c) - 1.0f);
+                    const float add = static_cast<float>(prog_scale)
+                        * profile.cellAddError(r, c) * mw.absMax;
+                    eff(r, c) = w(r0 + r, c0 + c) * mult + add;
+                    err(r, c) = std::fabs(eff(r, c) - w(r0 + r, c0 + c));
+                }
+            }
+
+            std::vector<std::uint8_t> mask;
+            if (remap_.fraction > 0.0) {
+                mask = selectSramCells(err, name, tile_index);
+                for (std::size_t i = 0; i < mask.size(); ++i) {
+                    if (mask[i] != 0)
+                        eff.raw()[i] = w(r0 + i / tc, c0 + i % tc);
+                }
+            }
+
+            for (std::size_t r = 0; r < tr; ++r) {
+                for (std::size_t c = 0; c < tc; ++c) {
+                    mw.measuredWeights(r0 + r, c0 + c) = eff(r, c);
+                    if (!mask.empty())
+                        masks[(r0 + r) * mw.cols + (c0 + c)] =
+                            mask[r * tc + c];
+                }
+            }
+            // Column gain/offset: the library reports them per physical
+            // column; average across column tiles sharing an output.
+            for (std::size_t r = 0; r < tr; ++r) {
+                mw.measuredGain[r0 + r] *= profile.columnGain[r];
+                mw.measuredOffset[r0 + r] += profile.columnOffset[r];
+            }
+        }
+    }
+}
+
+void
+CrossbarVmmBackend::matmul(const std::string& name, const Matrix& w,
+                           const Matrix& x, Matrix& y)
+{
+    MappedWeight& mw = mapped(name, w);
+
+    if (config_.usesLibrary()) {
+        gemmBT(x, mw.measuredWeights, y);
+        float x_max = x.absMax();
+        if (x_max <= 0.0f)
+            x_max = 1.0f;
+        for (std::size_t t = 0; t < y.rows(); ++t) {
+            float* row = y.rowPtr(t);
+            for (std::size_t o = 0; o < y.cols(); ++o)
+                row[o] = row[o] * mw.measuredGain[o]
+                    + mw.measuredOffset[o] * mw.absMax * x_max;
+        }
+        return;
+    }
+
+    const std::size_t s = config_.crossbar.size;
+    const std::size_t col_tiles = (mw.cols + s - 1) / s;
+    y = Matrix(x.rows(), mw.rows);
+
+    Matrix x_sub;
+    for (std::size_t ct = 0; ct < col_tiles; ++ct) {
+        const std::size_t c0 = ct * s;
+        const std::size_t c1 = std::min(mw.cols, c0 + s);
+        x_sub = Matrix(x.rows(), c1 - c0);
+        for (std::size_t t = 0; t < x.rows(); ++t)
+            for (std::size_t c = c0; c < c1; ++c)
+                x_sub(t, c - c0) = x(t, c);
+
+        for (std::size_t rt = 0; rt < mw.tiles.size(); ++rt) {
+            const Matrix part = mw.tiles[rt][ct].vmmFast(x_sub,
+                                                         conversionRng_);
+            const std::size_t r0 = rt * s;
+            // Digital accumulation of partial sums across column tiles.
+            for (std::size_t t = 0; t < part.rows(); ++t)
+                for (std::size_t r = 0; r < part.cols(); ++r)
+                    y(t, r0 + r) += part(t, r);
+        }
+    }
+}
+
+} // namespace swordfish::core

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The VMM Model Generator (Swordfish module 2, paper Section 3.3) realized
+ * as a VmmBackend: every named weight matrix of the basecaller is split
+ * into crossbar tiles, programmed with the configured non-idealities, and
+ * every matmul routes through those tiles (with digital accumulation of
+ * partial sums across column tiles, as in PUMA/ISAAC).
+ *
+ * Supports both modeling approaches:
+ *  - analytical (approach #2): CrossbarTile with NoiseToggles;
+ *  - measurement library (approach #1): per-tile transfer profiles sampled
+ *    from the MeasurementLibrary.
+ *
+ * It also implements the RSA remap (Section 3.4.4): before programming,
+ * a fraction of cells per tile — the most error-prone ones when the error
+ * profile is known (analytical and measured modes both expose it), or a
+ * random subset otherwise — is redirected to ideal SRAM storage.
+ */
+
+#ifndef SWORDFISH_CORE_VMM_BACKEND_H
+#define SWORDFISH_CORE_VMM_BACKEND_H
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/nonideality.h"
+#include "nn/module.h"
+
+namespace swordfish::core {
+
+/** RSA remap policy. */
+struct SramRemapConfig
+{
+    double fraction = 0.0;      ///< fraction of weights held in SRAM
+    bool useErrorKnowledge = true; ///< top-error cells vs. random cells
+};
+
+/** Crossbar-backed implementation of nn::VmmBackend. */
+class CrossbarVmmBackend : public nn::VmmBackend
+{
+  public:
+    /**
+     * @param config   the non-ideality scenario
+     * @param run_seed instance seed: one seed per evaluation run; controls
+     *                 programming noise, die profiles and library draws
+     */
+    CrossbarVmmBackend(const NonIdealityConfig& config,
+                       std::uint64_t run_seed);
+
+    /** Configure the RSA remap applied to tiles programmed later. */
+    void
+    setSramRemap(const SramRemapConfig& remap)
+    {
+        remap_ = remap;
+    }
+
+    void matmul(const std::string& name, const Matrix& w, const Matrix& x,
+                Matrix& y) override;
+
+    void onActivations(Matrix& activations) override;
+
+    /**
+     * Per-parameter SRAM masks recorded while programming (1 = weight is
+     * SRAM-resident). Used by RSA online retraining to restrict updates.
+     */
+    const std::map<std::string, std::vector<std::uint8_t>>&
+    sramMasks() const
+    {
+        return sramMasks_;
+    }
+
+    /** Number of tiles programmed so far. */
+    std::size_t programmedTiles() const { return tileCount_; }
+
+    const NonIdealityConfig& config() const { return config_; }
+
+  private:
+    /** Tiled non-ideal representation of one weight matrix. */
+    struct MappedWeight
+    {
+        std::size_t rows = 0;
+        std::size_t cols = 0;
+        // Analytical tiles, indexed [rowTile][colTile].
+        std::vector<std::vector<crossbar::CrossbarTile>> tiles;
+        // Measured mode: one effective weight matrix (profile applied),
+        // plus per-output gain/offset.
+        Matrix measuredWeights;
+        std::vector<float> measuredGain;
+        std::vector<float> measuredOffset;
+        float absMax = 0.0f;
+    };
+
+    MappedWeight& mapped(const std::string& name, const Matrix& w);
+    void programAnalytical(MappedWeight& mw, const std::string& name,
+                           const Matrix& w);
+    void programMeasured(MappedWeight& mw, const std::string& name,
+                         const Matrix& w);
+    std::vector<std::uint8_t> selectSramCells(const Matrix& error,
+                                              const std::string& name,
+                                              std::size_t tile_index);
+
+    NonIdealityConfig config_;
+    std::uint64_t runSeed_;
+    Quantizer activationQuant_;
+    std::optional<crossbar::MeasurementLibrary> library_;
+    SramRemapConfig remap_;
+    std::map<std::string, MappedWeight> weights_;
+    std::map<std::string, std::vector<std::uint8_t>> sramMasks_;
+    Rng conversionRng_; ///< per-conversion ADC noise stream
+    std::size_t tileCount_ = 0;
+};
+
+} // namespace swordfish::core
+
+#endif // SWORDFISH_CORE_VMM_BACKEND_H

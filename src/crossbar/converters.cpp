@@ -1,0 +1,80 @@
+#include "converters.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace swordfish::crossbar {
+
+DacModel::DacModel(const DacConfig& config, std::uint64_t seed,
+                   double line_load_factor, bool ideal)
+    : config_(config), ideal_(ideal)
+{
+    const long codes = 1L << config_.bits;
+    step_ = 2.0f / static_cast<float>(codes - 1); // values span [-1, 1]
+    // The driver sees a load floor even on a lightly-programmed array
+    // (select transistors, line capacitance), so droop never vanishes.
+    droopGain_ = config_.rLoadDroop
+        * (0.3 + 0.7 * std::clamp(line_load_factor, 0.0, 1.0));
+
+    if (!ideal_) {
+        // Static INL profile: smooth low-order bow plus random per-code
+        // deviations, a standard DAC INL shape.
+        Rng rng(hashSeed({seed, 0xdacdacULL}));
+        const double bow = rng.gauss(0.0, config_.inlSigmaLsb);
+        inl_.resize(static_cast<std::size_t>(codes));
+        for (long c = 0; c < codes; ++c) {
+            const double frac = static_cast<double>(c)
+                / static_cast<double>(codes - 1);
+            const double smooth = bow * std::sin(M_PI * frac);
+            const double local = rng.gauss(0.0,
+                                           config_.inlSigmaLsb * 0.35);
+            inl_[static_cast<std::size_t>(c)] =
+                static_cast<float>((smooth + local) * step_);
+        }
+    }
+}
+
+float
+DacModel::convert(float x) const
+{
+    if (ideal_)
+        return x;
+    const float clipped = std::clamp(x, -1.0f, 1.0f);
+    long code = static_cast<long>(std::lround((clipped + 1.0f) / step_));
+    code = std::clamp<long>(code, 0, static_cast<long>(inl_.size()) - 1);
+    float v = -1.0f + static_cast<float>(code) * step_;
+    v += inl_[static_cast<std::size_t>(code)];
+    // R_load droop compresses the delivered voltage toward zero.
+    v *= static_cast<float>(1.0 - droopGain_);
+    return v;
+}
+
+AdcModel::AdcModel(const AdcConfig& config, std::uint64_t seed,
+                   double range, bool ideal)
+    : config_(config), ideal_(ideal), range_(std::max(range, 1e-9))
+{
+    const long codes = 1L << config_.bits;
+    step_ = static_cast<float>(2.0 * range_ / static_cast<double>(codes - 1));
+    Rng rng(hashSeed({seed, 0xadcadcULL}));
+    gain_ = static_cast<float>(1.0 + rng.gauss(0.0, config_.gainSigma));
+    offset_ = static_cast<float>(rng.gauss(0.0, config_.offsetSigmaLsb)
+                                 * step_);
+}
+
+float
+AdcModel::convert(float y, Rng& rng) const
+{
+    if (ideal_)
+        return y;
+    float v = y * gain_ + offset_;
+    v += static_cast<float>(rng.gauss(0.0, config_.noiseSigmaLsb)) * step_;
+    v = std::clamp(v, -static_cast<float>(range_),
+                   static_cast<float>(range_));
+    const long codes = (1L << config_.bits) - 1;
+    long code = static_cast<long>(std::lround(
+        (v + static_cast<float>(range_)) / step_));
+    code = std::clamp<long>(code, 0, codes);
+    return -static_cast<float>(range_) + static_cast<float>(code) * step_;
+}
+
+} // namespace swordfish::crossbar

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * DAC (input driver) and ADC (sense) models — the circuit non-idealities
+ * the paper groups as "DAC+Driver" and "Sense+ADC" (Figs. 8/9).
+ *
+ * Each converter *instance* draws its static error profile (INL curve,
+ * gain, offset) from a seeded RNG at construction, modeling die-to-die
+ * variation; per-conversion noise is drawn at use time.
+ */
+
+#ifndef SWORDFISH_CROSSBAR_CONVERTERS_H
+#define SWORDFISH_CROSSBAR_CONVERTERS_H
+
+#include <vector>
+
+#include "crossbar/device.h"
+#include "util/rng.h"
+
+namespace swordfish::crossbar {
+
+/**
+ * Input DAC with R_load droop and integral nonlinearity.
+ *
+ * Operates on normalized inputs in [-1, 1]; the droop term models the
+ * effective resistive load of the driver: large total line conductance
+ * (many low-resistance cells on the row) pulls the delivered voltage down
+ * (paper Section 2.3 non-ideality 1).
+ */
+class DacModel
+{
+  public:
+    /**
+     * @param config           DAC parameters
+     * @param seed             instance seed (die-to-die variation)
+     * @param line_load_factor total line conductance / (size * gMax),
+     *                         in [0, 1]; scales the droop
+     * @param ideal            when true the DAC is a pure quantizer-free
+     *                         pass-through (used by ideal configurations)
+     */
+    DacModel(const DacConfig& config, std::uint64_t seed,
+             double line_load_factor, bool ideal = false);
+
+    /** Convert one normalized input to the delivered line voltage. */
+    float convert(float x) const;
+
+    /** Convert a whole vector in place. */
+    void
+    convert(std::vector<float>& xs) const
+    {
+        for (float& x : xs)
+            x = convert(x);
+    }
+
+    bool isIdeal() const { return ideal_; }
+
+  private:
+    DacConfig config_;
+    bool ideal_;
+    double droopGain_;       ///< effective droop multiplier
+    std::vector<float> inl_; ///< per-code INL offsets (in value units)
+    float step_;             ///< LSB size in normalized value units
+};
+
+/**
+ * Column ADC with gain error, offset, and thermal noise.
+ *
+ * Operates on normalized accumulated values; `range` sets full scale. Per
+ * conversion it consumes randomness, so conversion takes an Rng.
+ */
+class AdcModel
+{
+  public:
+    /**
+     * @param config ADC parameters
+     * @param seed   instance seed for the static gain/offset profile
+     * @param range  full-scale input magnitude (clipping threshold)
+     * @param ideal  pure pass-through when true
+     */
+    AdcModel(const AdcConfig& config, std::uint64_t seed, double range,
+             bool ideal = false);
+
+    /** Convert one accumulated value (noise drawn from rng). */
+    float convert(float y, Rng& rng) const;
+
+    /** Convert a vector in place. */
+    void
+    convert(std::vector<float>& ys, Rng& rng) const
+    {
+        for (float& y : ys)
+            y = convert(y, rng);
+    }
+
+    bool isIdeal() const { return ideal_; }
+    double range() const { return range_; }
+
+  private:
+    AdcConfig config_;
+    bool ideal_;
+    double range_;
+    float gain_;
+    float offset_;
+    float step_;
+};
+
+} // namespace swordfish::crossbar
+
+#endif // SWORDFISH_CROSSBAR_CONVERTERS_H

@@ -1,0 +1,260 @@
+#include "crossbar.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace swordfish::crossbar {
+
+CrossbarTile::CrossbarTile(const CrossbarConfig& config,
+                           const Matrix& weights, float abs_max,
+                           const NoiseToggles& toggles, std::uint64_t seed)
+    : config_(config), toggles_(toggles), ideal_(weights),
+      absMax_(abs_max > 0.0f ? abs_max : weights.absMax())
+{
+    if (weights.rows() > config.size || weights.cols() > config.size)
+        panic("CrossbarTile: sub-matrix ", weights.rows(), "x",
+              weights.cols(), " exceeds array size ", config.size);
+    if (absMax_ <= 0.0f)
+        absMax_ = 1.0f;
+    buildEffectiveWeights(toggles, seed);
+}
+
+void
+CrossbarTile::buildEffectiveWeights(const NoiseToggles& toggles,
+                                    std::uint64_t seed)
+{
+    const std::size_t out = ideal_.rows();
+    const std::size_t in = ideal_.cols();
+    Rng rng(hashSeed({seed, 0x7135bafULL}));
+
+    // Step 1 (paper Fig. 5 steps 3-4): digital weights -> conductances,
+    // through the (possibly quantized, nonlinear) device state map.
+    DeviceConfig device = config_.device;
+    if (!toggles.conductanceQuant)
+        device.conductanceLevels = 1 << 20; // effectively continuous
+    const ConductanceMapper mapper(device);
+    ConductancePair pair = mapper.map(ideal_, absMax_);
+
+    // Step 2 (Fig. 5 step 5): synaptic (write/process) variation —
+    // lognormal multiplicative conductance error, clamped to the device
+    // range.
+    if (toggles.writeVariation) {
+        const double sigma = effectiveWriteSigma(
+            config_.scheme, config_.writeVariationRate,
+            config_.verifyIterations);
+        // Relative (state-proportional) term plus an absolute error floor
+        // over the conductance span: both are present in characterized
+        // devices, and the absolute term is what corrupts near-gMin
+        // states (i.e., small weights).
+        const double add_sigma = sigma * config_.writeVariationAddFactor
+            * (device.gMax - device.gMin);
+        auto perturb = [&](Matrix& g) {
+            for (float& v : g.raw()) {
+                const double noisy = static_cast<double>(v)
+                    * rng.logNormal(0.0, sigma)
+                    + rng.gauss(0.0, add_sigma);
+                v = static_cast<float>(std::clamp(noisy, device.gMin,
+                                                  device.gMax));
+            }
+        };
+        perturb(pair.gPos);
+        perturb(pair.gNeg);
+    }
+
+    effective_ = Matrix(out, in);
+    for (std::size_t i = 0; i < effective_.size(); ++i)
+        effective_.raw()[i] = pair.scale
+            * (pair.gPos.raw()[i] - pair.gNeg.raw()[i]);
+
+    // Step 3 (Fig. 5 step 7): wire IR-drop — position-dependent
+    // attenuation that grows with line loading and distance from the
+    // driver/sense amp (first-order fast-crossbar model).
+    // Mean conductance loading per line (normalized to [0, 2] for the
+    // differential pair), so attenuation scales linearly with line length
+    // rather than quadratically.
+    std::vector<double> row_load(in, 0.0); // load on each input line
+    std::vector<double> col_load(out, 0.0);// load on each output line
+    for (std::size_t o = 0; o < out; ++o) {
+        for (std::size_t i = 0; i < in; ++i) {
+            const double g_sum = pair.gPos(o, i) + pair.gNeg(o, i);
+            row_load[i] += g_sum / config_.device.gMax
+                / static_cast<double>(out);
+            col_load[o] += g_sum / config_.device.gMax
+                / static_cast<double>(in);
+        }
+    }
+    if (toggles.wireResistance) {
+        const double r_seg = config_.wire.segmentResistanceRatio;
+        for (std::size_t o = 0; o < out; ++o) {
+            for (std::size_t i = 0; i < in; ++i) {
+                const double distance =
+                    static_cast<double>(o + 1) * row_load[i]
+                    + static_cast<double>(in - i) * col_load[o];
+                const double alpha = 1.0 / (1.0 + r_seg * distance);
+                effective_(o, i) *= static_cast<float>(alpha);
+            }
+        }
+    }
+
+    // Sneak-path leakage coefficients, one per output column (weight-space
+    // equivalent current added in vmmFast()).
+    colSneak_.assign(out, 0.0f);
+    if (toggles.sneakPaths) {
+        for (std::size_t o = 0; o < out; ++o)
+            colSneak_[o] = static_cast<float>(
+                config_.wire.sneakCoefficient * col_load[o] * absMax_);
+    }
+
+    // Converter instances (die-to-die static profiles are seeded per tile).
+    double mean_load = 0.0;
+    for (double l : row_load)
+        mean_load += l;
+    mean_load /= static_cast<double>(in) * 2.0; // normalize to [0, 1]
+    dac_.emplace(config_.dac, hashSeed({seed, 1}), mean_load,
+                 !toggles.dacNonideal);
+    const double range = config_.adc.rangeFactor
+        * static_cast<double>(absMax_)
+        * std::sqrt(static_cast<double>(in));
+    adc_.emplace(config_.adc, hashSeed({seed, 2}), range,
+                 !toggles.adcNonideal);
+}
+
+Matrix
+CrossbarTile::vmmFast(const Matrix& x, Rng& rng) const
+{
+    if (x.cols() != ideal_.cols())
+        panic("CrossbarTile::vmmFast: input width ", x.cols(),
+              " != tile fan-in ", ideal_.cols());
+
+    // Dynamic input scaling: the driver normalizes each chunk to [-1, 1]
+    // (dynamic fixed point), converts, then the result is rescaled.
+    float x_scale = x.absMax();
+    if (x_scale <= 0.0f)
+        x_scale = 1.0f;
+
+    Matrix xn = x;
+    const float inv = 1.0f / x_scale;
+    for (float& v : xn.raw())
+        v *= inv;
+    if (!dac_->isIdeal()) {
+        for (float& v : xn.raw())
+            v = dac_->convert(v);
+    }
+
+    Matrix y;
+    gemmBT(xn, effective_, y);
+
+    const bool sneak = !colSneak_.empty()
+        && std::any_of(colSneak_.begin(), colSneak_.end(),
+                       [](float v) { return v != 0.0f; });
+    for (std::size_t t = 0; t < y.rows(); ++t) {
+        float* yrow = y.rowPtr(t);
+        if (sneak) {
+            const float* xrow = xn.rowPtr(t);
+            float mean_abs = 0.0f;
+            for (std::size_t i = 0; i < xn.cols(); ++i)
+                mean_abs += std::fabs(xrow[i]);
+            mean_abs /= static_cast<float>(xn.cols());
+            for (std::size_t o = 0; o < y.cols(); ++o)
+                yrow[o] += colSneak_[o] * mean_abs;
+        }
+        if (!adc_->isIdeal()) {
+            for (std::size_t o = 0; o < y.cols(); ++o)
+                yrow[o] = adc_->convert(yrow[o], rng);
+        }
+    }
+
+    for (float& v : y.raw())
+        v *= x_scale;
+    return y;
+}
+
+std::vector<float>
+CrossbarTile::vmmCircuit(const std::vector<float>& x, Rng& rng) const
+{
+    if (x.size() != ideal_.cols())
+        panic("CrossbarTile::vmmCircuit: input size mismatch");
+
+    float x_scale = 0.0f;
+    for (float v : x)
+        x_scale = std::max(x_scale, std::fabs(v));
+    if (x_scale <= 0.0f)
+        x_scale = 1.0f;
+
+    // Per-cell accumulation, one input line at a time — the "current sum"
+    // view of the same computation vmmFast() does with a GEMM.
+    std::vector<float> voltages(x.size());
+    float mean_abs = 0.0f;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        float v = x[i] / x_scale;
+        if (!dac_->isIdeal())
+            v = dac_->convert(v);
+        voltages[i] = v;
+        mean_abs += std::fabs(v);
+    }
+    mean_abs /= static_cast<float>(x.size());
+
+    std::vector<float> currents(ideal_.rows(), 0.0f);
+    for (std::size_t o = 0; o < ideal_.rows(); ++o) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < ideal_.cols(); ++i)
+            acc += static_cast<double>(voltages[i]) * effective_(o, i);
+        if (!colSneak_.empty())
+            acc += static_cast<double>(colSneak_[o]) * mean_abs;
+        float out = static_cast<float>(acc);
+        if (!adc_->isIdeal())
+            out = adc_->convert(out, rng);
+        currents[o] = out * x_scale;
+    }
+    return currents;
+}
+
+void
+CrossbarTile::applyDrift(double hours, const DriftConfig& drift, Rng& rng)
+{
+    if (hours <= 0.0)
+        return;
+    const double t_before = std::max(agedHours_, 0.0) + drift.t0Hours;
+    agedHours_ += hours;
+    const double t_after = agedHours_ + drift.t0Hours;
+
+    // Incremental power-law decay from t_before to t_after with a
+    // per-cell exponent; the differential pair decays coherently, so the
+    // effective weight scales by the same factor.
+    for (float& w : effective_.raw()) {
+        const double nu = std::max(0.0,
+                                   rng.gauss(drift.nu, drift.nuSigma));
+        const double factor = std::pow(t_after / t_before, -nu);
+        w = static_cast<float>(static_cast<double>(w) * factor);
+    }
+}
+
+void
+CrossbarTile::refresh(std::uint64_t new_seed)
+{
+    agedHours_ = 0.0;
+    buildEffectiveWeights(toggles_, new_seed);
+}
+
+Matrix
+CrossbarTile::cellErrorMagnitude() const
+{
+    Matrix err(ideal_.rows(), ideal_.cols());
+    for (std::size_t i = 0; i < err.size(); ++i)
+        err.raw()[i] = std::fabs(effective_.raw()[i] - ideal_.raw()[i]);
+    return err;
+}
+
+void
+CrossbarTile::remapCellsToSram(const std::vector<std::uint8_t>& mask)
+{
+    if (mask.size() != ideal_.size())
+        panic("CrossbarTile::remapCellsToSram: mask size mismatch");
+    for (std::size_t i = 0; i < mask.size(); ++i)
+        if (mask[i] != 0)
+            effective_.raw()[i] = ideal_.raw()[i];
+}
+
+} // namespace swordfish::crossbar

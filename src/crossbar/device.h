@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Memristor device and crossbar circuit configuration.
+ *
+ * Values mirror the paper's Table 1 characterization: ReRAM HfO2/TiOx 1T1R
+ * cells, HRS/LRS = 1 MOhm / 10 kOhm, 64x64 and 256x256 arrays, 40 mV sense
+ * margin. Non-ideality magnitudes are parameterized here and calibrated (in
+ * core/nonideality.h) so the end-to-end accuracy-loss *shape* matches the
+ * paper's Figs. 7-9.
+ */
+
+#ifndef SWORDFISH_CROSSBAR_DEVICE_H
+#define SWORDFISH_CROSSBAR_DEVICE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace swordfish::crossbar {
+
+/** Programming (write) scheme for memristor cells (paper Section 3.2). */
+enum class WriteScheme
+{
+    PulseSetReset,  ///< one-shot Set/Reset pulses: fast, high variation
+    WriteReadVerify ///< iterative R-V-W loop: slow, low residual variation
+};
+
+/** Human-readable scheme name. */
+inline const char*
+writeSchemeName(WriteScheme scheme)
+{
+    return scheme == WriteScheme::PulseSetReset ? "Set/Reset pulse"
+                                                : "write-read-verify";
+}
+
+/** Static memristor device parameters (Table 1). */
+struct DeviceConfig
+{
+    double gMin = 1e-6;          ///< S; HRS = 1 MOhm
+    double gMax = 1e-4;          ///< S; LRS = 10 kOhm
+    int conductanceLevels = 256; ///< programmable states per device
+    double readVoltage = 0.2;    ///< V applied on a fully-on input line
+    double senseMarginV = 0.04;  ///< SA V_min from Table 1
+
+    /**
+     * Nonlinearity of the digital-state -> conductance map. 0 is linear;
+     * positive values compress high states (n_min/n_max behaviour of the
+     * Table 1 devices).
+     */
+    double stateNonlinearity = 0.5;
+};
+
+/**
+ * Write-variation magnitude for a scheme.
+ *
+ * @param scheme     programming scheme
+ * @param rate       nominal device write-variation rate (e.g. 0.10 = 10%)
+ * @param iterations R-V-W verify iterations (ignored for pulse writes)
+ * @return effective lognormal sigma of the programmed conductance
+ */
+inline double
+effectiveWriteSigma(WriteScheme scheme, double rate, int iterations = 2)
+{
+    if (scheme == WriteScheme::PulseSetReset)
+        return rate;
+    // Each verify iteration roughly halves the residual error.
+    double sigma = rate;
+    for (int i = 0; i < iterations; ++i)
+        sigma *= 0.5;
+    return sigma;
+}
+
+/** Interconnect / parasitic parameters of the array. */
+struct WireConfig
+{
+    /**
+     * Per-segment wire resistance coefficient: IR-drop attenuation for a
+     * cell grows with its (row + column) distance from the driver/sense
+     * amplifier times the mean conductance loading of its lines, so larger
+     * arrays degrade more (paper Fig. 8 vs Fig. 9 observation 5).
+     */
+    double segmentResistanceRatio = 5e-3;
+
+    /** Sneak-path leakage coefficient (fraction of column current). */
+    double sneakCoefficient = 2e-3;
+};
+
+/** DAC / input-driver non-ideality parameters (paper Fig. 4 step 1). */
+struct DacConfig
+{
+    int bits = 5;              ///< input drivers are low-resolution in CIM
+    double rLoadDroop = 0.10;  ///< input droop vs. total line conductance
+    double inlSigmaLsb = 0.45;  ///< integral nonlinearity sigma, in LSB
+};
+
+/** ADC / sense non-ideality parameters (paper Fig. 4 step 3). */
+struct AdcConfig
+{
+    int bits = 7;
+    double gainSigma = 0.02;     ///< per-instance gain error sigma
+    double offsetSigmaLsb = 0.3; ///< per-instance offset sigma, in LSB
+    double noiseSigmaLsb = 0.20; ///< per-conversion thermal noise, in LSB
+
+    /**
+     * Full-scale range as a multiple of absMax(W) * sqrt(fan-in): the
+     * rigid sensing references the paper names in Section 2.3 — values
+     * beyond the range clip.
+     */
+    double rangeFactor = 3.0;
+};
+
+/** Full crossbar configuration: geometry plus all circuit parameters. */
+struct CrossbarConfig
+{
+    std::size_t size = 64; ///< array is size x size (64 or 256 in Table 1)
+    DeviceConfig device;
+    WireConfig wire;
+    DacConfig dac;
+    AdcConfig adc;
+    WriteScheme scheme = WriteScheme::PulseSetReset;
+    int verifyIterations = 2;
+    double writeVariationRate = 0.10; ///< nominal device variation rate
+
+    /**
+     * Absolute component of programming error, as a fraction of the full
+     * conductance span per unit variation rate. Real devices show an
+     * error floor independent of the target state, which is what makes
+     * small weights (conductances near gMin) fragile.
+     */
+    double writeVariationAddFactor = 0.55;
+
+    std::string
+    describe() const
+    {
+        return std::to_string(size) + "x" + std::to_string(size) + " ("
+            + writeSchemeName(scheme) + ")";
+    }
+};
+
+} // namespace swordfish::crossbar
+
+#endif // SWORDFISH_CROSSBAR_DEVICE_H

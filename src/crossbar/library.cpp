@@ -1,0 +1,69 @@
+#include "library.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace swordfish::crossbar {
+
+MeasurementLibrary::MeasurementLibrary(std::size_t array_size,
+                                       const LibraryStats& stats,
+                                       std::size_t instances,
+                                       std::uint64_t seed)
+    : arraySize_(array_size), stats_(stats), instances_(instances),
+      seed_(seed)
+{
+    if (instances_ == 0)
+        fatal("MeasurementLibrary: need at least one instance");
+}
+
+TileProfile
+MeasurementLibrary::profile(std::size_t id, std::size_t rows,
+                            std::size_t cols) const
+{
+    if (rows > arraySize_ || cols > arraySize_)
+        panic("MeasurementLibrary::profile: tile exceeds array size");
+    if (id >= instances_)
+        panic("MeasurementLibrary::profile: instance ", id,
+              " out of range");
+
+    Rng rng(hashSeed({seed_, arraySize_, id}));
+
+    // Array-size scaling: larger arrays accumulate more line noise, which
+    // the characterization captures directly (paper observation 5).
+    const double size_factor = std::pow(
+        static_cast<double>(arraySize_) / 64.0, 0.15);
+
+    TileProfile p;
+    p.cellError = Matrix(rows, cols);
+    p.cellAddError = Matrix(rows, cols);
+    for (std::size_t i = 0; i < p.cellError.size(); ++i) {
+        float& e = p.cellError.raw()[i];
+        float& a = p.cellAddError.raw()[i];
+        if (rng.bernoulli(stats_.stuckProb)) {
+            // Stuck device: either dead (stuck near HRS) or shorted high.
+            e = rng.bernoulli(0.5) ? 0.0f : 1.8f;
+            a = 0.0f;
+            continue;
+        }
+        double mult = rng.logNormal(0.0, stats_.cellSigma * size_factor);
+        if (rng.bernoulli(stats_.cellTailProb))
+            mult *= std::exp(rng.gauss(0.0, stats_.cellSigma
+                                       * stats_.cellTailScale));
+        e = static_cast<float>(mult);
+        a = static_cast<float>(rng.gauss(0.0, stats_.cellAddSigma
+                                         * size_factor));
+    }
+
+    p.columnGain.resize(rows);
+    p.columnOffset.resize(rows);
+    for (std::size_t o = 0; o < rows; ++o) {
+        p.columnGain[o] = static_cast<float>(
+            1.0 + rng.gauss(0.0, stats_.columnGainSigma * size_factor));
+        p.columnOffset[o] = static_cast<float>(
+            rng.gauss(0.0, stats_.columnOffsetSigma * size_factor));
+    }
+    return p;
+}
+
+} // namespace swordfish::crossbar

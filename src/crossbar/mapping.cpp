@@ -1,0 +1,84 @@
+#include "mapping.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace swordfish::crossbar {
+
+namespace {
+
+/** Normalized nonlinear state map f: [0,1] -> [0,1]. */
+double
+stateMap(double s, double nl)
+{
+    if (nl <= 1e-9)
+        return s;
+    return std::expm1(nl * s) / std::expm1(nl);
+}
+
+/** Inverse of stateMap. */
+double
+stateMapInverse(double f, double nl)
+{
+    if (nl <= 1e-9)
+        return f;
+    return std::log1p(f * std::expm1(nl)) / nl;
+}
+
+} // namespace
+
+double
+ConductanceMapper::quantizeConductance(double g) const
+{
+    const double g_min = device_.gMin;
+    const double g_max = device_.gMax;
+    const double span = g_max - g_min;
+    const double frac = std::clamp((g - g_min) / span, 0.0, 1.0);
+
+    // Snap the *state* (not the conductance) to one of L levels; the
+    // nonlinear map then spaces representable conductances unevenly.
+    const double state = stateMapInverse(frac, device_.stateNonlinearity);
+    const int levels = std::max(2, device_.conductanceLevels);
+    const double snapped = std::round(state
+        * static_cast<double>(levels - 1))
+        / static_cast<double>(levels - 1);
+    return g_min + span * stateMap(snapped, device_.stateNonlinearity);
+}
+
+ConductancePair
+ConductanceMapper::map(const Matrix& weights, float abs_max) const
+{
+    if (abs_max <= 0.0f)
+        abs_max = weights.absMax();
+    if (abs_max <= 0.0f)
+        abs_max = 1.0f; // all-zero matrix: any scale works
+
+    const double g_min = device_.gMin;
+    const double span = device_.gMax - g_min;
+
+    ConductancePair pair;
+    pair.gPos = Matrix(weights.rows(), weights.cols());
+    pair.gNeg = Matrix(weights.rows(), weights.cols());
+    pair.scale = static_cast<float>(static_cast<double>(abs_max) / span);
+
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        const double w = weights.raw()[i];
+        const double mag = std::min(1.0, std::fabs(w)
+            / static_cast<double>(abs_max));
+        const double g_target = g_min + mag * span;
+        if (w >= 0.0) {
+            pair.gPos.raw()[i] = static_cast<float>(
+                quantizeConductance(g_target));
+            pair.gNeg.raw()[i] = static_cast<float>(g_min);
+        } else {
+            pair.gPos.raw()[i] = static_cast<float>(g_min);
+            pair.gNeg.raw()[i] = static_cast<float>(
+                quantizeConductance(g_target));
+        }
+    }
+    return pair;
+}
+
+} // namespace swordfish::crossbar

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Digital-weight -> conductance mapping (paper Fig. 5 steps 2-4).
+ *
+ * Signed weights use the standard differential-pair encoding: every weight
+ * occupies two devices, G+ carrying the positive part and G- the negative
+ * part; the column pair is sensed differentially so the tile computes
+ * I = V * (G+ - G-). The state map supports limited conductance levels and
+ * a nonlinear level spacing, both of which quantize the representable
+ * weights (one of the two accuracy-loss sources the paper names in the
+ * introduction).
+ */
+
+#ifndef SWORDFISH_CROSSBAR_MAPPING_H
+#define SWORDFISH_CROSSBAR_MAPPING_H
+
+#include "crossbar/device.h"
+#include "tensor/matrix.h"
+
+namespace swordfish::crossbar {
+
+using swordfish::Matrix;
+
+/** A pair of programmed conductance matrices plus the recovery scale. */
+struct ConductancePair
+{
+    Matrix gPos;  ///< positive-part conductances (S)
+    Matrix gNeg;  ///< negative-part conductances (S)
+    float scale;  ///< weight = scale * (gPos - gNeg - baseline)
+
+    /** Recover the effective digital weight matrix this pair represents. */
+    Matrix
+    effectiveWeights() const
+    {
+        Matrix w(gPos.rows(), gPos.cols());
+        for (std::size_t i = 0; i < w.size(); ++i)
+            w.raw()[i] = scale
+                * (gPos.raw()[i] - gNeg.raw()[i]);
+        return w;
+    }
+};
+
+/** Maps weights to (quantized, possibly nonlinear) conductance states. */
+class ConductanceMapper
+{
+  public:
+    explicit ConductanceMapper(const DeviceConfig& device)
+        : device_(device)
+    {}
+
+    /**
+     * Map a weight matrix to an ideal differential conductance pair
+     * (before any variation is applied).
+     *
+     * @param weights  digital weight matrix
+     * @param abs_max  scaling absmax; <= 0 uses the matrix's own absmax
+     */
+    ConductancePair map(const Matrix& weights, float abs_max = 0.0f) const;
+
+    /**
+     * Quantize a target conductance to the nearest representable device
+     * state, applying the nonlinear state map.
+     */
+    double quantizeConductance(double g) const;
+
+    const DeviceConfig& device() const { return device_; }
+
+  private:
+    DeviceConfig device_;
+};
+
+} // namespace swordfish::crossbar
+
+#endif // SWORDFISH_CROSSBAR_MAPPING_H

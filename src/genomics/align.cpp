@@ -1,0 +1,241 @@
+#include "align.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace swordfish::genomics {
+
+namespace {
+
+constexpr long kMinScore = std::numeric_limits<long>::min() / 4;
+
+/** Traceback directions. */
+enum Dir : std::uint8_t { DirNone = 0, DirDiag = 1, DirUp = 2, DirLeft = 3 };
+
+/**
+ * Banded Needleman-Wunsch core shared by the global and glocal modes.
+ * In glocal mode, gaps of `b` before the first and after the last aligned
+ * `a` character are free (fit alignment of a read inside a reference
+ * window); they are still reported in the deletion/length counts, plus
+ * separately as leading/trailingDeletions.
+ */
+AlignmentResult
+alignImpl(const Sequence& a, const Sequence& b, std::size_t band,
+          const AlignScores& scores, bool free_b_ends)
+{
+    const std::size_t n = a.size();
+    const std::size_t m = b.size();
+    AlignmentResult res;
+    if (n == 0 || m == 0) {
+        res.insertions = n;
+        res.deletions = m;
+        res.alignmentLength = n + m;
+        res.leadingDeletions = m;
+        res.score = free_b_ends
+            ? static_cast<long>(n) * scores.gapPenalty
+            : static_cast<long>(n + m) * scores.gapPenalty;
+        if (m > 0)
+            res.cigar = std::to_string(m) + "D";
+        if (n > 0)
+            res.cigar += std::to_string(n) + "I";
+        return res;
+    }
+
+    const std::size_t len_diff = n > m ? n - m : m - n;
+    if (band == 0)
+        band = std::max<std::size_t>(32, std::max(n, m) / 20);
+    band += len_diff;
+
+    // Row i spans columns [lo(i), hi(i)] of the DP matrix; the band is
+    // centred on the main (resampled) diagonal j ~ i * m / n.
+    auto lo_of = [&](std::size_t i) -> std::size_t {
+        const std::size_t center = i * m / n;
+        return center > band ? center - band : 0;
+    };
+    auto hi_of = [&](std::size_t i) -> std::size_t {
+        const std::size_t center = i * m / n;
+        return std::min(m, center + band);
+    };
+
+    const std::size_t width = 2 * band + 2;
+    std::vector<long> prev(width, kMinScore), cur(width, kMinScore);
+    std::vector<std::uint8_t> trace((n + 1) * width, DirNone);
+
+    // Row 0: leading gaps in b — free in glocal mode.
+    const std::size_t lo0 = lo_of(0), hi0 = hi_of(0);
+    for (std::size_t j = lo0; j <= hi0; ++j) {
+        prev[j - lo0] = free_b_ends
+            ? 0 : static_cast<long>(j) * scores.gapPenalty;
+        trace[j - lo0] = (j == 0 || free_b_ends) ? DirNone : DirLeft;
+    }
+
+    for (std::size_t i = 1; i <= n; ++i) {
+        const std::size_t lo = lo_of(i), hi = hi_of(i);
+        const std::size_t plo = lo_of(i - 1), phi = hi_of(i - 1);
+        std::fill(cur.begin(), cur.end(), kMinScore);
+        std::uint8_t* trow = trace.data() + i * width;
+
+        for (std::size_t j = lo; j <= hi; ++j) {
+            long best = kMinScore;
+            std::uint8_t dir = DirNone;
+
+            if (j >= 1 && j - 1 >= plo && j - 1 <= phi
+                && prev[j - 1 - plo] > kMinScore) {
+                const bool is_match = a[i - 1] == b[j - 1];
+                const long s = prev[j - 1 - plo]
+                    + (is_match ? scores.match : scores.mismatch);
+                if (s > best) {
+                    best = s;
+                    dir = DirDiag;
+                }
+            }
+            if (j >= plo && j <= phi && prev[j - plo] > kMinScore) {
+                const long s = prev[j - plo] + scores.gapPenalty;
+                if (s > best) {
+                    best = s;
+                    dir = DirUp;
+                }
+            }
+            if (j >= 1 && j - 1 >= lo && cur[j - 1 - lo] > kMinScore) {
+                const long s = cur[j - 1 - lo] + scores.gapPenalty;
+                if (s > best) {
+                    best = s;
+                    dir = DirLeft;
+                }
+            }
+            if (j == 0) {
+                // First column: leading gaps in a.
+                const long s = static_cast<long>(i) * scores.gapPenalty;
+                if (s > best) {
+                    best = s;
+                    dir = DirUp;
+                }
+            }
+            cur[j - lo] = best;
+            trow[j - lo] = dir;
+        }
+        std::swap(prev, cur);
+    }
+
+    // Select the traceback start: (n, m) for global, the best last-row
+    // cell for glocal (trailing b-gaps free).
+    const std::size_t lo_n = lo_of(n), hi_n = hi_of(n);
+    std::size_t j_start = m;
+    if (free_b_ends) {
+        long best = kMinScore;
+        for (std::size_t j = lo_n; j <= hi_n; ++j) {
+            if (prev[j - lo_n] > best) {
+                best = prev[j - lo_n];
+                j_start = j;
+            }
+        }
+        if (best <= kMinScore)
+            panic("alignGlocal: band too narrow for inputs (", n, ", ", m,
+                  ")");
+        res.score = best;
+        res.trailingDeletions = m - j_start;
+        res.deletions += m - j_start;
+    } else {
+        if (m < lo_n || m > hi_n || prev[m - lo_n] <= kMinScore)
+            panic("alignGlobal: band too narrow for inputs (", n, ", ", m,
+                  ")");
+        res.score = prev[m - lo_n];
+    }
+
+    // Traceback; ops are collected back-to-front for the CIGAR.
+    std::string ops;
+    ops.reserve(n + m);
+    for (std::size_t k = 0; k < res.trailingDeletions; ++k)
+        ops.push_back('D');
+    std::size_t i = n, j = j_start;
+    while (i > 0 || j > 0) {
+        const std::size_t lo = lo_of(i);
+        const std::uint8_t dir = trace[i * width + (j - lo)];
+        if (dir == DirDiag) {
+            if (a[i - 1] == b[j - 1])
+                ++res.matches;
+            else
+                ++res.mismatches;
+            ops.push_back('M');
+            --i;
+            --j;
+        } else if (dir == DirUp) {
+            ++res.insertions;
+            ops.push_back('I');
+            --i;
+        } else if (dir == DirLeft) {
+            ++res.deletions;
+            ops.push_back('D');
+            --j;
+        } else {
+            // Origin (global) or a free leading-gap cell on row 0
+            // (glocal): everything left in `b` is a leading deletion.
+            if (i > 0) {
+                res.insertions += i;
+                ops.append(i, 'I');
+                i = 0;
+            }
+            if (j > 0) {
+                res.leadingDeletions += j;
+                res.deletions += j;
+                ops.append(j, 'D');
+                j = 0;
+            }
+        }
+    }
+    res.alignmentLength = res.matches + res.mismatches + res.insertions
+        + res.deletions;
+
+    // Run-length encode the reversed op string into a CIGAR.
+    std::reverse(ops.begin(), ops.end());
+    for (std::size_t k = 0; k < ops.size();) {
+        std::size_t run = 1;
+        while (k + run < ops.size() && ops[k + run] == ops[k])
+            ++run;
+        res.cigar += std::to_string(run);
+        res.cigar.push_back(ops[k]);
+        k += run;
+    }
+    return res;
+}
+
+} // namespace
+
+AlignmentResult
+alignGlobal(const Sequence& a, const Sequence& b, std::size_t band,
+            const AlignScores& scores)
+{
+    return alignImpl(a, b, band, scores, /*free_b_ends=*/false);
+}
+
+AlignmentResult
+alignGlocal(const Sequence& a, const Sequence& b, std::size_t band,
+            const AlignScores& scores)
+{
+    return alignImpl(a, b, band, scores, /*free_b_ends=*/true);
+}
+
+std::size_t
+editDistance(const Sequence& a, const Sequence& b)
+{
+    const std::size_t n = a.size(), m = b.size();
+    std::vector<std::size_t> prev(m + 1), cur(m + 1);
+    for (std::size_t j = 0; j <= m; ++j)
+        prev[j] = j;
+    for (std::size_t i = 1; i <= n; ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= m; ++j) {
+            const std::size_t sub = prev[j - 1]
+                + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({sub, prev[j] + 1, cur[j - 1] + 1});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[m];
+}
+
+} // namespace swordfish::genomics

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Pairwise sequence alignment for basecalling accuracy measurement.
+ *
+ * The paper's accuracy metric ("read accuracy") is the fraction of exactly
+ * matching bases over the alignment length, including insertions and
+ * deletions — i.e., BLAST-style identity of a global alignment between the
+ * basecalled read and the ground truth. We implement banded
+ * Needleman-Wunsch with traceback to compute it exactly.
+ */
+
+#ifndef SWORDFISH_GENOMICS_ALIGN_H
+#define SWORDFISH_GENOMICS_ALIGN_H
+
+#include <cstddef>
+
+#include "genomics/sequence.h"
+
+namespace swordfish::genomics {
+
+/** Scoring scheme for alignment (linear gap penalty). */
+struct AlignScores
+{
+    int match = 2;
+    int mismatch = -3;
+    int gapPenalty = -4; ///< applied per gap column (negative)
+};
+
+/** Result of a pairwise alignment. */
+struct AlignmentResult
+{
+    long score = 0;
+    std::size_t matches = 0;      ///< exactly matching columns
+    std::size_t mismatches = 0;   ///< substitution columns
+    std::size_t insertions = 0;   ///< columns consuming only `a`
+    std::size_t deletions = 0;    ///< columns consuming only `b`
+    std::size_t alignmentLength = 0;
+    std::size_t leadingDeletions = 0;  ///< deletion run at alignment start
+    std::size_t trailingDeletions = 0; ///< deletion run at alignment end
+
+    /**
+     * SAM-style CIGAR of the alignment (M/I/D operations; matches and
+     * mismatches both count as M, as in classic CIGAR).
+     */
+    std::string cigar;
+
+    /** Read accuracy: matches / alignment length (paper Section 3.5). */
+    double
+    identity() const
+    {
+        return alignmentLength == 0 ? 0.0
+            : static_cast<double>(matches)
+                / static_cast<double>(alignmentLength);
+    }
+
+    /**
+     * Glocal identity: end-gaps of `b` excluded — the right metric when
+     * `b` is a padded reference window around a mapped read.
+     */
+    double
+    glocalIdentity() const
+    {
+        const std::size_t span = alignmentLength - leadingDeletions
+            - trailingDeletions;
+        return span == 0 ? 0.0
+            : static_cast<double>(matches) / static_cast<double>(span);
+    }
+};
+
+/**
+ * Banded global (Needleman-Wunsch) alignment of a against b.
+ *
+ * @param band half-width of the diagonal band; automatically widened to
+ *             cover the length difference. 0 selects a default of
+ *             max(32, 5% of the longer sequence).
+ */
+AlignmentResult alignGlobal(const Sequence& a, const Sequence& b,
+                            std::size_t band = 0,
+                            const AlignScores& scores = {});
+
+/**
+ * Glocal (fit) alignment: like alignGlobal, but gaps of `b` before/after
+ * the aligned span of `a` are score-free — the right mode for aligning a
+ * read inside a padded reference window. End gaps are still reported in
+ * deletions / leadingDeletions / trailingDeletions.
+ */
+AlignmentResult alignGlocal(const Sequence& a, const Sequence& b,
+                            std::size_t band = 0,
+                            const AlignScores& scores = {});
+
+/** Plain Levenshtein distance (for tests and quick checks). */
+std::size_t editDistance(const Sequence& a, const Sequence& b);
+
+} // namespace swordfish::genomics
+
+#endif // SWORDFISH_GENOMICS_ALIGN_H

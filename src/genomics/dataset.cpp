@@ -1,0 +1,116 @@
+#include "dataset.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace swordfish::genomics {
+
+std::vector<DatasetSpec>
+table2Specs()
+{
+    // Paper Table 2, genome sizes and read counts scaled by ~1/100.
+    // Per-dataset GC bias and signal statistics give each dataset its own
+    // difficulty, reproducing the paper's workload-dependent accuracy.
+    std::vector<DatasetSpec> specs(4);
+
+    specs[0] = {"D1", "Acinetobacter pittii 16-377-0801",
+                0xd1aa01ULL, 38147, 45, 420, 0.39,
+                {0.040, 0.005, 6.0, 0.5, 5, 7}};
+    specs[1] = {"D2", "Haemophilus haemolyticus M1C132_1",
+                0xd2bb02ULL, 20426, 87, 380, 0.38,
+                {0.044, 0.005, 6.0, 0.5, 5, 7}};
+    specs[2] = {"D3", "Klebsiella pneumoniae NUH29",
+                0xd3cc03ULL, 51343, 110, 450, 0.57,
+                {0.052, 0.006, 6.0, 0.55, 5, 7}};
+    specs[3] = {"D4", "Klebsiella pneumoniae INF042",
+                0xd4dd04ULL, 53375, 113, 440, 0.57,
+                {0.048, 0.005, 6.0, 0.5, 5, 7}};
+    return specs;
+}
+
+DatasetSpec
+specById(const std::string& id)
+{
+    for (const DatasetSpec& spec : table2Specs())
+        if (spec.id == id)
+            return spec;
+    fatal("specById: unknown dataset ", id);
+}
+
+Sequence
+generateGenome(std::size_t length, double gc_bias, Rng& rng)
+{
+    Sequence genome;
+    genome.reserve(length);
+    for (std::size_t i = 0; i < length; ++i) {
+        const bool gc = rng.bernoulli(gc_bias);
+        const bool second = rng.bernoulli(0.5);
+        // gc ? {C=1, G=2} : {A=0, T=3}
+        genome.push_back(gc ? (second ? 2 : 1) : (second ? 3 : 0));
+    }
+    return genome;
+}
+
+namespace {
+
+/** Simulate one read starting at a random genome position. */
+Read
+simulateRead(std::size_t id, const Sequence& genome,
+             const DatasetSpec& spec, const PoreModel& pore, Rng& rng)
+{
+    // Read length: lognormal-ish around the mean, clamped to the genome.
+    const double len_factor = std::exp(rng.gauss(0.0, 0.25));
+    std::size_t len = static_cast<std::size_t>(
+        static_cast<double>(spec.readLenMean) * len_factor);
+    len = std::clamp<std::size_t>(len, 64, genome.size() / 2);
+
+    Read read;
+    read.id = id;
+    read.refStart = rng.next(genome.size() - len);
+    read.bases.assign(genome.begin() + static_cast<std::ptrdiff_t>(
+                          read.refStart),
+                      genome.begin() + static_cast<std::ptrdiff_t>(
+                          read.refStart + len));
+    read.signal = pore.simulate(read.bases, spec.signal, rng,
+                                &read.sampleToBase);
+    return read;
+}
+
+} // namespace
+
+Dataset
+makeDataset(const DatasetSpec& spec, const PoreModel& pore,
+            std::size_t max_reads)
+{
+    Dataset ds;
+    ds.spec = spec;
+    Rng rng(spec.seed);
+    ds.reference = generateGenome(spec.genomeLength, spec.gcBias, rng);
+
+    const std::size_t n = max_reads == 0
+        ? spec.numReads : std::min(spec.numReads, max_reads);
+    ds.reads.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        ds.reads.push_back(simulateRead(i, ds.reference, spec, pore, rng));
+    return ds;
+}
+
+Dataset
+makeTrainingDataset(std::size_t num_reads, std::size_t read_len,
+                    const PoreModel& pore, std::uint64_t seed)
+{
+    DatasetSpec spec;
+    spec.id = "TRAIN";
+    spec.organism = "synthetic training corpus";
+    spec.seed = seed;
+    spec.genomeLength = 60000;
+    spec.numReads = num_reads;
+    spec.readLenMean = read_len;
+    spec.gcBias = 0.48;
+    spec.signal = SignalParams{}; // mid-range defaults
+
+    return makeDataset(spec, pore, num_reads);
+}
+
+} // namespace swordfish::genomics

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Synthetic counterparts of the paper's evaluation datasets (Table 2):
+ * four organisms sequenced on a MinION R9.4.1 flowcell. Each dataset here
+ * is a seeded synthetic genome with its own GC bias and signal statistics,
+ * scaled ~100x down from the paper's sizes so experiments run on a laptop
+ * while preserving per-dataset variability.
+ */
+
+#ifndef SWORDFISH_GENOMICS_DATASET_H
+#define SWORDFISH_GENOMICS_DATASET_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "genomics/pore_model.h"
+#include "genomics/sequence.h"
+
+namespace swordfish::genomics {
+
+/** A single simulated nanopore read. */
+struct Read
+{
+    std::size_t id = 0;
+    std::size_t refStart = 0;             ///< origin position on the genome
+    Sequence bases;                       ///< ground-truth base string
+    std::vector<float> signal;            ///< raw squiggle samples
+    std::vector<std::int32_t> sampleToBase; ///< per-sample source base index
+};
+
+/** Static description of a dataset (the Table 2 row, scaled). */
+struct DatasetSpec
+{
+    std::string id;          ///< "D1".."D4"
+    std::string organism;    ///< organism label from Table 2
+    std::uint64_t seed;      ///< genome + reads seed
+    std::size_t genomeLength;///< reference length (paper value / 100)
+    std::size_t numReads;    ///< reads to simulate (paper value / 100)
+    std::size_t readLenMean; ///< mean read length in bases
+    double gcBias;           ///< P(G or C) per generated base
+    SignalParams signal;     ///< dataset-specific signal statistics
+};
+
+/** A fully materialized dataset: reference genome plus simulated reads. */
+struct Dataset
+{
+    DatasetSpec spec;
+    Sequence reference;
+    std::vector<Read> reads;
+
+    /** Total bases across all reads. */
+    std::size_t
+    totalBases() const
+    {
+        std::size_t n = 0;
+        for (const Read& r : reads)
+            n += r.bases.size();
+        return n;
+    }
+
+    /** Total raw signal samples across all reads. */
+    std::size_t
+    totalSamples() const
+    {
+        std::size_t n = 0;
+        for (const Read& r : reads)
+            n += r.signal.size();
+        return n;
+    }
+};
+
+/** The four Table 2 dataset specs (D1..D4), paper order. */
+std::vector<DatasetSpec> table2Specs();
+
+/** Spec lookup by id ("D1".."D4"); fatal on unknown id. */
+DatasetSpec specById(const std::string& id);
+
+/** Generate a random reference genome with the given GC bias. */
+Sequence generateGenome(std::size_t length, double gc_bias, Rng& rng);
+
+/**
+ * Materialize a dataset: generate its genome and simulate its reads with
+ * the shared pore model.
+ *
+ * @param spec       dataset description
+ * @param pore       pore model shared by all datasets (same flowcell)
+ * @param max_reads  optional cap on the number of reads (0 = all)
+ */
+Dataset makeDataset(const DatasetSpec& spec, const PoreModel& pore,
+                    std::size_t max_reads = 0);
+
+/**
+ * Generate a standalone training set of reads from an independent genome
+ * (separate seed from every evaluation dataset, as a real training corpus
+ * would be).
+ */
+Dataset makeTrainingDataset(std::size_t num_reads, std::size_t read_len,
+                            const PoreModel& pore,
+                            std::uint64_t seed = 0x7261696eULL);
+
+} // namespace swordfish::genomics
+
+#endif // SWORDFISH_GENOMICS_DATASET_H

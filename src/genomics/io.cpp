@@ -1,0 +1,111 @@
+#include "io.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace swordfish::genomics {
+
+namespace {
+
+constexpr std::size_t kFastaWrap = 70;
+
+} // namespace
+
+void
+writeFasta(std::ostream& os, const std::vector<SeqRecord>& records)
+{
+    for (const SeqRecord& rec : records) {
+        os << '>' << rec.name << '\n';
+        const std::string s = toString(rec.seq);
+        for (std::size_t pos = 0; pos < s.size(); pos += kFastaWrap)
+            os << s.substr(pos, kFastaWrap) << '\n';
+    }
+}
+
+void
+writeFastaFile(const std::string& path,
+               const std::vector<SeqRecord>& records)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("writeFastaFile: cannot open ", path);
+    writeFasta(out, records);
+    if (!out)
+        fatal("writeFastaFile: write failed for ", path);
+}
+
+std::vector<SeqRecord>
+readFasta(std::istream& is)
+{
+    std::vector<SeqRecord> records;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        if (line[0] == '>') {
+            SeqRecord rec;
+            rec.name = line.substr(1);
+            records.push_back(std::move(rec));
+        } else {
+            if (records.empty())
+                fatal("readFasta: sequence data before any header");
+            for (char c : line)
+                records.back().seq.push_back(charToBase(c));
+        }
+    }
+    return records;
+}
+
+std::vector<SeqRecord>
+readFastaFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("readFastaFile: cannot open ", path);
+    return readFasta(in);
+}
+
+void
+writeFastq(std::ostream& os, const std::vector<SeqRecord>& records)
+{
+    for (const SeqRecord& rec : records) {
+        os << '@' << rec.name << '\n' << toString(rec.seq) << '\n'
+           << "+\n";
+        if (rec.qualities.empty())
+            os << std::string(rec.seq.size(), 'I') << '\n';
+        else
+            os << rec.qualities << '\n';
+    }
+}
+
+std::vector<SeqRecord>
+readFastq(std::istream& is)
+{
+    std::vector<SeqRecord> records;
+    std::string header, bases, plus, quals;
+    while (std::getline(is, header)) {
+        if (header.empty())
+            continue;
+        if (header[0] != '@')
+            fatal("readFastq: expected '@' header, got: ", header);
+        if (!std::getline(is, bases) || !std::getline(is, plus)
+            || !std::getline(is, quals)) {
+            fatal("readFastq: truncated record for ", header);
+        }
+        if (plus.empty() || plus[0] != '+')
+            fatal("readFastq: expected '+' separator for ", header);
+        if (bases.size() != quals.size())
+            fatal("readFastq: quality length mismatch for ", header);
+        SeqRecord rec;
+        rec.name = header.substr(1);
+        rec.seq = fromString(bases);
+        rec.qualities = quals;
+        records.push_back(std::move(rec));
+    }
+    return records;
+}
+
+} // namespace swordfish::genomics

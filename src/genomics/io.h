@@ -1,0 +1,54 @@
+/**
+ * @file
+ * FASTA / FASTQ interchange so basecalled reads and synthetic references
+ * can round-trip with standard genomics tooling (the format every
+ * downstream pipeline step in the paper's Fig. 1 consumes).
+ */
+
+#ifndef SWORDFISH_GENOMICS_IO_H
+#define SWORDFISH_GENOMICS_IO_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "genomics/sequence.h"
+
+namespace swordfish::genomics {
+
+/** One named sequence record (FASTA), optionally with qualities (FASTQ). */
+struct SeqRecord
+{
+    std::string name;
+    Sequence seq;
+    std::string qualities; ///< phred+33; empty for FASTA records
+};
+
+/** Write records as FASTA (wrapped at 70 columns). */
+void writeFasta(std::ostream& os, const std::vector<SeqRecord>& records);
+
+/** Write records as FASTA to a file; fatal() on I/O failure. */
+void writeFastaFile(const std::string& path,
+                    const std::vector<SeqRecord>& records);
+
+/**
+ * Parse FASTA. Accepts multi-line sequences; fatal() on malformed input
+ * or non-ACGT characters.
+ */
+std::vector<SeqRecord> readFasta(std::istream& is);
+
+/** Parse a FASTA file; fatal() when the file cannot be opened. */
+std::vector<SeqRecord> readFastaFile(const std::string& path);
+
+/**
+ * Write records as FASTQ. Records without qualities get a constant
+ * placeholder quality ('I' = Q40).
+ */
+void writeFastq(std::ostream& os, const std::vector<SeqRecord>& records);
+
+/** Parse FASTQ (four-line records); fatal() on malformed input. */
+std::vector<SeqRecord> readFastq(std::istream& is);
+
+} // namespace swordfish::genomics
+
+#endif // SWORDFISH_GENOMICS_IO_H

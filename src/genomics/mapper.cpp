@@ -1,0 +1,91 @@
+#include "mapper.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace swordfish::genomics {
+
+ReadMapper::ReadMapper(const Sequence& reference, std::size_t k,
+                       std::size_t max_occurrence)
+    : reference_(reference), k_(k)
+{
+    if (k == 0 || k > 31)
+        fatal("ReadMapper: k must be in [1, 31]");
+    if (reference.size() < k)
+        fatal("ReadMapper: reference shorter than k");
+
+    for (std::size_t pos = 0; pos + k_ <= reference_.size(); ++pos)
+        index_[kmerAt(reference_, pos)].push_back(
+            static_cast<std::uint32_t>(pos));
+
+    // Mask repetitive k-mers: they only add noise to diagonal voting.
+    for (auto it = index_.begin(); it != index_.end();) {
+        if (it->second.size() > max_occurrence)
+            it = index_.erase(it);
+        else
+            ++it;
+    }
+}
+
+MappingResult
+ReadMapper::map(const Sequence& read) const
+{
+    MappingResult res;
+    if (read.size() < k_)
+        return res;
+
+    // Diagonal voting with bucketed diagonals (bucket width 16) to absorb
+    // indels from basecalling errors.
+    constexpr std::size_t kBucket = 16;
+    std::map<long, std::size_t> diag_votes;
+    const std::size_t stride = std::max<std::size_t>(1, k_ / 2);
+    for (std::size_t qpos = 0; qpos + k_ <= read.size(); qpos += stride) {
+        const auto it = index_.find(kmerAt(read, qpos));
+        if (it == index_.end())
+            continue;
+        for (std::uint32_t rpos : it->second) {
+            const long diag = static_cast<long>(rpos)
+                - static_cast<long>(qpos);
+            diag_votes[diag / static_cast<long>(kBucket)] += 1;
+        }
+    }
+    if (diag_votes.empty())
+        return res;
+
+    long best_bucket = 0;
+    std::size_t best_votes = 0;
+    for (const auto& [bucket, votes] : diag_votes) {
+        if (votes > best_votes) {
+            best_votes = votes;
+            best_bucket = bucket;
+        }
+    }
+    if (best_votes < 3)
+        return res;
+
+    const long diag = best_bucket * static_cast<long>(kBucket);
+    const long start = std::max<long>(0, diag - 32);
+    const std::size_t pad = 64;
+    const std::size_t end = std::min(reference_.size(),
+        static_cast<std::size_t>(start) + read.size() + pad);
+    if (static_cast<std::size_t>(start) >= end)
+        return res;
+
+    const Sequence window(reference_.begin() + start,
+                          reference_.begin()
+                              + static_cast<std::ptrdiff_t>(end));
+    // Glocal (fit) alignment: the window is deliberately padded beyond
+    // the read, so its end-gaps are not basecalling errors.
+    const AlignmentResult aln = alignGlocal(read, window, 96);
+
+    res.mapped = true;
+    res.refStart = static_cast<std::size_t>(start)
+        + aln.leadingDeletions;
+    res.identity = aln.glocalIdentity();
+    res.seedCount = best_votes;
+    return res;
+}
+
+} // namespace swordfish::genomics

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal seed-and-extend read mapper (minimap-style) used by the genome
+ * analysis pipeline experiment (Fig. 1): index reference k-mers, vote on
+ * the best diagonal, then verify with a banded alignment.
+ */
+
+#ifndef SWORDFISH_GENOMICS_MAPPER_H
+#define SWORDFISH_GENOMICS_MAPPER_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "genomics/align.h"
+#include "genomics/sequence.h"
+
+namespace swordfish::genomics {
+
+/** Result of mapping one read against the reference. */
+struct MappingResult
+{
+    bool mapped = false;
+    std::size_t refStart = 0; ///< inferred reference start position
+    double identity = 0.0;    ///< alignment identity at that position
+    std::size_t seedCount = 0;///< supporting seed hits
+};
+
+/** K-mer index over a reference genome with seed-and-extend queries. */
+class ReadMapper
+{
+  public:
+    /**
+     * Build the index.
+     * @param reference      genome to index
+     * @param k              k-mer size (<= 31)
+     * @param max_occurrence k-mers occurring more often are masked out
+     */
+    explicit ReadMapper(const Sequence& reference, std::size_t k = 13,
+                        std::size_t max_occurrence = 32);
+
+    /** Map a read; unmapped results have mapped == false. */
+    MappingResult map(const Sequence& read) const;
+
+    std::size_t k() const { return k_; }
+
+  private:
+    std::uint64_t
+    kmerAt(const Sequence& seq, std::size_t pos) const
+    {
+        std::uint64_t key = 0;
+        for (std::size_t i = 0; i < k_; ++i)
+            key = (key << 2) | seq[pos + i];
+        return key;
+    }
+
+    const Sequence& reference_;
+    std::size_t k_;
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index_;
+};
+
+} // namespace swordfish::genomics
+
+#endif // SWORDFISH_GENOMICS_MAPPER_H

@@ -1,0 +1,67 @@
+#include "pore_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace swordfish::genomics {
+
+PoreModel::PoreModel(std::uint64_t seed)
+{
+    // Base contributions chosen so the four center bases are separable but
+    // neighbouring context shifts levels enough that a memoryless decoder
+    // cannot reach basecaller-grade accuracy.
+    constexpr float kBaseLevel[4] = {-1.2f, -0.4f, 0.4f, 1.2f};
+    Rng rng(seed);
+    for (int prev = 0; prev < 4; ++prev) {
+        for (int cur = 0; cur < 4; ++cur) {
+            for (int next = 0; next < 4; ++next) {
+                const float base = 0.75f * kBaseLevel[cur]
+                    + 0.15f * kBaseLevel[prev]
+                    + 0.10f * kBaseLevel[next];
+                const float jitter = static_cast<float>(
+                    rng.gauss(0.0, 0.04));
+                table_[(prev << 4) | (cur << 2) | next] =
+                    0.5f * base + jitter;
+            }
+        }
+    }
+}
+
+std::vector<float>
+PoreModel::simulate(const Sequence& seq, const SignalParams& params,
+                    Rng& rng,
+                    std::vector<std::int32_t>* sample_to_base) const
+{
+    std::vector<float> signal;
+    signal.reserve(seq.size()
+        * static_cast<std::size_t>(params.dwellMean + 1.0));
+    if (sample_to_base != nullptr) {
+        sample_to_base->clear();
+        sample_to_base->reserve(signal.capacity());
+    }
+
+    double drift = 0.0;
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        const std::uint8_t prev = i > 0 ? seq[i - 1] : seq[i];
+        const std::uint8_t next = i + 1 < seq.size() ? seq[i + 1] : seq[i];
+        const float mean = level(prev, seq[i], next);
+
+        int dwell = static_cast<int>(std::lround(
+            rng.gauss(params.dwellMean, params.dwellSigma)));
+        dwell = std::clamp(dwell, params.dwellMin, params.dwellMax);
+
+        for (int s = 0; s < dwell; ++s) {
+            drift += rng.gauss(0.0, params.driftSigma);
+            // Keep drift bounded like a leaky integrator would.
+            drift *= 0.995;
+            const float sample = mean + static_cast<float>(drift)
+                + static_cast<float>(rng.gauss(0.0, params.noiseSigma));
+            signal.push_back(sample);
+            if (sample_to_base != nullptr)
+                sample_to_base->push_back(static_cast<std::int32_t>(i));
+        }
+    }
+    return signal;
+}
+
+} // namespace swordfish::genomics

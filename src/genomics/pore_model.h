@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Nanopore signal (squiggle) simulation.
+ *
+ * Substitutes for the MinION R9.4.1 raw signal data the paper uses
+ * (Table 2): a k-mer pore model maps each 3-mer context to a mean current
+ * level, and the simulator emits a variable number of noisy samples per
+ * base (dwell), plus low-frequency drift — the characteristics a basecaller
+ * must learn to invert. Parameters are per-dataset so accuracy is
+ * workload-dependent, as in the paper.
+ */
+
+#ifndef SWORDFISH_GENOMICS_PORE_MODEL_H
+#define SWORDFISH_GENOMICS_PORE_MODEL_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "genomics/sequence.h"
+#include "util/rng.h"
+
+namespace swordfish::genomics {
+
+/** Per-dataset signal generation parameters. */
+struct SignalParams
+{
+    double noiseSigma = 0.042;  ///< white noise std dev on each sample
+    double driftSigma = 0.005;  ///< random-walk drift increment std dev
+    double dwellMean = 6.0;     ///< mean samples per base
+    double dwellSigma = 0.5;    ///< dwell std dev
+    int dwellMin = 5;           ///< clamp: minimum samples per base
+    int dwellMax = 7;           ///< clamp: maximum samples per base
+};
+
+/**
+ * 3-mer pore model: current level as a function of (previous, current,
+ * next) base, mimicking the context dependence of real nanopores.
+ */
+class PoreModel
+{
+  public:
+    /** Build the 64-entry level table from a characterization seed. */
+    explicit PoreModel(std::uint64_t seed = 0x9042023ULL);
+
+    /** Mean level for context (prev, cur, next), each 0..3. */
+    float
+    level(std::uint8_t prev, std::uint8_t cur, std::uint8_t next) const
+    {
+        return table_[(prev << 4) | (cur << 2) | next];
+    }
+
+    /**
+     * Simulate the squiggle for a sequence.
+     *
+     * @param seq            the base string to sequence
+     * @param params         noise/dwell parameters
+     * @param rng            randomness stream
+     * @param sample_to_base optional out: for each emitted sample, the index
+     *                       of the base that produced it
+     * @return the raw signal samples
+     */
+    std::vector<float> simulate(const Sequence& seq,
+                                const SignalParams& params, Rng& rng,
+                                std::vector<std::int32_t>* sample_to_base
+                                    = nullptr) const;
+
+  private:
+    std::array<float, 64> table_{};
+};
+
+} // namespace swordfish::genomics
+
+#endif // SWORDFISH_GENOMICS_PORE_MODEL_H

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * DNA sequence representation and helpers.
+ *
+ * Bases are encoded 0..3 = A, C, G, T throughout the genomics substrate;
+ * the CTC label alphabet shifts these by +1 (0 is the CTC blank).
+ */
+
+#ifndef SWORDFISH_GENOMICS_SEQUENCE_H
+#define SWORDFISH_GENOMICS_SEQUENCE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace swordfish::genomics {
+
+/** A DNA sequence as packed base codes (0..3). */
+using Sequence = std::vector<std::uint8_t>;
+
+/** Base code to character. */
+inline char
+baseToChar(std::uint8_t b)
+{
+    constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+    return b < 4 ? kBases[b] : 'N';
+}
+
+/** Character to base code; fatal on non-ACGT input. */
+inline std::uint8_t
+charToBase(char c)
+{
+    switch (c) {
+      case 'A': case 'a': return 0;
+      case 'C': case 'c': return 1;
+      case 'G': case 'g': return 2;
+      case 'T': case 't': return 3;
+      default:
+        fatal("charToBase: invalid base character '", c, "'");
+    }
+}
+
+/** Render a Sequence as an ACGT string. */
+inline std::string
+toString(const Sequence& seq)
+{
+    std::string s;
+    s.reserve(seq.size());
+    for (std::uint8_t b : seq)
+        s.push_back(baseToChar(b));
+    return s;
+}
+
+/** Parse an ACGT string into a Sequence. */
+inline Sequence
+fromString(const std::string& s)
+{
+    Sequence seq;
+    seq.reserve(s.size());
+    for (char c : s)
+        seq.push_back(charToBase(c));
+    return seq;
+}
+
+/** Reverse complement. */
+inline Sequence
+reverseComplement(const Sequence& seq)
+{
+    Sequence rc;
+    rc.reserve(seq.size());
+    for (auto it = seq.rbegin(); it != seq.rend(); ++it)
+        rc.push_back(static_cast<std::uint8_t>(3 - *it));
+    return rc;
+}
+
+/** GC fraction of a sequence (0 for empty input). */
+inline double
+gcContent(const Sequence& seq)
+{
+    if (seq.empty())
+        return 0.0;
+    std::size_t gc = 0;
+    for (std::uint8_t b : seq)
+        gc += (b == 1 || b == 2) ? 1 : 0;
+    return static_cast<double>(gc) / static_cast<double>(seq.size());
+}
+
+/** Convert base codes to CTC labels (base + 1; 0 stays the blank). */
+inline std::vector<int>
+toCtcLabels(const Sequence& seq)
+{
+    std::vector<int> labels;
+    labels.reserve(seq.size());
+    for (std::uint8_t b : seq)
+        labels.push_back(static_cast<int>(b) + 1);
+    return labels;
+}
+
+/** Convert CTC labels back to base codes. */
+inline Sequence
+fromCtcLabels(const std::vector<int>& labels)
+{
+    Sequence seq;
+    seq.reserve(labels.size());
+    for (int l : labels) {
+        if (l < 1 || l > 4)
+            panic("fromCtcLabels: label ", l, " out of range");
+        seq.push_back(static_cast<std::uint8_t>(l - 1));
+    }
+    return seq;
+}
+
+} // namespace swordfish::genomics
+
+#endif // SWORDFISH_GENOMICS_SEQUENCE_H

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Scalar activation functions and their derivatives, plus elementwise
+ * activation Modules. The set matches what BonitoLite needs: SiLU after
+ * the convolution (as in Bonito's encoder), tanh/sigmoid inside the LSTM.
+ */
+
+#ifndef SWORDFISH_NN_ACTIVATIONS_H
+#define SWORDFISH_NN_ACTIVATIONS_H
+
+#include <cmath>
+
+#include "nn/module.h"
+
+namespace swordfish::nn {
+
+/** Numerically-stable logistic sigmoid. */
+inline float
+sigmoidf(float x)
+{
+    if (x >= 0.0f) {
+        const float z = std::exp(-x);
+        return 1.0f / (1.0f + z);
+    }
+    const float z = std::exp(x);
+    return z / (1.0f + z);
+}
+
+/** Derivative of sigmoid given its output s. */
+inline float
+sigmoidGradFromOut(float s)
+{
+    return s * (1.0f - s);
+}
+
+/** Derivative of tanh given its output t. */
+inline float
+tanhGradFromOut(float t)
+{
+    return 1.0f - t * t;
+}
+
+/** SiLU (swish): x * sigmoid(x). */
+inline float
+siluf(float x)
+{
+    return x * sigmoidf(x);
+}
+
+/** Derivative of SiLU w.r.t. x. */
+inline float
+siluGrad(float x)
+{
+    const float s = sigmoidf(x);
+    return s * (1.0f + x * (1.0f - s));
+}
+
+/** Elementwise SiLU layer. */
+class SiLU : public Module
+{
+  public:
+    Matrix
+    forward(const Matrix& x) override
+    {
+        input_ = x;
+        Matrix y = x;
+        for (float& v : y.raw())
+            v = siluf(v);
+        backend().onActivations(y);
+        return y;
+    }
+
+    Matrix
+    backward(const Matrix& dy) override
+    {
+        Matrix dx = dy;
+        for (std::size_t i = 0; i < dx.raw().size(); ++i)
+            dx.raw()[i] *= siluGrad(input_.raw()[i]);
+        return dx;
+    }
+
+    std::unique_ptr<Module>
+    clone() const override
+    {
+        return std::make_unique<SiLU>();
+    }
+
+    std::string describe() const override { return "SiLU"; }
+
+    std::size_t
+    outChannels(std::size_t in_channels) const override
+    {
+        return in_channels;
+    }
+
+  private:
+    Matrix input_;
+};
+
+/** Elementwise tanh layer. */
+class Tanh : public Module
+{
+  public:
+    Matrix
+    forward(const Matrix& x) override
+    {
+        output_ = x;
+        for (float& v : output_.raw())
+            v = std::tanh(v);
+        Matrix y = output_;
+        backend().onActivations(y);
+        return y;
+    }
+
+    Matrix
+    backward(const Matrix& dy) override
+    {
+        Matrix dx = dy;
+        for (std::size_t i = 0; i < dx.raw().size(); ++i)
+            dx.raw()[i] *= tanhGradFromOut(output_.raw()[i]);
+        return dx;
+    }
+
+    std::unique_ptr<Module>
+    clone() const override
+    {
+        return std::make_unique<Tanh>();
+    }
+
+    std::string describe() const override { return "Tanh"; }
+
+    std::size_t
+    outChannels(std::size_t in_channels) const override
+    {
+        return in_channels;
+    }
+
+  private:
+    Matrix output_;
+};
+
+} // namespace swordfish::nn
+
+#endif // SWORDFISH_NN_ACTIVATIONS_H

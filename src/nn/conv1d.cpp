@@ -1,0 +1,98 @@
+#include "conv1d.h"
+
+namespace swordfish::nn {
+
+Conv1d::Conv1d(std::string name, std::size_t in_channels,
+               std::size_t out_channels, std::size_t kernel,
+               std::size_t stride, Rng& rng)
+    : name_(std::move(name)),
+      inChannels_(in_channels),
+      kernel_(kernel),
+      stride_(stride),
+      weight_(name_ + ".w", out_channels, kernel * in_channels),
+      bias_(name_ + ".b", 1, out_channels)
+{
+    if (stride == 0 || kernel == 0)
+        panic("Conv1d: kernel and stride must be positive");
+    xavierInit(weight_.value, kernel * in_channels, out_channels, rng);
+}
+
+Matrix
+Conv1d::im2col(const Matrix& x) const
+{
+    const std::size_t t_out = outSteps(x.rows());
+    Matrix col(t_out, kernel_ * inChannels_);
+    for (std::size_t t = 0; t < t_out; ++t) {
+        float* dst = col.rowPtr(t);
+        const std::size_t start = t * stride_;
+        for (std::size_t k = 0; k < kernel_; ++k) {
+            const float* src = x.rowPtr(start + k);
+            for (std::size_t c = 0; c < inChannels_; ++c)
+                dst[k * inChannels_ + c] = src[c];
+        }
+    }
+    return col;
+}
+
+Matrix
+Conv1d::forward(const Matrix& x)
+{
+    if (x.cols() != inChannels_)
+        panic("Conv1d::forward: expected ", inChannels_, " channels, got ",
+              x.cols());
+    if (outSteps(x.rows()) == 0)
+        panic("Conv1d::forward: input too short (", x.rows(), " < ",
+              kernel_, ")");
+    inSteps_ = x.rows();
+    colCache_ = im2col(x);
+    Matrix y;
+    backend().matmul(weight_.name, weight_.value, colCache_, y);
+    addRowBias(y, bias_.value.raw());
+    return y;
+}
+
+Matrix
+Conv1d::backward(const Matrix& dy)
+{
+    // Lowered layer is a Linear over colCache_: reuse the same math, then
+    // scatter the column gradient back to the time axis (col2im).
+    gemmAT(dy, colCache_, weight_.grad, /*accumulate=*/true);
+    for (std::size_t t = 0; t < dy.rows(); ++t)
+        for (std::size_t c = 0; c < dy.cols(); ++c)
+            bias_.grad(0, c) += dy(t, c);
+
+    Matrix dcol;
+    gemm(dy, weight_.value, dcol);
+
+    Matrix dx(inSteps_, inChannels_);
+    for (std::size_t t = 0; t < dcol.rows(); ++t) {
+        const float* src = dcol.rowPtr(t);
+        const std::size_t start = t * stride_;
+        for (std::size_t k = 0; k < kernel_; ++k) {
+            float* dst = dx.rowPtr(start + k);
+            for (std::size_t c = 0; c < inChannels_; ++c)
+                dst[c] += src[k * inChannels_ + c];
+        }
+    }
+    return dx;
+}
+
+std::unique_ptr<Module>
+Conv1d::clone() const
+{
+    auto copy = std::make_unique<Conv1d>(*this);
+    copy->colCache_ = Matrix();
+    copy->zeroGrad();
+    copy->setBackend(nullptr);
+    return copy;
+}
+
+std::string
+Conv1d::describe() const
+{
+    return "Conv1d(" + std::to_string(inChannels_) + " -> "
+        + std::to_string(weight_.value.rows()) + ", k="
+        + std::to_string(kernel_) + ", s=" + std::to_string(stride_) + ")";
+}
+
+} // namespace swordfish::nn

@@ -1,0 +1,258 @@
+#include "ctc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace swordfish::nn {
+
+namespace {
+
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+constexpr int kBlank = 0;
+
+/** log(exp(a) + exp(b)) without overflow. */
+float
+logAdd(float a, float b)
+{
+    if (a == kNegInf)
+        return b;
+    if (b == kNegInf)
+        return a;
+    const float hi = std::max(a, b);
+    const float lo = std::min(a, b);
+    return hi + std::log1p(std::exp(lo - hi));
+}
+
+} // namespace
+
+Matrix
+logSoftmaxRows(const Matrix& logits)
+{
+    Matrix out = logits;
+    for (std::size_t t = 0; t < out.rows(); ++t) {
+        float* row = out.rowPtr(t);
+        float mx = row[0];
+        for (std::size_t k = 1; k < out.cols(); ++k)
+            mx = std::max(mx, row[k]);
+        float sum = 0.0f;
+        for (std::size_t k = 0; k < out.cols(); ++k)
+            sum += std::exp(row[k] - mx);
+        const float lse = mx + std::log(sum);
+        for (std::size_t k = 0; k < out.cols(); ++k)
+            row[k] -= lse;
+    }
+    return out;
+}
+
+CtcResult
+ctcLoss(const Matrix& logits, const std::vector<int>& target)
+{
+    const std::size_t t_len = logits.rows();
+    const std::size_t n_cls = logits.cols();
+    const std::size_t l_len = target.size();
+    const std::size_t s_len = 2 * l_len + 1;
+
+    CtcResult res;
+    res.dLogits = Matrix(t_len, n_cls);
+
+    // Extended label sequence: blank, l1, blank, l2, ..., blank.
+    std::vector<int> ext(s_len, kBlank);
+    for (std::size_t i = 0; i < l_len; ++i) {
+        const int label = target[i];
+        if (label <= 0 || static_cast<std::size_t>(label) >= n_cls)
+            panic("ctcLoss: label ", label, " out of range");
+        ext[2 * i + 1] = label;
+    }
+
+    // Feasibility: need enough frames to emit every label (plus forced
+    // blanks between repeated labels).
+    std::size_t min_frames = l_len;
+    for (std::size_t i = 1; i < l_len; ++i)
+        if (target[i] == target[i - 1])
+            ++min_frames;
+    if (t_len < min_frames || t_len == 0) {
+        res.feasible = false;
+        res.loss = 1e9;
+        return res;
+    }
+
+    const Matrix lp = logSoftmaxRows(logits);
+
+    auto allow_skip = [&](std::size_t s) {
+        return s >= 2 && ext[s] != kBlank && ext[s] != ext[s - 2];
+    };
+
+    // Forward variables (alpha includes frame t's emission).
+    Matrix alpha(t_len, s_len);
+    alpha.fill(kNegInf);
+    alpha(0, 0) = lp(0, ext[0]);
+    if (s_len > 1)
+        alpha(0, 1) = lp(0, ext[1]);
+    for (std::size_t t = 1; t < t_len; ++t) {
+        for (std::size_t s = 0; s < s_len; ++s) {
+            float a = alpha(t - 1, s);
+            if (s >= 1)
+                a = logAdd(a, alpha(t - 1, s - 1));
+            if (allow_skip(s))
+                a = logAdd(a, alpha(t - 1, s - 2));
+            if (a != kNegInf)
+                alpha(t, s) = a + lp(t, ext[s]);
+        }
+    }
+
+    float log_p = alpha(t_len - 1, s_len - 1);
+    if (s_len > 1)
+        log_p = logAdd(log_p, alpha(t_len - 1, s_len - 2));
+    if (log_p == kNegInf) {
+        res.feasible = false;
+        res.loss = 1e9;
+        return res;
+    }
+    res.loss = -static_cast<double>(log_p);
+
+    // Backward variables (beta excludes frame t's emission).
+    Matrix beta(t_len, s_len);
+    beta.fill(kNegInf);
+    beta(t_len - 1, s_len - 1) = 0.0f;
+    if (s_len > 1)
+        beta(t_len - 1, s_len - 2) = 0.0f;
+    for (std::size_t t = t_len - 1; t-- > 0;) {
+        for (std::size_t s = 0; s < s_len; ++s) {
+            float b = beta(t + 1, s) == kNegInf ? kNegInf
+                : beta(t + 1, s) + lp(t + 1, ext[s]);
+            if (s + 1 < s_len && beta(t + 1, s + 1) != kNegInf)
+                b = logAdd(b, beta(t + 1, s + 1) + lp(t + 1, ext[s + 1]));
+            if (s + 2 < s_len && allow_skip(s + 2)
+                && beta(t + 1, s + 2) != kNegInf) {
+                b = logAdd(b, beta(t + 1, s + 2) + lp(t + 1, ext[s + 2]));
+            }
+            beta(t, s) = b;
+        }
+    }
+
+    // Gradient w.r.t. logits: softmax(t,k) - sum_{s: ext[s]==k} gamma(t,s).
+    for (std::size_t t = 0; t < t_len; ++t) {
+        float* grow = res.dLogits.rowPtr(t);
+        for (std::size_t k = 0; k < n_cls; ++k)
+            grow[k] = std::exp(lp(t, k));
+        for (std::size_t s = 0; s < s_len; ++s) {
+            const float ab = alpha(t, s) + beta(t, s);
+            if (ab == kNegInf)
+                continue;
+            grow[ext[s]] -= std::exp(ab - log_p);
+        }
+    }
+    return res;
+}
+
+std::vector<int>
+ctcGreedyDecode(const Matrix& logits)
+{
+    std::vector<int> out;
+    int prev = kBlank;
+    for (std::size_t t = 0; t < logits.rows(); ++t) {
+        const float* row = logits.rowPtr(t);
+        int best = 0;
+        for (std::size_t k = 1; k < logits.cols(); ++k)
+            if (row[k] > row[best])
+                best = static_cast<int>(k);
+        if (best != kBlank && best != prev)
+            out.push_back(best);
+        prev = best;
+    }
+    return out;
+}
+
+namespace {
+
+/** Beam entry: probability mass ending in blank vs. in the last symbol. */
+struct BeamScore
+{
+    float pBlank = kNegInf;
+    float pLabel = kNegInf;
+
+    float total() const { return logAdd(pBlank, pLabel); }
+};
+
+std::string
+prefixKey(const std::vector<int>& prefix)
+{
+    std::string key;
+    key.reserve(prefix.size());
+    for (int v : prefix)
+        key.push_back(static_cast<char>(v));
+    return key;
+}
+
+} // namespace
+
+std::vector<int>
+ctcBeamDecode(const Matrix& logits, std::size_t beam_width)
+{
+    if (beam_width == 0)
+        panic("ctcBeamDecode: beam width must be positive");
+    const Matrix lp = logSoftmaxRows(logits);
+    const std::size_t n_cls = lp.cols();
+
+    using Beam = std::pair<std::vector<int>, BeamScore>;
+    std::vector<Beam> beams;
+    beams.push_back({{}, {0.0f, kNegInf}});
+
+    for (std::size_t t = 0; t < lp.rows(); ++t) {
+        const float* row = lp.rowPtr(t);
+        std::unordered_map<std::string, Beam> next;
+        auto merge = [&](const std::vector<int>& prefix, float p_blank,
+                         float p_label) {
+            auto [it, inserted] = next.try_emplace(prefixKey(prefix));
+            if (inserted)
+                it->second.first = prefix;
+            it->second.second.pBlank = logAdd(it->second.second.pBlank,
+                                              p_blank);
+            it->second.second.pLabel = logAdd(it->second.second.pLabel,
+                                              p_label);
+        };
+
+        for (const auto& [prefix, score] : beams) {
+            const float p_total = score.total();
+            // Extend with blank: prefix unchanged.
+            merge(prefix, p_total + row[kBlank], kNegInf);
+            for (std::size_t k = 1; k < n_cls; ++k) {
+                const int label = static_cast<int>(k);
+                const float pk = row[k];
+                if (!prefix.empty() && prefix.back() == label) {
+                    // Same symbol: repeat within prefix (no growth) only
+                    // from the label-ending mass...
+                    merge(prefix, kNegInf, score.pLabel + pk);
+                    // ...or grow after an intervening blank.
+                    std::vector<int> grown = prefix;
+                    grown.push_back(label);
+                    merge(grown, kNegInf, score.pBlank + pk);
+                } else {
+                    std::vector<int> grown = prefix;
+                    grown.push_back(label);
+                    merge(grown, kNegInf, p_total + pk);
+                }
+            }
+        }
+
+        beams.clear();
+        beams.reserve(next.size());
+        for (auto& [key, beam] : next)
+            beams.push_back(std::move(beam));
+        std::sort(beams.begin(), beams.end(),
+                  [](const Beam& a, const Beam& b) {
+                      return a.second.total() > b.second.total();
+                  });
+        if (beams.size() > beam_width)
+            beams.resize(beam_width);
+    }
+
+    return beams.empty() ? std::vector<int>{} : beams.front().first;
+}
+
+} // namespace swordfish::nn

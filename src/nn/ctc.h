@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Connectionist Temporal Classification: loss (forward-backward algorithm)
+ * with analytic gradients, greedy decoding, and prefix beam-search decoding.
+ *
+ * This is the training objective and decoder of CTC-flavoured Bonito: the
+ * network emits per-frame logits over {blank, A, C, G, T} and CTC aligns
+ * them to the reference base string.
+ */
+
+#ifndef SWORDFISH_NN_CTC_H
+#define SWORDFISH_NN_CTC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace swordfish::nn {
+
+using swordfish::Matrix;
+
+/** Row-wise log-softmax of a logits matrix. */
+Matrix logSoftmaxRows(const Matrix& logits);
+
+/** Result of a CTC loss evaluation. */
+struct CtcResult
+{
+    double loss = 0.0;     ///< negative log likelihood
+    bool feasible = true;  ///< false when T is too short for the target
+    Matrix dLogits;        ///< gradient w.r.t. the *logits* (not log-probs)
+};
+
+/**
+ * CTC negative log-likelihood and gradient.
+ *
+ * @param logits  [T x K] unnormalized scores; class 0 is blank
+ * @param target  label sequence with values in [1, K-1]
+ * @return loss, feasibility flag and dL/dlogits
+ */
+CtcResult ctcLoss(const Matrix& logits, const std::vector<int>& target);
+
+/**
+ * Greedy (best-path) CTC decode: per-frame argmax, collapse repeats,
+ * remove blanks.
+ */
+std::vector<int> ctcGreedyDecode(const Matrix& logits);
+
+/**
+ * Prefix beam-search CTC decode.
+ *
+ * @param logits     [T x K] scores (softmaxed internally)
+ * @param beam_width number of prefixes kept per frame
+ */
+std::vector<int> ctcBeamDecode(const Matrix& logits, std::size_t beam_width);
+
+} // namespace swordfish::nn
+
+#endif // SWORDFISH_NN_CTC_H

@@ -1,0 +1,53 @@
+#include "linear.h"
+
+namespace swordfish::nn {
+
+Linear::Linear(std::string name, std::size_t in, std::size_t out, Rng& rng)
+    : name_(std::move(name)),
+      weight_(name_ + ".w", out, in),
+      bias_(name_ + ".b", 1, out)
+{
+    xavierInit(weight_.value, in, out, rng);
+}
+
+Matrix
+Linear::forward(const Matrix& x)
+{
+    input_ = x;
+    Matrix y;
+    backend().matmul(weight_.name, weight_.value, x, y);
+    addRowBias(y, bias_.value.raw());
+    return y;
+}
+
+Matrix
+Linear::backward(const Matrix& dy)
+{
+    // dW = dY^T * X ; db = column sums of dY ; dX = dY * W.
+    gemmAT(dy, input_, weight_.grad, /*accumulate=*/true);
+    for (std::size_t t = 0; t < dy.rows(); ++t)
+        for (std::size_t c = 0; c < dy.cols(); ++c)
+            bias_.grad(0, c) += dy(t, c);
+    Matrix dx;
+    gemm(dy, weight_.value, dx);
+    return dx;
+}
+
+std::unique_ptr<Module>
+Linear::clone() const
+{
+    auto copy = std::make_unique<Linear>(*this);
+    copy->input_ = Matrix();
+    copy->zeroGrad();
+    copy->setBackend(nullptr);
+    return copy;
+}
+
+std::string
+Linear::describe() const
+{
+    return "Linear(" + std::to_string(inFeatures()) + " -> "
+        + std::to_string(outFeatures()) + ")";
+}
+
+} // namespace swordfish::nn

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fully-connected layer Y = X * W^T + b executed through the VmmBackend.
+ */
+
+#ifndef SWORDFISH_NN_LINEAR_H
+#define SWORDFISH_NN_LINEAR_H
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace swordfish::nn {
+
+/** Affine layer over the channel dimension of a [T x in] sequence. */
+class Linear : public Module
+{
+  public:
+    /**
+     * @param name stable layer name (prefix of its parameter names)
+     * @param in   input feature count
+     * @param out  output feature count
+     * @param rng  initializer stream
+     */
+    Linear(std::string name, std::size_t in, std::size_t out, Rng& rng);
+
+    Matrix forward(const Matrix& x) override;
+    Matrix backward(const Matrix& dy) override;
+
+    std::vector<Parameter*>
+    parameters() override
+    {
+        return {&weight_, &bias_};
+    }
+
+    std::unique_ptr<Module> clone() const override;
+    std::string describe() const override;
+
+    std::size_t
+    outChannels(std::size_t) const override
+    {
+        return weight_.value.rows();
+    }
+
+    std::size_t inFeatures() const { return weight_.value.cols(); }
+    std::size_t outFeatures() const { return weight_.value.rows(); }
+
+    Parameter& weight() { return weight_; }
+    Parameter& bias() { return bias_; }
+    const Parameter& weight() const { return weight_; }
+
+  private:
+    std::string name_;
+    Parameter weight_; ///< out x in
+    Parameter bias_;   ///< 1 x out
+    Matrix input_;     ///< cached forward input
+};
+
+} // namespace swordfish::nn
+
+#endif // SWORDFISH_NN_LINEAR_H

@@ -1,0 +1,176 @@
+#include "lstm.h"
+
+#include <cmath>
+
+#include "nn/activations.h"
+
+namespace swordfish::nn {
+
+Lstm::Lstm(std::string name, std::size_t in, std::size_t hidden,
+           bool reverse, Rng& rng)
+    : name_(std::move(name)),
+      in_(in),
+      hidden_(hidden),
+      reverse_(reverse),
+      wih_(name_ + ".wih", 4 * hidden, in),
+      whh_(name_ + ".whh", 4 * hidden, hidden),
+      bias_(name_ + ".b", 1, 4 * hidden)
+{
+    xavierInit(wih_.value, in, hidden, rng);
+    xavierInit(whh_.value, hidden, hidden, rng);
+    // Positive forget-gate bias: standard trick for stable early training.
+    for (std::size_t h = 0; h < hidden_; ++h)
+        bias_.value(0, hidden_ + h) = 1.0f;
+}
+
+Matrix
+Lstm::timeReversed(const Matrix& m)
+{
+    Matrix out(m.rows(), m.cols());
+    for (std::size_t t = 0; t < m.rows(); ++t) {
+        const float* src = m.rowPtr(m.rows() - 1 - t);
+        float* dst = out.rowPtr(t);
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            dst[c] = src[c];
+    }
+    return out;
+}
+
+Matrix
+Lstm::forward(const Matrix& x)
+{
+    if (x.cols() != in_)
+        panic("Lstm::forward: expected ", in_, " channels, got ", x.cols());
+
+    input_ = reverse_ ? timeReversed(x) : x;
+    const std::size_t t_len = input_.rows();
+    const std::size_t h4 = 4 * hidden_;
+
+    // Input projection for all timesteps at once: one large VMM.
+    Matrix z_in;
+    backend().matmul(wih_.name, wih_.value, input_, z_in);
+
+    gates_ = Matrix(t_len, h4);
+    cells_ = Matrix(t_len, hidden_);
+    tanhC_ = Matrix(t_len, hidden_);
+    hidden_states_ = Matrix(t_len, hidden_);
+
+    Matrix h_prev(1, hidden_);
+    std::vector<float> c_prev(hidden_, 0.0f);
+    Matrix z_rec;
+    for (std::size_t t = 0; t < t_len; ++t) {
+        backend().matmul(whh_.name, whh_.value, h_prev, z_rec);
+        float* g = gates_.rowPtr(t);
+        const float* zi = z_in.rowPtr(t);
+        const float* zr = z_rec.rowPtr(0);
+        const float* b = bias_.value.rowPtr(0);
+        for (std::size_t j = 0; j < h4; ++j)
+            g[j] = zi[j] + zr[j] + b[j];
+        float* c = cells_.rowPtr(t);
+        float* tc = tanhC_.rowPtr(t);
+        float* h = hidden_states_.rowPtr(t);
+        for (std::size_t j = 0; j < hidden_; ++j) {
+            const float ig = sigmoidf(g[j]);
+            const float fg = sigmoidf(g[hidden_ + j]);
+            const float gg = std::tanh(g[2 * hidden_ + j]);
+            const float og = sigmoidf(g[3 * hidden_ + j]);
+            g[j] = ig;
+            g[hidden_ + j] = fg;
+            g[2 * hidden_ + j] = gg;
+            g[3 * hidden_ + j] = og;
+            c[j] = fg * c_prev[j] + ig * gg;
+            tc[j] = std::tanh(c[j]);
+            h[j] = og * tc[j];
+            c_prev[j] = c[j];
+            h_prev(0, j) = h[j];
+        }
+    }
+
+    Matrix y = reverse_ ? timeReversed(hidden_states_) : hidden_states_;
+    backend().onActivations(y);
+    return y;
+}
+
+Matrix
+Lstm::backward(const Matrix& dy_in)
+{
+    const Matrix dy = reverse_ ? timeReversed(dy_in) : dy_in;
+    const std::size_t t_len = input_.rows();
+    const std::size_t h4 = 4 * hidden_;
+
+    Matrix dz_all(t_len, h4);
+    std::vector<float> dh_next(hidden_, 0.0f);
+    std::vector<float> dc_next(hidden_, 0.0f);
+    std::vector<float> dh_rec(hidden_, 0.0f);
+
+    for (std::size_t tt = t_len; tt-- > 0;) {
+        const float* g = gates_.rowPtr(tt);
+        const float* c = cells_.rowPtr(tt);
+        const float* tc = tanhC_.rowPtr(tt);
+        const float* c_prev = tt > 0 ? cells_.rowPtr(tt - 1) : nullptr;
+        float* dz = dz_all.rowPtr(tt);
+
+        for (std::size_t j = 0; j < hidden_; ++j) {
+            const float ig = g[j];
+            const float fg = g[hidden_ + j];
+            const float gg = g[2 * hidden_ + j];
+            const float og = g[3 * hidden_ + j];
+            const float dh = dy(tt, j) + dh_next[j];
+            const float dc = dh * og * tanhGradFromOut(tc[j]) + dc_next[j];
+            const float cp = c_prev != nullptr ? c_prev[j] : 0.0f;
+
+            dz[j] = dc * gg * sigmoidGradFromOut(ig);
+            dz[hidden_ + j] = dc * cp * sigmoidGradFromOut(fg);
+            dz[2 * hidden_ + j] = dc * ig * tanhGradFromOut(gg);
+            dz[3 * hidden_ + j] = dh * tc[j] * sigmoidGradFromOut(og);
+            dc_next[j] = dc * fg;
+        }
+        (void)c;
+
+        // dh_next = Whh^T * dz ; accumulate dWhh += dz (x) h_{t-1}.
+        std::vector<float> dz_vec(dz, dz + h4);
+        gemvT(whh_.value, dz_vec, dh_rec);
+        dh_next = dh_rec;
+        if (tt > 0) {
+            const float* h_prev = hidden_states_.rowPtr(tt - 1);
+            for (std::size_t r = 0; r < h4; ++r) {
+                if (dz[r] == 0.0f)
+                    continue;
+                float* wrow = whh_.grad.rowPtr(r);
+                for (std::size_t j = 0; j < hidden_; ++j)
+                    wrow[j] += dz[r] * h_prev[j];
+            }
+        }
+        for (std::size_t r = 0; r < h4; ++r)
+            bias_.grad(0, r) += dz[r];
+    }
+
+    // Input-projection gradients over all timesteps at once.
+    gemmAT(dz_all, input_, wih_.grad, /*accumulate=*/true);
+    Matrix dx;
+    gemm(dz_all, wih_.value, dx);
+    return reverse_ ? timeReversed(dx) : dx;
+}
+
+std::unique_ptr<Module>
+Lstm::clone() const
+{
+    auto copy = std::make_unique<Lstm>(*this);
+    copy->input_ = Matrix();
+    copy->gates_ = Matrix();
+    copy->cells_ = Matrix();
+    copy->tanhC_ = Matrix();
+    copy->hidden_states_ = Matrix();
+    copy->zeroGrad();
+    copy->setBackend(nullptr);
+    return copy;
+}
+
+std::string
+Lstm::describe() const
+{
+    return "LSTM(" + std::to_string(in_) + " -> " + std::to_string(hidden_)
+        + (reverse_ ? ", reverse" : ", forward") + ")";
+}
+
+} // namespace swordfish::nn

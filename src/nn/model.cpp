@@ -1,0 +1,63 @@
+#include "model.h"
+
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/serialize.h"
+
+namespace swordfish::nn {
+
+void
+SequenceModel::save(const std::string& path)
+{
+    BinaryWriter writer(path);
+    auto params = parameters();
+    writer.putU64(params.size());
+    for (const Parameter* p : params) {
+        writer.putString(p->name);
+        writer.putU64(p->value.rows());
+        writer.putU64(p->value.cols());
+        writer.putFloats(p->value.raw());
+    }
+    if (!writer.good())
+        fatal("SequenceModel::save: write failed for ", path);
+}
+
+bool
+SequenceModel::load(const std::string& path)
+{
+    BinaryReader reader(path);
+    if (!reader.ok())
+        return false;
+
+    std::unordered_map<std::string, Parameter*> by_name;
+    for (Parameter* p : parameters())
+        by_name[p->name] = p;
+
+    const std::uint64_t count = reader.getU64();
+    if (!reader.ok() || count != by_name.size())
+        return false;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::string name = reader.getString();
+        const std::uint64_t rows = reader.getU64();
+        const std::uint64_t cols = reader.getU64();
+        std::vector<float> data = reader.getFloats();
+        if (!reader.ok())
+            return false;
+        auto it = by_name.find(name);
+        if (it == by_name.end()) {
+            warn("SequenceModel::load: unknown parameter ", name);
+            return false;
+        }
+        Parameter& p = *it->second;
+        if (p.value.rows() != rows || p.value.cols() != cols
+            || data.size() != rows * cols) {
+            warn("SequenceModel::load: shape mismatch for ", name);
+            return false;
+        }
+        p.value.raw() = std::move(data);
+    }
+    return true;
+}
+
+} // namespace swordfish::nn

@@ -1,0 +1,23 @@
+#include "module.h"
+
+#include <cmath>
+
+namespace swordfish::nn {
+
+VmmBackend&
+idealBackend()
+{
+    static IdealVmmBackend backend;
+    return backend;
+}
+
+void
+xavierInit(Matrix& w, std::size_t fan_in, std::size_t fan_out, Rng& rng)
+{
+    const float bound = std::sqrt(6.0f
+        / static_cast<float>(fan_in + fan_out));
+    for (float& v : w.raw())
+        v = static_cast<float>(rng.uniform(-bound, bound));
+}
+
+} // namespace swordfish::nn

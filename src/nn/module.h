@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Core abstractions of the from-scratch NN library: named parameters, the
+ * Module (layer) interface, and the VmmBackend hook through which Swordfish
+ * redirects every vector-matrix multiplication to a (possibly non-ideal)
+ * crossbar implementation.
+ *
+ * Design notes
+ * ------------
+ * Sequences are time-major float matrices [T x channels]; there is no batch
+ * dimension — the basecaller trains chunk-by-chunk with gradient
+ * accumulation, which is the right tradeoff on a small-core machine and
+ * mirrors how the accelerator streams chunks (paper Section 3.2: "the input
+ * streams into the first layer").
+ *
+ * Every weight matrix that is large enough to be mapped onto crossbars is
+ * applied through VmmBackend::matmul(name, W, X, Y) computing Y = X * W^T.
+ * The default backend is an exact GEMM; the Swordfish core installs a
+ * backend that routes each named matrix through programmed crossbar tiles
+ * with DAC/ADC transfer functions (paper Fig. 4/5).
+ */
+
+#ifndef SWORDFISH_NN_MODULE_H
+#define SWORDFISH_NN_MODULE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace swordfish::nn {
+
+using swordfish::Matrix;
+
+/** A trainable tensor: value plus accumulated gradient, with a name. */
+struct Parameter
+{
+    std::string name;
+    Matrix value;
+    Matrix grad;
+
+    Parameter() = default;
+
+    Parameter(std::string n, std::size_t rows, std::size_t cols)
+        : name(std::move(n)), value(rows, cols), grad(rows, cols)
+    {}
+
+    /** Clear the accumulated gradient. */
+    void zeroGrad() { grad.zero(); }
+
+    std::size_t size() const { return value.size(); }
+};
+
+/**
+ * Strategy interface for executing Y = X * W^T.
+ *
+ * @param name stable identifier of the weight matrix (e.g. "lstm0.wih"),
+ *             used by crossbar backends to look up programmed tiles.
+ * @param w    the canonical (digital) weight matrix, out_features x
+ *             in_features.
+ * @param x    input activations, T x in_features.
+ * @param y    output, resized to T x out_features.
+ */
+class VmmBackend
+{
+  public:
+    virtual ~VmmBackend() = default;
+
+    virtual void matmul(const std::string& name, const Matrix& w,
+                        const Matrix& x, Matrix& y) = 0;
+
+    /**
+     * Post-activation hook: backends that model quantized/limited-precision
+     * activation storage override this (default: leave exact).
+     */
+    virtual void onActivations(Matrix&) {}
+};
+
+/** Exact float GEMM backend (the digital / training path). */
+class IdealVmmBackend : public VmmBackend
+{
+  public:
+    void
+    matmul(const std::string&, const Matrix& w, const Matrix& x,
+           Matrix& y) override
+    {
+        gemmBT(x, w, y);
+    }
+};
+
+/** Process-wide shared ideal backend instance. */
+VmmBackend& idealBackend();
+
+/**
+ * Base class for all layers.
+ *
+ * Contract: forward() caches whatever backward() needs; backward() consumes
+ * that cache, accumulates parameter gradients, and returns the gradient
+ * w.r.t. the layer input. A second forward() before backward() overwrites
+ * the cache (single-sample training).
+ */
+class Module
+{
+  public:
+    virtual ~Module() = default;
+
+    /** Forward pass: input [T x in] to output [T' x out]. */
+    virtual Matrix forward(const Matrix& x) = 0;
+
+    /** Backward pass: dLoss/dOutput to dLoss/dInput; accumulates grads. */
+    virtual Matrix backward(const Matrix& dy) = 0;
+
+    /** All trainable parameters of this layer (may be empty). */
+    virtual std::vector<Parameter*> parameters() { return {}; }
+
+    /** Deep copy with the same weights (fresh gradient state). */
+    virtual std::unique_ptr<Module> clone() const = 0;
+
+    /** Human-readable layer description for mapping reports. */
+    virtual std::string describe() const = 0;
+
+    /** Output channel count given an input channel count. */
+    virtual std::size_t outChannels(std::size_t in_channels) const = 0;
+
+    /**
+     * Downsampling factor: output timesteps = input timesteps / factor
+     * (exactly 1 for everything except strided convolutions).
+     */
+    virtual std::size_t strideFactor() const { return 1; }
+
+    /** Clear gradients of all parameters. */
+    void
+    zeroGrad()
+    {
+        for (Parameter* p : parameters())
+            p->zeroGrad();
+    }
+
+    /** Install the VMM execution backend (nullptr resets to ideal). */
+    void
+    setBackend(VmmBackend* backend)
+    {
+        backend_ = backend != nullptr ? backend : &idealBackend();
+    }
+
+    VmmBackend& backend() const { return *backend_; }
+
+  protected:
+    VmmBackend* backend_ = &idealBackend();
+};
+
+/** Xavier-uniform initialization for a weight matrix. */
+void xavierInit(Matrix& w, std::size_t fan_in, std::size_t fan_out, Rng& rng);
+
+} // namespace swordfish::nn
+
+#endif // SWORDFISH_NN_MODULE_H

@@ -1,0 +1,81 @@
+#include "optimizer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace swordfish::nn {
+
+Adam::Adam(std::vector<Parameter*> params, AdamConfig config)
+    : params_(std::move(params)), config_(config)
+{
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    masks_.resize(params_.size());
+    for (const Parameter* p : params_) {
+        m_.emplace_back(p->size(), 0.0f);
+        v_.emplace_back(p->size(), 0.0f);
+    }
+}
+
+void
+Adam::setMask(std::size_t param_index, std::vector<std::uint8_t> mask)
+{
+    if (param_index >= params_.size())
+        panic("Adam::setMask: parameter index out of range");
+    if (!mask.empty() && mask.size() != params_[param_index]->size())
+        panic("Adam::setMask: mask size mismatch");
+    masks_[param_index] = std::move(mask);
+}
+
+void
+Adam::step()
+{
+    ++stepCount_;
+    const float bc1 = 1.0f - std::pow(config_.beta1,
+                                      static_cast<float>(stepCount_));
+    const float bc2 = 1.0f - std::pow(config_.beta2,
+                                      static_cast<float>(stepCount_));
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        Parameter& p = *params_[i];
+        auto& m = m_[i];
+        auto& v = v_[i];
+        const auto& mask = masks_[i];
+        float* w = p.value.data();
+        float* g = p.grad.data();
+        for (std::size_t j = 0; j < p.size(); ++j) {
+            if (!mask.empty() && mask[j] == 0) {
+                g[j] = 0.0f;
+                continue;
+            }
+            m[j] = config_.beta1 * m[j] + (1.0f - config_.beta1) * g[j];
+            v[j] = config_.beta2 * v[j] + (1.0f - config_.beta2)
+                * g[j] * g[j];
+            const float mhat = m[j] / bc1;
+            const float vhat = v[j] / bc2;
+            w[j] -= config_.lr
+                * (mhat / (std::sqrt(vhat) + config_.eps)
+                   + config_.weightDecay * w[j]);
+            g[j] = 0.0f;
+        }
+    }
+}
+
+float
+clipGradNorm(const std::vector<Parameter*>& params, float max_norm)
+{
+    double sq = 0.0;
+    for (const Parameter* p : params)
+        for (float g : p->grad.raw())
+            sq += static_cast<double>(g) * g;
+    const float norm = static_cast<float>(std::sqrt(sq));
+    if (norm > max_norm && norm > 0.0f) {
+        const float scale = max_norm / norm;
+        for (Parameter* p : params)
+            for (float& g : p->grad.raw())
+                g *= scale;
+    }
+    return norm;
+}
+
+} // namespace swordfish::nn

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Adam optimizer and gradient utilities for training BonitoLite and for the
+ * Accuracy Enhancer's retraining passes (VAT / KD / RSA online).
+ */
+
+#ifndef SWORDFISH_NN_OPTIMIZER_H
+#define SWORDFISH_NN_OPTIMIZER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace swordfish::nn {
+
+/** Adam hyperparameters. */
+struct AdamConfig
+{
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weightDecay = 0.0f;
+};
+
+/**
+ * Adam with decoupled weight decay, operating on a fixed parameter list.
+ *
+ * Optionally restricted to a boolean mask per parameter element — this is
+ * how RSA online retraining updates only the SRAM-resident weights
+ * (paper Section 3.4.4 step 3).
+ */
+class Adam
+{
+  public:
+    Adam(std::vector<Parameter*> params, AdamConfig config);
+
+    /** Apply one update from the accumulated gradients, then zero them. */
+    void step();
+
+    /**
+     * Restrict updates of parameter p (by list index) to elements where
+     * mask is true. An empty mask (default) updates everything.
+     */
+    void setMask(std::size_t param_index, std::vector<std::uint8_t> mask);
+
+    /** Scale the learning rate in place (for simple schedules). */
+    void scaleLr(float factor) { config_.lr *= factor; }
+
+    float lr() const { return config_.lr; }
+    const std::vector<Parameter*>& params() const { return params_; }
+
+  private:
+    std::vector<Parameter*> params_;
+    AdamConfig config_;
+    std::vector<std::vector<float>> m_;
+    std::vector<std::vector<float>> v_;
+    std::vector<std::vector<std::uint8_t>> masks_;
+    long stepCount_ = 0;
+};
+
+/** Clip gradients to a maximum global L2 norm; returns the pre-clip norm. */
+float clipGradNorm(const std::vector<Parameter*>& params, float max_norm);
+
+} // namespace swordfish::nn
+
+#endif // SWORDFISH_NN_OPTIMIZER_H

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Dense row-major float matrix and the small set of BLAS-like kernels the
+ * NN library and crossbar simulator need.
+ *
+ * Everything in the framework funnels through these kernels, so they are
+ * written cache-friendly (ikj loop order) and parallelized with OpenMP when
+ * available. Float32 is the reference numeric type; reduced precisions are
+ * *simulated* on top of it by the quantizer (as in the paper's FPP X-Y
+ * configurations).
+ */
+
+#ifndef SWORDFISH_TENSOR_MATRIX_H
+#define SWORDFISH_TENSOR_MATRIX_H
+
+#include <cstddef>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace swordfish {
+
+/** Dense row-major matrix of float. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Construct rows x cols, zero-initialized. */
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+    {}
+
+    /** Construct from explicit data (size must equal rows*cols). */
+    Matrix(std::size_t rows, std::size_t cols, std::vector<float> data)
+        : rows_(rows), cols_(cols), data_(std::move(data))
+    {
+        if (data_.size() != rows_ * cols_)
+            panic("Matrix: data size ", data_.size(), " != ", rows_ * cols_);
+    }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    float at(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    float& operator()(std::size_t r, std::size_t c) { return at(r, c); }
+    float operator()(std::size_t r, std::size_t c) const { return at(r, c); }
+
+    float* data() { return data_.data(); }
+    const float* data() const { return data_.data(); }
+
+    float* rowPtr(std::size_t r) { return data_.data() + r * cols_; }
+    const float* rowPtr(std::size_t r) const
+    {
+        return data_.data() + r * cols_;
+    }
+
+    std::vector<float>& raw() { return data_; }
+    const std::vector<float>& raw() const { return data_; }
+
+    /** Set every element to v. */
+    void
+    fill(float v)
+    {
+        std::fill(data_.begin(), data_.end(), v);
+    }
+
+    /** Reset all elements to zero. */
+    void zero() { fill(0.0f); }
+
+    /** Return the transposed matrix. */
+    Matrix transposed() const;
+
+    /** Largest absolute element value (0 for an empty matrix). */
+    float absMax() const;
+
+    /** Frobenius norm. */
+    float frobeniusNorm() const;
+
+    /** Elementwise in-place addition; shapes must match. */
+    Matrix& operator+=(const Matrix& other);
+
+    /** Elementwise in-place scale. */
+    Matrix& operator*=(float s);
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/**
+ * C = A * B. Shapes: A is m x k, B is k x n, C resized to m x n.
+ * @param accumulate when true, adds into existing C (which must be m x n).
+ */
+void gemm(const Matrix& a, const Matrix& b, Matrix& c,
+          bool accumulate = false);
+
+/** C = A * B^T. A is m x k, B is n x k, C is m x n. */
+void gemmBT(const Matrix& a, const Matrix& b, Matrix& c,
+            bool accumulate = false);
+
+/** C = A^T * B. A is k x m, B is k x n, C is m x n. */
+void gemmAT(const Matrix& a, const Matrix& b, Matrix& c,
+            bool accumulate = false);
+
+/** y = W * x (+ y if accumulate). W is m x n, x has n entries. */
+void gemv(const Matrix& w, const std::vector<float>& x,
+          std::vector<float>& y, bool accumulate = false);
+
+/** y = W^T * x (+ y if accumulate). W is m x n, x has m entries. */
+void gemvT(const Matrix& w, const std::vector<float>& x,
+           std::vector<float>& y, bool accumulate = false);
+
+/** y += alpha * x for equal-length vectors. */
+void axpy(float alpha, const std::vector<float>& x, std::vector<float>& y);
+
+/** Dot product of two equal-length vectors. */
+float dot(const std::vector<float>& a, const std::vector<float>& b);
+
+/** Add a row vector (bias) to each row of m in place. */
+void addRowBias(Matrix& m, const std::vector<float>& bias);
+
+} // namespace swordfish
+
+#endif // SWORDFISH_TENSOR_MATRIX_H

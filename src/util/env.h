@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Environment-variable helpers shared by benches and examples.
+ */
+
+#ifndef SWORDFISH_UTIL_ENV_H
+#define SWORDFISH_UTIL_ENV_H
+
+#include <cstdlib>
+#include <string>
+
+namespace swordfish {
+
+/** True when the named environment variable is set to a truthy value. */
+inline bool
+envFlag(const char* name)
+{
+    const char* v = std::getenv(name);
+    if (v == nullptr)
+        return false;
+    const std::string s(v);
+    return !(s.empty() || s == "0" || s == "false" || s == "off");
+}
+
+/** Integer environment variable with fallback. */
+inline long
+envLong(const char* name, long fallback)
+{
+    const char* v = std::getenv(name);
+    if (v == nullptr)
+        return fallback;
+    char* end = nullptr;
+    const long parsed = std::strtol(v, &end, 10);
+    return (end == v) ? fallback : parsed;
+}
+
+/**
+ * Fast-mode switch: benches shrink run counts / dataset sizes when
+ * SWORDFISH_FAST=1 so the whole suite can be smoke-tested quickly.
+ */
+inline bool
+fastMode()
+{
+    return envFlag("SWORDFISH_FAST");
+}
+
+} // namespace swordfish
+
+#endif // SWORDFISH_UTIL_ENV_H

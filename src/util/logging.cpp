@@ -1,0 +1,76 @@
+#include "logging.h"
+
+#include <cstring>
+#include <mutex>
+
+namespace swordfish {
+
+namespace {
+
+LogLevel&
+levelStorage()
+{
+    static LogLevel level = [] {
+        const char* env = std::getenv("SWORDFISH_LOG");
+        if (env == nullptr)
+            return LogLevel::Info;
+        if (std::strcmp(env, "debug") == 0)
+            return LogLevel::Debug;
+        if (std::strcmp(env, "warn") == 0)
+            return LogLevel::Warn;
+        if (std::strcmp(env, "error") == 0)
+            return LogLevel::Error;
+        if (std::strcmp(env, "silent") == 0)
+            return LogLevel::Silent;
+        return LogLevel::Info;
+    }();
+    return level;
+}
+
+std::mutex&
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+const char*
+prefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "[debug] ";
+      case LogLevel::Info: return "[info] ";
+      case LogLevel::Warn: return "[warn] ";
+      case LogLevel::Error: return "[error] ";
+      default: return "";
+    }
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return levelStorage();
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    levelStorage() = level;
+}
+
+namespace detail {
+
+void
+emit(LogLevel level, const std::string& msg)
+{
+    if (level < logLevel())
+        return;
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::cerr << prefix(level) << msg << '\n';
+}
+
+} // namespace detail
+
+} // namespace swordfish

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Minimal leveled logging for the framework.
+ *
+ * Follows the gem5 philosophy: fatal() for user errors that make continuing
+ * impossible, panic() for internal invariant violations, warn()/inform() for
+ * status. Output goes to stderr so bench tables on stdout stay clean.
+ */
+
+#ifndef SWORDFISH_UTIL_LOGGING_H
+#define SWORDFISH_UTIL_LOGGING_H
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace swordfish {
+
+/** Log verbosity levels, ordered by severity. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Silent = 4 };
+
+/** Global log-level accessor; default Info, override via SWORDFISH_LOG. */
+LogLevel logLevel();
+
+/** Set the global log level programmatically. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+void emit(LogLevel level, const std::string& msg);
+} // namespace detail
+
+/** Informational status message (Info level). */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    detail::emit(LogLevel::Info, oss.str());
+}
+
+/** Debug chatter, off by default. */
+template <typename... Args>
+void
+debugLog(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    detail::emit(LogLevel::Debug, oss.str());
+}
+
+/** Something works but not as well as it should. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    detail::emit(LogLevel::Warn, oss.str());
+}
+
+/** Unrecoverable user-level error: print and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    detail::emit(LogLevel::Error, "fatal: " + oss.str());
+    std::exit(1);
+}
+
+/** Internal invariant violation: print and abort(). */
+template <typename... Args>
+[[noreturn]] void
+panic(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    detail::emit(LogLevel::Error, "panic: " + oss.str());
+    std::abort();
+}
+
+} // namespace swordfish
+
+#endif // SWORDFISH_UTIL_LOGGING_H

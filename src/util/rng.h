@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Deterministic random number generation for Swordfish.
+ *
+ * Every stochastic component in the framework (signal simulation, device
+ * variation, measurement-library sampling, training shuffles) draws from an
+ * explicitly seeded Rng so that experiments are exactly reproducible. The
+ * generator is xoshiro256** seeded via splitmix64, which is fast, has a
+ * 2^256-1 period, and passes BigCrush.
+ */
+
+#ifndef SWORDFISH_UTIL_RNG_H
+#define SWORDFISH_UTIL_RNG_H
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace swordfish {
+
+/** Stateless splitmix64 step; used for seeding and hashing. */
+constexpr std::uint64_t
+splitmix64(std::uint64_t& state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Mix an arbitrary set of integers into a single 64-bit seed. */
+inline std::uint64_t
+hashSeed(std::initializer_list<std::uint64_t> parts)
+{
+    std::uint64_t state = 0x853c49e6748fea9bULL;
+    std::uint64_t out = 0;
+    for (std::uint64_t p : parts) {
+        state ^= p + 0x9e3779b97f4a7c15ULL + (state << 6) + (state >> 2);
+        out ^= splitmix64(state);
+    }
+    return out;
+}
+
+/**
+ * Seedable xoshiro256** random number generator with the distributions the
+ * framework needs (uniform, Gaussian, lognormal, integer ranges, shuffles).
+ *
+ * Satisfies UniformRandomBitGenerator so it can also feed <random>
+ * distributions where convenient.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded through splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x5eedf15eULL)
+    {
+        reseed(seed);
+    }
+
+    /** Re-seed the generator in place. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t sm = seed;
+        for (auto& word : state_)
+            word = splitmix64(sm);
+        hasCachedGauss_ = false;
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max()
+    {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    /** Next raw 64-bit output. */
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t
+    next(std::uint64_t n)
+    {
+        // Lemire's nearly-divisionless bounded sampling.
+        std::uint64_t x = operator()();
+        __uint128_t m = static_cast<__uint128_t>(x) * n;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < n) {
+            std::uint64_t threshold = (0 - n) % n;
+            while (lo < threshold) {
+                x = operator()();
+                m = static_cast<__uint128_t>(x) * n;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            next(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Standard normal via Box-Muller with one-value cache. */
+    double
+    gauss()
+    {
+        if (hasCachedGauss_) {
+            hasCachedGauss_ = false;
+            return cachedGauss_;
+        }
+        double u1 = 0.0;
+        while (u1 <= 0.0)
+            u1 = uniform();
+        const double u2 = uniform();
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double theta = 2.0 * M_PI * u2;
+        cachedGauss_ = r * std::sin(theta);
+        hasCachedGauss_ = true;
+        return r * std::cos(theta);
+    }
+
+    /** Normal with given mean and standard deviation. */
+    double
+    gauss(double mean, double stddev)
+    {
+        return mean + stddev * gauss();
+    }
+
+    /** Lognormal: exp(N(mu, sigma)). */
+    double
+    logNormal(double mu, double sigma)
+    {
+        return std::exp(gauss(mu, sigma));
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T>& v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            const std::size_t j = next(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Derive an independent child generator (for parallel streams). */
+    Rng
+    split()
+    {
+        return Rng(operator()() ^ 0xa02bdbf7bb3c0a7ULL);
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4] = {};
+    bool hasCachedGauss_ = false;
+    double cachedGauss_ = 0.0;
+};
+
+} // namespace swordfish
+
+#endif // SWORDFISH_UTIL_RNG_H

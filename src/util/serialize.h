@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tiny binary serialization helpers for model / artifact caching.
+ *
+ * The format is a flat little-endian stream with a magic header; it is only
+ * intended for same-machine artifact caching, not interchange.
+ */
+
+#ifndef SWORDFISH_UTIL_SERIALIZE_H
+#define SWORDFISH_UTIL_SERIALIZE_H
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "logging.h"
+
+namespace swordfish {
+
+/** Binary output stream wrapper with typed put helpers. */
+class BinaryWriter
+{
+  public:
+    /** Open the file for writing; fatal() on failure. */
+    explicit BinaryWriter(const std::string& path)
+        : out_(path, std::ios::binary)
+    {
+        if (!out_)
+            fatal("BinaryWriter: cannot open ", path);
+        putU64(kMagic);
+    }
+
+    void
+    putU64(std::uint64_t v)
+    {
+        out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    }
+
+    void
+    putI64(std::int64_t v)
+    {
+        out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    }
+
+    void
+    putF64(double v)
+    {
+        out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    }
+
+    void
+    putFloats(const std::vector<float>& v)
+    {
+        putU64(v.size());
+        out_.write(reinterpret_cast<const char*>(v.data()),
+                   static_cast<std::streamsize>(v.size() * sizeof(float)));
+    }
+
+    void
+    putString(const std::string& s)
+    {
+        putU64(s.size());
+        out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+    }
+
+    /** True when all writes so far succeeded. */
+    bool good() const { return static_cast<bool>(out_); }
+
+    static constexpr std::uint64_t kMagic = 0x53574f5244462331ULL; // "SWORDF#1"
+
+  private:
+    std::ofstream out_;
+};
+
+/** Binary input stream wrapper mirroring BinaryWriter. */
+class BinaryReader
+{
+  public:
+    /** Open and validate the magic header; ok() reports success. */
+    explicit BinaryReader(const std::string& path)
+        : in_(path, std::ios::binary)
+    {
+        if (in_ && getU64() != BinaryWriter::kMagic)
+            in_.setstate(std::ios::failbit);
+    }
+
+    /** True when the file opened and the header matched. */
+    bool ok() const { return static_cast<bool>(in_); }
+
+    std::uint64_t
+    getU64()
+    {
+        std::uint64_t v = 0;
+        in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+        return v;
+    }
+
+    std::int64_t
+    getI64()
+    {
+        std::int64_t v = 0;
+        in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+        return v;
+    }
+
+    double
+    getF64()
+    {
+        double v = 0;
+        in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+        return v;
+    }
+
+    std::vector<float>
+    getFloats()
+    {
+        std::vector<float> v(getU64());
+        in_.read(reinterpret_cast<char*>(v.data()),
+                 static_cast<std::streamsize>(v.size() * sizeof(float)));
+        return v;
+    }
+
+    std::string
+    getString()
+    {
+        std::string s(getU64(), '\0');
+        in_.read(s.data(), static_cast<std::streamsize>(s.size()));
+        return s;
+    }
+
+  private:
+    std::ifstream in_;
+};
+
+} // namespace swordfish
+
+#endif // SWORDFISH_UTIL_SERIALIZE_H

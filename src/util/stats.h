@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Summary statistics helpers used by the System Evaluator and benches.
+ */
+
+#ifndef SWORDFISH_UTIL_STATS_H
+#define SWORDFISH_UTIL_STATS_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace swordfish {
+
+/**
+ * Streaming mean/variance accumulator (Welford's algorithm).
+ *
+ * Used wherever the paper reports error bars over repeated noisy runs
+ * (e.g., 1000 instantiations of write variation in Fig. 7).
+ */
+class RunningStat
+{
+  public:
+    /** Add one observation. */
+    void
+    add(double x)
+    {
+        ++count_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
+        min_ = count_ == 1 ? x : std::min(min_, x);
+        max_ = count_ == 1 ? x : std::max(max_, x);
+    }
+
+    std::size_t count() const { return count_; }
+    double mean() const { return mean_; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    /** Sample variance (n-1 denominator); 0 with fewer than 2 samples. */
+    double
+    variance() const
+    {
+        return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Batch summary of a sample vector, including order statistics. */
+struct Summary
+{
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double median = 0.0;
+    std::size_t count = 0;
+
+    /** Compute a Summary over the given samples. */
+    static Summary
+    of(std::vector<double> samples)
+    {
+        if (samples.empty())
+            throw std::invalid_argument("Summary::of: empty sample set");
+        Summary s;
+        RunningStat rs;
+        for (double x : samples)
+            rs.add(x);
+        s.mean = rs.mean();
+        s.stddev = rs.stddev();
+        s.min = rs.min();
+        s.max = rs.max();
+        s.count = samples.size();
+        std::nth_element(samples.begin(),
+                         samples.begin() + samples.size() / 2,
+                         samples.end());
+        s.median = samples[samples.size() / 2];
+        return s;
+    }
+};
+
+/** Linear interpolation percentile (p in [0,100]) of a sample vector. */
+inline double
+percentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        throw std::invalid_argument("percentile: empty sample set");
+    std::sort(samples.begin(), samples.end());
+    const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+} // namespace swordfish
+
+#endif // SWORDFISH_UTIL_STATS_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Plain-text table printer so every bench emits the same row/column layout
+ * the paper's tables and figures report.
+ */
+
+#ifndef SWORDFISH_UTIL_TABLE_H
+#define SWORDFISH_UTIL_TABLE_H
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace swordfish {
+
+/** Column-aligned text table accumulated row by row, printed at the end. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void
+    header(std::vector<std::string> cols)
+    {
+        header_ = std::move(cols);
+    }
+
+    /** Append a data row (stringified cells). */
+    void
+    row(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    /** Format a double with fixed precision — convenience for cells. */
+    static std::string
+    num(double v, int precision = 2)
+    {
+        std::ostringstream oss;
+        oss << std::fixed << std::setprecision(precision) << v;
+        return oss.str();
+    }
+
+    /** Render to the given stream with aligned columns. */
+    void
+    print(std::ostream& os = std::cout) const
+    {
+        std::vector<std::size_t> widths;
+        auto grow = [&](const std::vector<std::string>& cells) {
+            if (widths.size() < cells.size())
+                widths.resize(cells.size(), 0);
+            for (std::size_t i = 0; i < cells.size(); ++i)
+                widths[i] = std::max(widths[i], cells[i].size());
+        };
+        grow(header_);
+        for (const auto& r : rows_)
+            grow(r);
+
+        auto emit = [&](const std::vector<std::string>& cells) {
+            for (std::size_t i = 0; i < cells.size(); ++i) {
+                os << std::left << std::setw(
+                    static_cast<int>(widths[i]) + 2) << cells[i];
+            }
+            os << '\n';
+        };
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t w : widths)
+            total += w + 2;
+        os << std::string(total, '-') << '\n';
+        for (const auto& r : rows_)
+            emit(r);
+        os.flush();
+    }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace swordfish
+
+#endif // SWORDFISH_UTIL_TABLE_H

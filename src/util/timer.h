@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Wall-clock timing helpers for the pipeline breakdown experiment (Fig. 1)
+ * and general profiling.
+ */
+
+#ifndef SWORDFISH_UTIL_TIMER_H
+#define SWORDFISH_UTIL_TIMER_H
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "logging.h"
+
+namespace swordfish {
+
+/** Restartable stopwatch returning elapsed seconds. */
+class Stopwatch
+{
+  public:
+    Stopwatch() { restart(); }
+
+    /** Reset the start point to now. */
+    void restart() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or last restart(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Milliseconds elapsed. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/** RAII timer that logs its scope's duration at Debug level. */
+class ScopeTimer
+{
+  public:
+    explicit ScopeTimer(std::string label) : label_(std::move(label)) {}
+
+    ~ScopeTimer()
+    {
+        debugLog(label_, " took ", watch_.milliseconds(), " ms");
+    }
+
+    ScopeTimer(const ScopeTimer&) = delete;
+    ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+    /** Elapsed seconds so far. */
+    double seconds() const { return watch_.seconds(); }
+
+  private:
+    std::string label_;
+    Stopwatch watch_;
+};
+
+} // namespace swordfish
+
+#endif // SWORDFISH_UTIL_TIMER_H

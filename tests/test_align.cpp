@@ -1,0 +1,209 @@
+/** @file Tests for alignment, identity metric, edit distance, mapper. */
+
+#include <gtest/gtest.h>
+
+#include "genomics/align.h"
+#include "genomics/dataset.h"
+#include "genomics/mapper.h"
+
+using namespace swordfish;
+using namespace swordfish::genomics;
+
+TEST(Align, IdenticalSequencesFullIdentity)
+{
+    const Sequence s = fromString("ACGTACGTAC");
+    const auto res = alignGlobal(s, s);
+    EXPECT_EQ(res.matches, s.size());
+    EXPECT_EQ(res.mismatches, 0u);
+    EXPECT_EQ(res.alignmentLength, s.size());
+    EXPECT_DOUBLE_EQ(res.identity(), 1.0);
+}
+
+TEST(Align, SingleSubstitution)
+{
+    const auto res = alignGlobal(fromString("ACGTA"), fromString("ACCTA"));
+    EXPECT_EQ(res.matches, 4u);
+    EXPECT_EQ(res.mismatches, 1u);
+    EXPECT_EQ(res.alignmentLength, 5u);
+    EXPECT_DOUBLE_EQ(res.identity(), 0.8);
+}
+
+TEST(Align, SingleInsertion)
+{
+    // a has one extra base vs b.
+    const auto res = alignGlobal(fromString("ACGGTA"), fromString("ACGTA"));
+    EXPECT_EQ(res.matches, 5u);
+    EXPECT_EQ(res.insertions, 1u);
+    EXPECT_EQ(res.deletions, 0u);
+    EXPECT_EQ(res.alignmentLength, 6u);
+}
+
+TEST(Align, SingleDeletion)
+{
+    const auto res = alignGlobal(fromString("ACTA"), fromString("ACGTA"));
+    EXPECT_EQ(res.deletions, 1u);
+    EXPECT_EQ(res.matches, 4u);
+}
+
+TEST(Align, EmptySequences)
+{
+    const auto res = alignGlobal({}, fromString("ACG"));
+    EXPECT_EQ(res.deletions, 3u);
+    EXPECT_EQ(res.alignmentLength, 3u);
+    EXPECT_DOUBLE_EQ(res.identity(), 0.0);
+    const auto res2 = alignGlobal({}, {});
+    EXPECT_EQ(res2.alignmentLength, 0u);
+}
+
+TEST(Align, ColumnsAlwaysConsistent)
+{
+    // Property: matches+mismatches+ins+del == alignmentLength, and the
+    // consumed characters add up to both input lengths.
+    Rng rng(1);
+    for (int trial = 0; trial < 20; ++trial) {
+        Sequence a = generateGenome(120 + rng.next(80), 0.5, rng);
+        Sequence b = a;
+        // Mutate b.
+        for (std::size_t i = 0; i < b.size(); ++i)
+            if (rng.bernoulli(0.08))
+                b[i] = static_cast<std::uint8_t>((b[i] + 1 + rng.next(3))
+                                                 % 4);
+        if (rng.bernoulli(0.7))
+            b.erase(b.begin() + static_cast<std::ptrdiff_t>(
+                        rng.next(b.size())));
+        const auto res = alignGlobal(a, b);
+        EXPECT_EQ(res.matches + res.mismatches + res.insertions
+                      + res.deletions,
+                  res.alignmentLength);
+        EXPECT_EQ(res.matches + res.mismatches + res.insertions, a.size());
+        EXPECT_EQ(res.matches + res.mismatches + res.deletions, b.size());
+    }
+}
+
+TEST(Align, IdentityDropsWithErrorRate)
+{
+    Rng rng(2);
+    const Sequence a = generateGenome(400, 0.5, rng);
+    auto mutate = [&](double rate) {
+        Sequence b = a;
+        Rng r(3);
+        for (auto& base : b)
+            if (r.bernoulli(rate))
+                base = static_cast<std::uint8_t>((base + 1) % 4);
+        return alignGlobal(a, b).identity();
+    };
+    EXPECT_GT(mutate(0.02), mutate(0.10));
+    EXPECT_GT(mutate(0.10), mutate(0.30));
+}
+
+TEST(Align, AgreesWithEditDistanceOnSubstitutionOnlyCase)
+{
+    const Sequence a = fromString("ACGTACGTACGT");
+    Sequence b = a;
+    b[3] = 0;
+    b[7] = 1;
+    EXPECT_EQ(editDistance(a, b), 2u);
+    const auto res = alignGlobal(a, b);
+    EXPECT_EQ(res.mismatches + res.insertions + res.deletions, 2u);
+}
+
+TEST(Align, GlocalIdentityIgnoresWindowOverhang)
+{
+    // Read aligned against a padded window: global identity is deflated
+    // by the overhang, glocal identity is not.
+    Rng rng(11);
+    const Sequence window = generateGenome(400, 0.5, rng);
+    const Sequence read(window.begin() + 30, window.begin() + 330);
+    const auto res = alignGlocal(read, window, 128);
+    EXPECT_LT(res.identity(), 0.9);
+    EXPECT_DOUBLE_EQ(res.glocalIdentity(), 1.0);
+    EXPECT_EQ(res.leadingDeletions, 30u);
+    EXPECT_EQ(res.trailingDeletions, 70u);
+    EXPECT_EQ(res.matches, read.size());
+}
+
+TEST(Align, GlocalColumnsStillConsistent)
+{
+    Rng rng(12);
+    const Sequence window = generateGenome(300, 0.5, rng);
+    Sequence read(window.begin() + 20, window.begin() + 250);
+    read[50] = static_cast<std::uint8_t>((read[50] + 1) % 4);
+    const auto res = alignGlocal(read, window, 96);
+    EXPECT_EQ(res.matches + res.mismatches + res.insertions, read.size());
+    EXPECT_EQ(res.matches + res.mismatches + res.deletions, window.size());
+    EXPECT_EQ(res.matches + res.mismatches + res.insertions
+                  + res.deletions,
+              res.alignmentLength);
+}
+
+TEST(EditDistance, KnownValues)
+{
+    EXPECT_EQ(editDistance(fromString("ACGT"), fromString("ACGT")), 0u);
+    EXPECT_EQ(editDistance(fromString("ACGT"), fromString("AGT")), 1u);
+    EXPECT_EQ(editDistance(fromString("AAAA"), fromString("TTTT")), 4u);
+    EXPECT_EQ(editDistance({}, fromString("ACG")), 3u);
+}
+
+TEST(EditDistance, Symmetric)
+{
+    Rng rng(4);
+    const Sequence a = generateGenome(60, 0.5, rng);
+    const Sequence b = generateGenome(70, 0.5, rng);
+    EXPECT_EQ(editDistance(a, b), editDistance(b, a));
+}
+
+TEST(Mapper, FindsExactSubstring)
+{
+    Rng rng(5);
+    const Sequence ref = generateGenome(5000, 0.5, rng);
+    ReadMapper mapper(ref);
+    const Sequence read(ref.begin() + 1200, ref.begin() + 1500);
+    const auto res = mapper.map(read);
+    ASSERT_TRUE(res.mapped);
+    EXPECT_NEAR(static_cast<double>(res.refStart), 1200.0, 40.0);
+    EXPECT_GT(res.identity, 0.95);
+}
+
+TEST(Mapper, RejectsForeignSequence)
+{
+    Rng rng(6);
+    const Sequence ref = generateGenome(5000, 0.5, rng);
+    ReadMapper mapper(ref);
+    Rng other(999);
+    const Sequence foreign = generateGenome(300, 0.5, other);
+    const auto res = mapper.map(foreign);
+    // Either unmapped or mapped with junk identity.
+    if (res.mapped) {
+        EXPECT_LT(res.identity, 0.7);
+    }
+}
+
+TEST(Mapper, ToleratesSequencingErrors)
+{
+    Rng rng(7);
+    const Sequence ref = generateGenome(8000, 0.5, rng);
+    ReadMapper mapper(ref);
+    Sequence read(ref.begin() + 3000, ref.begin() + 3400);
+    for (std::size_t i = 0; i < read.size(); i += 25)
+        read[i] = static_cast<std::uint8_t>((read[i] + 1) % 4);
+    const auto res = mapper.map(read);
+    ASSERT_TRUE(res.mapped);
+    EXPECT_NEAR(static_cast<double>(res.refStart), 3000.0, 64.0);
+    EXPECT_GT(res.identity, 0.85);
+}
+
+TEST(Mapper, ShortReadUnmapped)
+{
+    Rng rng(8);
+    const Sequence ref = generateGenome(2000, 0.5, rng);
+    ReadMapper mapper(ref, 13);
+    EXPECT_FALSE(mapper.map(fromString("ACGTACG")).mapped);
+}
+
+TEST(Mapper, InvalidKIsFatal)
+{
+    Rng rng(9);
+    const Sequence ref = generateGenome(100, 0.5, rng);
+    EXPECT_EXIT(ReadMapper(ref, 0), ::testing::ExitedWithCode(1), "k");
+    EXPECT_EXIT(ReadMapper(ref, 40), ::testing::ExitedWithCode(1), "k");
+}

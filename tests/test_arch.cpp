@@ -1,0 +1,228 @@
+/** @file Tests for the architecture model: partition & map, area,
+ *  throughput. */
+
+#include <gtest/gtest.h>
+
+#include "arch/area.h"
+#include "arch/partition.h"
+#include "arch/throughput.h"
+#include "basecall/bonito_lite.h"
+
+using namespace swordfish;
+using namespace swordfish::arch;
+
+namespace {
+
+nn::SequenceModel
+model()
+{
+    return basecall::buildBonitoLite();
+}
+
+} // namespace
+
+TEST(Partition, EnumeratesAllVmmSites)
+{
+    auto m = model();
+    const auto map = buildPartitionMap(m, 64);
+    // conv + 3 x (wih + whh) + head = 8 sites.
+    ASSERT_EQ(map.sites.size(), 8u);
+    EXPECT_EQ(map.sites.front().name, "conv0.w");
+    EXPECT_EQ(map.sites.front().kind, VmmKind::Convolution);
+    EXPECT_EQ(map.sites.back().name, "head.w");
+    EXPECT_EQ(map.sites.back().kind, VmmKind::Linear);
+}
+
+TEST(Partition, TileCountsMatchCeilDiv)
+{
+    auto m = model();
+    const auto map = buildPartitionMap(m, 64);
+    for (const auto& site : map.sites) {
+        EXPECT_EQ(site.rowTiles, (site.rows + 63) / 64);
+        EXPECT_EQ(site.colTiles, (site.cols + 63) / 64);
+    }
+    // lstm wih is 128x32 -> 2x1 tiles on 64x64 arrays.
+    const auto& wih = map.sites[1];
+    EXPECT_EQ(wih.kind, VmmKind::LstmInput);
+    EXPECT_EQ(wih.rows, 128u);
+    EXPECT_EQ(wih.rowTiles, 2u);
+    EXPECT_EQ(wih.colTiles, 1u);
+}
+
+TEST(Partition, BiggerCrossbarsFewerTiles)
+{
+    auto m = model();
+    const auto small = buildPartitionMap(m, 64);
+    const auto big = buildPartitionMap(m, 256);
+    EXPECT_GT(small.totalTiles(), big.totalTiles());
+    EXPECT_EQ(small.totalMappedWeights(), big.totalMappedWeights());
+}
+
+TEST(Partition, MappedWeightsMatchParameterSizes)
+{
+    auto m = model();
+    const auto map = buildPartitionMap(m, 64);
+    std::size_t expected = 0;
+    for (nn::Parameter* p : m.parameters()) {
+        const auto& name = p->name;
+        if (name.ends_with(".w") || name.ends_with(".wih")
+            || name.ends_with(".whh")) {
+            expected += p->size();
+        }
+    }
+    EXPECT_EQ(map.totalMappedWeights(), expected);
+}
+
+TEST(Partition, DescribeListsEverySite)
+{
+    auto m = model();
+    const auto map = buildPartitionMap(m, 64);
+    const std::string desc = map.describe();
+    for (const auto& site : map.sites)
+        EXPECT_NE(desc.find(site.name), std::string::npos);
+}
+
+TEST(Partition, ZeroSizeIsFatal)
+{
+    auto m = model();
+    EXPECT_EXIT(buildPartitionMap(m, 0), ::testing::ExitedWithCode(1),
+                "positive");
+}
+
+TEST(Area, ComponentsArePositive)
+{
+    auto m = model();
+    const auto map = buildPartitionMap(m, 64);
+    const auto area = computeArea(map, AreaParams{}, 0.05);
+    EXPECT_GT(area.crossbarMm2, 0.0);
+    EXPECT_GT(area.adcMm2, 0.0);
+    EXPECT_GT(area.dacMm2, 0.0);
+    EXPECT_GT(area.sramMm2, 0.0);
+    EXPECT_GT(area.digitalMm2, 0.0);
+    EXPECT_NEAR(area.totalMm2,
+                area.crossbarMm2 + area.adcMm2 + area.dacMm2
+                    + area.sramMm2 + area.digitalMm2,
+                1e-9);
+}
+
+TEST(Area, SramGrowsWithFraction)
+{
+    auto m = model();
+    const auto map = buildPartitionMap(m, 64);
+    const auto a0 = computeArea(map, AreaParams{}, 0.0);
+    const auto a5 = computeArea(map, AreaParams{}, 0.05);
+    const auto a10 = computeArea(map, AreaParams{}, 0.10);
+    EXPECT_EQ(a0.sramMm2, 0.0);
+    EXPECT_LT(a5.sramMm2, a10.sramMm2);
+    EXPECT_LT(a5.totalMm2, a10.totalMm2);
+    EXPECT_NEAR(a10.sramMm2, 2.0 * a5.sramMm2, 1e-9);
+}
+
+TEST(Area, AdcDominatesAnalogArea)
+{
+    auto m = model();
+    const auto map = buildPartitionMap(m, 64);
+    const auto area = computeArea(map, AreaParams{}, 0.0);
+    EXPECT_GT(area.adcMm2, area.crossbarMm2);
+}
+
+TEST(Throughput, PipelineStepIncludesAdcSerialization)
+{
+    auto m = model();
+    const auto map64 = buildPartitionMap(m, 64);
+    const auto map256 = buildPartitionMap(m, 256);
+    const TimingParams timing;
+    EXPECT_GT(pipelineStepNs(map256, timing),
+              pipelineStepNs(map64, timing));
+}
+
+TEST(Throughput, FlopsPerStepMatchesWeights)
+{
+    auto m = model();
+    const auto map = buildPartitionMap(m, 64);
+    EXPECT_DOUBLE_EQ(flopsPerStep(map),
+                     2.0 * static_cast<double>(map.totalMappedWeights()));
+}
+
+TEST(Throughput, VariantOrderingMatchesPaper)
+{
+    auto m = model();
+    const auto map = buildPartitionMap(m, 64);
+    const TimingParams timing;
+    const WorkloadProfile wl;
+    const double gpu = estimateThroughput(Variant::BonitoGpu, map, timing,
+                                          wl).kbps;
+    const double ideal = estimateThroughput(Variant::Ideal, map, timing,
+                                            wl).kbps;
+    const double rvw = estimateThroughput(Variant::RealisticRvw, map,
+                                          timing, wl).kbps;
+    const double rsa = estimateThroughput(Variant::RealisticRsa, map,
+                                          timing, wl).kbps;
+    const double rsakd = estimateThroughput(Variant::RealisticRsaKd, map,
+                                            timing, wl).kbps;
+    // Paper Fig. 14: Ideal >> RSA+KD > RSA > GPU > RVW.
+    EXPECT_GT(ideal, rsakd);
+    EXPECT_GT(rsakd, rsa);
+    EXPECT_GT(rsa, gpu);
+    EXPECT_GT(gpu, rvw);
+}
+
+TEST(Throughput, PaperRatiosApproximatelyReproduced)
+{
+    auto m = model();
+    const auto map = buildPartitionMap(m, 64);
+    const TimingParams timing;
+    const WorkloadProfile wl;
+    const double gpu = estimateThroughput(Variant::BonitoGpu, map, timing,
+                                          wl).kbps;
+    EXPECT_NEAR(estimateThroughput(Variant::Ideal, map, timing, wl).kbps
+                    / gpu,
+                413.6, 60.0);
+    EXPECT_NEAR(estimateThroughput(Variant::RealisticRsaKd, map, timing,
+                                   wl).kbps
+                    / gpu,
+                25.7, 5.0);
+    EXPECT_NEAR(estimateThroughput(Variant::RealisticRsa, map, timing,
+                                   wl).kbps
+                    / gpu,
+                5.24, 1.2);
+    EXPECT_NEAR(estimateThroughput(Variant::RealisticRvw, map, timing,
+                                   wl).kbps
+                    / gpu,
+                0.70, 0.15);
+}
+
+TEST(Throughput, RsaOverheadScalesWithSramFraction)
+{
+    auto m = model();
+    const auto map = buildPartitionMap(m, 64);
+    const TimingParams timing;
+    const WorkloadProfile wl;
+    const double at1 = estimateThroughput(Variant::RealisticRsa, map,
+                                          timing, wl, 0.01).kbps;
+    const double at5 = estimateThroughput(Variant::RealisticRsa, map,
+                                          timing, wl, 0.05).kbps;
+    EXPECT_GT(at1, at5);
+}
+
+TEST(Throughput, PerReadOverheadLowersShortReadThroughput)
+{
+    auto m = model();
+    const auto map = buildPartitionMap(m, 64);
+    const TimingParams timing;
+    WorkloadProfile short_reads;
+    short_reads.meanReadLenBases = 100;
+    WorkloadProfile long_reads;
+    long_reads.meanReadLenBases = 2000;
+    EXPECT_LT(estimateThroughput(Variant::Ideal, map, timing,
+                                 short_reads).kbps,
+              estimateThroughput(Variant::Ideal, map, timing,
+                                 long_reads).kbps);
+}
+
+TEST(Throughput, VariantNamesMatchPaperLabels)
+{
+    EXPECT_STREQ(variantName(Variant::BonitoGpu), "Bonito-GPU");
+    EXPECT_STREQ(variantName(Variant::RealisticRsaKd),
+                 "Realistic-SwordfishAccel-RSA+KD");
+}

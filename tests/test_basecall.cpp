@@ -1,0 +1,203 @@
+/** @file Tests for chunking, training loop mechanics and basecalling. */
+
+#include <gtest/gtest.h>
+
+#include "basecall/basecaller.h"
+#include "basecall/bonito_lite.h"
+#include "basecall/chunker.h"
+#include "basecall/trainer.h"
+#include "genomics/dataset.h"
+#include "test_util.h"
+
+using namespace swordfish;
+using namespace swordfish::basecall;
+using namespace swordfish::genomics;
+
+namespace {
+
+Read
+makeRead(std::size_t bases, std::uint64_t seed)
+{
+    const PoreModel pore;
+    Rng rng(seed);
+    Read read;
+    read.bases = generateGenome(bases, 0.5, rng);
+    read.signal = pore.simulate(read.bases, SignalParams{}, rng,
+                                &read.sampleToBase);
+    return read;
+}
+
+} // namespace
+
+TEST(Chunker, NormalizeToZeroMeanUnitVariance)
+{
+    std::vector<float> raw = {1.0f, 3.0f, 5.0f, 7.0f, 9.0f};
+    const Matrix m = normalizeSignal(raw);
+    ASSERT_EQ(m.rows(), 5u);
+    ASSERT_EQ(m.cols(), 1u);
+    double mean = 0.0, var = 0.0;
+    for (std::size_t i = 0; i < 5; ++i)
+        mean += m(i, 0);
+    mean /= 5.0;
+    for (std::size_t i = 0; i < 5; ++i)
+        var += (m(i, 0) - mean) * (m(i, 0) - mean);
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var / 5.0, 1.0, 1e-4);
+}
+
+TEST(Chunker, ConstantSignalDoesNotBlowUp)
+{
+    std::vector<float> raw(10, 2.5f);
+    const Matrix m = normalizeSignal(raw);
+    for (std::size_t i = 0; i < m.size(); ++i)
+        EXPECT_FLOAT_EQ(m.raw()[i], 0.0f);
+}
+
+TEST(Chunker, ChunksCoverWholeReadWithoutPartials)
+{
+    const Read read = makeRead(200, 1);
+    std::vector<TrainChunk> chunks;
+    chunkRead(read, 256, chunks);
+    EXPECT_EQ(chunks.size(), read.signal.size() / 256);
+    for (const auto& c : chunks) {
+        EXPECT_EQ(c.signal.rows(), 256u);
+        EXPECT_FALSE(c.labels.empty());
+        for (int l : c.labels) {
+            EXPECT_GE(l, 1);
+            EXPECT_LE(l, 4);
+        }
+    }
+}
+
+TEST(Chunker, LabelsMatchUnderlyingBases)
+{
+    const Read read = makeRead(300, 2);
+    std::vector<TrainChunk> chunks;
+    chunkRead(read, 256, chunks);
+    ASSERT_FALSE(chunks.empty());
+    // Labels of each chunk must appear as a contiguous run in the read.
+    std::vector<int> all_labels;
+    for (std::uint8_t b : read.bases)
+        all_labels.push_back(static_cast<int>(b) + 1);
+    for (const auto& chunk : chunks) {
+        const auto it = std::search(all_labels.begin(), all_labels.end(),
+                                    chunk.labels.begin(),
+                                    chunk.labels.end());
+        EXPECT_NE(it, all_labels.end());
+    }
+}
+
+TEST(Chunker, LabelCountConsistentWithDwell)
+{
+    const Read read = makeRead(400, 3);
+    std::vector<TrainChunk> chunks;
+    chunkRead(read, 256, chunks);
+    const SignalParams params;
+    for (const auto& chunk : chunks) {
+        // 256 samples at dwell in [min, max] bounds the base count.
+        EXPECT_GE(chunk.labels.size(),
+                  256 / static_cast<std::size_t>(params.dwellMax) - 2);
+        EXPECT_LE(chunk.labels.size(),
+                  256 / static_cast<std::size_t>(params.dwellMin) + 2);
+    }
+}
+
+TEST(Chunker, MissingAnnotationsPanic)
+{
+    Read read = makeRead(100, 4);
+    read.sampleToBase.clear();
+    std::vector<TrainChunk> out;
+    EXPECT_DEATH(chunkRead(read, 64, out), "annotations");
+}
+
+TEST(Trainer, LossDecreasesOnTinyCorpus)
+{
+    const PoreModel pore;
+    const Dataset train = makeTrainingDataset(4, 150, pore);
+    const auto chunks = chunkDataset(train, 256);
+    ASSERT_GE(chunks.size(), 4u);
+
+    BonitoLiteConfig small;
+    small.convChannels = 8;
+    small.lstmHidden = 8;
+    small.lstmLayers = 1;
+    auto model = buildBonitoLite(small);
+
+    const double before = evaluateCtcLoss(model, chunks);
+    TrainConfig tc;
+    tc.epochs = 3;
+    trainCtc(model, chunks, tc);
+    const double after = evaluateCtcLoss(model, chunks);
+    EXPECT_LT(after, before);
+}
+
+TEST(Trainer, EpochCallbackFires)
+{
+    const PoreModel pore;
+    const Dataset train = makeTrainingDataset(2, 120, pore);
+    const auto chunks = chunkDataset(train, 256);
+    BonitoLiteConfig small;
+    small.convChannels = 4;
+    small.lstmHidden = 4;
+    small.lstmLayers = 1;
+    auto model = buildBonitoLite(small);
+    TrainConfig tc;
+    tc.epochs = 2;
+    std::size_t calls = 0;
+    trainCtc(model, chunks, tc, {}, [&](const EpochStats& e) {
+        EXPECT_EQ(e.epoch, calls);
+        EXPECT_GT(e.chunks, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 2u);
+}
+
+TEST(Trainer, HooksInvokedPerChunk)
+{
+    const PoreModel pore;
+    const Dataset train = makeTrainingDataset(2, 120, pore);
+    const auto chunks = chunkDataset(train, 256);
+    BonitoLiteConfig small;
+    small.convChannels = 4;
+    small.lstmHidden = 4;
+    small.lstmLayers = 1;
+    auto model = buildBonitoLite(small);
+    TrainConfig tc;
+    tc.epochs = 1;
+    std::size_t pre = 0, post = 0;
+    TrainHooks hooks;
+    hooks.preForward = [&] { ++pre; };
+    hooks.postBackward = [&] { ++post; };
+    trainCtc(model, chunks, tc, hooks);
+    EXPECT_EQ(pre, chunks.size());
+    EXPECT_EQ(post, chunks.size());
+}
+
+TEST(Trainer, EmptyCorpusIsFatal)
+{
+    auto model = buildBonitoLite();
+    std::vector<TrainChunk> none;
+    EXPECT_EXIT(trainCtc(model, none, TrainConfig{}),
+                ::testing::ExitedWithCode(1), "no training chunks");
+}
+
+TEST(Basecaller, UntrainedModelStillDecodesValidBases)
+{
+    auto model = buildBonitoLite();
+    const Read read = makeRead(100, 5);
+    const Sequence called = basecallRead(model, read);
+    for (std::uint8_t b : called)
+        EXPECT_LT(b, 4);
+}
+
+TEST(Basecaller, EvaluateAccuracyShapes)
+{
+    auto model = buildBonitoLite();
+    const PoreModel pore;
+    const Dataset ds = makeDataset(specById("D1"), pore, 3);
+    const auto acc = evaluateAccuracy(model, ds, 2);
+    EXPECT_EQ(acc.readsEvaluated, 2u);
+    EXPECT_GE(acc.meanIdentity, 0.0);
+    EXPECT_LE(acc.meanIdentity, 1.0);
+    EXPECT_LE(acc.minIdentity, acc.meanIdentity + 1e-12);
+}

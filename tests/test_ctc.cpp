@@ -1,0 +1,192 @@
+/** @file Tests for CTC loss, gradients and decoders. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/ctc.h"
+#include "test_util.h"
+
+using namespace swordfish;
+using namespace swordfish::nn;
+using swordfish::testing::randomMatrix;
+
+TEST(LogSoftmax, RowsAreNormalized)
+{
+    const Matrix lp = logSoftmaxRows(randomMatrix(5, 4, 1, 2.0));
+    for (std::size_t t = 0; t < lp.rows(); ++t) {
+        double sum = 0.0;
+        for (std::size_t k = 0; k < lp.cols(); ++k)
+            sum += std::exp(lp(t, k));
+        EXPECT_NEAR(sum, 1.0, 1e-5);
+    }
+}
+
+TEST(LogSoftmax, ShiftInvariant)
+{
+    Matrix a = randomMatrix(3, 4, 2);
+    Matrix b = a;
+    for (float& v : b.raw())
+        v += 100.0f;
+    const Matrix la = logSoftmaxRows(a);
+    const Matrix lb = logSoftmaxRows(b);
+    for (std::size_t i = 0; i < la.size(); ++i)
+        EXPECT_NEAR(la.raw()[i], lb.raw()[i], 1e-4f);
+}
+
+TEST(CtcLoss, SingleFrameSingleLabel)
+{
+    // T=1, target {1}: loss = -log softmax(logits)[1].
+    Matrix logits(1, 3, {0.0f, 2.0f, -1.0f});
+    const auto res = ctcLoss(logits, {1});
+    ASSERT_TRUE(res.feasible);
+    const Matrix lp = logSoftmaxRows(logits);
+    EXPECT_NEAR(res.loss, -lp(0, 1), 1e-5);
+}
+
+TEST(CtcLoss, EmptyTargetForcesAllBlanks)
+{
+    Matrix logits(3, 2, {1.0f, 0.5f, 0.2f, -0.1f, 0.9f, 0.3f});
+    const auto res = ctcLoss(logits, {});
+    ASSERT_TRUE(res.feasible);
+    const Matrix lp = logSoftmaxRows(logits);
+    EXPECT_NEAR(res.loss, -(lp(0, 0) + lp(1, 0) + lp(2, 0)), 1e-5);
+}
+
+TEST(CtcLoss, InfeasibleWhenTooFewFrames)
+{
+    Matrix logits(2, 3);
+    const auto res = ctcLoss(logits, {1, 2, 1});
+    EXPECT_FALSE(res.feasible);
+}
+
+TEST(CtcLoss, RepeatedLabelsNeedSeparatingBlank)
+{
+    Matrix logits(2, 3);
+    EXPECT_FALSE(ctcLoss(logits, {1, 1}).feasible); // needs >= 3 frames
+    Matrix logits3(3, 3);
+    EXPECT_TRUE(ctcLoss(logits3, {1, 1}).feasible);
+}
+
+TEST(CtcLoss, GradientRowsSumToZero)
+{
+    // d/dlogits of -log P sums to zero per frame because both softmax and
+    // the posterior gamma are normalized distributions.
+    const Matrix logits = randomMatrix(12, 5, 3);
+    const auto res = ctcLoss(logits, {1, 3, 2, 4});
+    ASSERT_TRUE(res.feasible);
+    for (std::size_t t = 0; t < logits.rows(); ++t) {
+        double sum = 0.0;
+        for (std::size_t k = 0; k < logits.cols(); ++k)
+            sum += res.dLogits(t, k);
+        EXPECT_NEAR(sum, 0.0, 1e-4) << "frame " << t;
+    }
+}
+
+TEST(CtcLoss, GradientMatchesFiniteDifferences)
+{
+    const Matrix logits = randomMatrix(8, 4, 4);
+    const std::vector<int> target = {1, 2, 3};
+    const auto res = ctcLoss(logits, target);
+    ASSERT_TRUE(res.feasible);
+
+    const float eps = 1e-3f;
+    Matrix probe = logits;
+    for (std::size_t i = 0; i < logits.size(); i += 3) {
+        const float orig = probe.raw()[i];
+        probe.raw()[i] = orig + eps;
+        const double up = ctcLoss(probe, target).loss;
+        probe.raw()[i] = orig - eps;
+        const double down = ctcLoss(probe, target).loss;
+        probe.raw()[i] = orig;
+        const double numeric = (up - down) / (2.0 * eps);
+        EXPECT_NEAR(res.dLogits.raw()[i], numeric, 2e-3)
+            << "coordinate " << i;
+    }
+}
+
+TEST(CtcLoss, LowerLossForMatchingLogits)
+{
+    // Logits that spell the target cleanly should beat random logits.
+    Matrix good(5, 3);
+    good.fill(-3.0f);
+    // frames: 1, blank, 2, blank, blank
+    good(0, 1) = 3.0f;
+    good(1, 0) = 3.0f;
+    good(2, 2) = 3.0f;
+    good(3, 0) = 3.0f;
+    good(4, 0) = 3.0f;
+    const auto res_good = ctcLoss(good, {1, 2});
+    const auto res_rand = ctcLoss(randomMatrix(5, 3, 5), {1, 2});
+    ASSERT_TRUE(res_good.feasible);
+    EXPECT_LT(res_good.loss, res_rand.loss);
+}
+
+TEST(CtcLoss, OutOfRangeLabelPanics)
+{
+    Matrix logits(4, 3);
+    EXPECT_DEATH(ctcLoss(logits, {0}), "out of range");
+    EXPECT_DEATH(ctcLoss(logits, {3}), "out of range");
+}
+
+TEST(GreedyDecode, CollapsesRepeatsAndBlanks)
+{
+    // argmax sequence: 1 1 0 1 2 2 0 0 3 -> decode 1, 1, 2, 3
+    Matrix logits(9, 4);
+    const int arg[] = {1, 1, 0, 1, 2, 2, 0, 0, 3};
+    for (int t = 0; t < 9; ++t)
+        logits(static_cast<std::size_t>(t),
+               static_cast<std::size_t>(arg[t])) = 5.0f;
+    const auto out = ctcGreedyDecode(logits);
+    EXPECT_EQ(out, (std::vector<int>{1, 1, 2, 3}));
+}
+
+TEST(GreedyDecode, AllBlanksDecodeEmpty)
+{
+    Matrix logits(6, 3);
+    for (std::size_t t = 0; t < 6; ++t)
+        logits(t, 0) = 4.0f;
+    EXPECT_TRUE(ctcGreedyDecode(logits).empty());
+}
+
+TEST(BeamDecode, AgreesWithGreedyOnPeakedLogits)
+{
+    Matrix logits(7, 4);
+    const int arg[] = {1, 0, 2, 0, 3, 3, 0};
+    for (int t = 0; t < 7; ++t)
+        logits(static_cast<std::size_t>(t),
+               static_cast<std::size_t>(arg[t])) = 8.0f;
+    EXPECT_EQ(ctcBeamDecode(logits, 4), ctcGreedyDecode(logits));
+}
+
+TEST(BeamDecode, WidthOneStillDecodes)
+{
+    const Matrix logits = randomMatrix(10, 5, 6);
+    const auto out = ctcBeamDecode(logits, 1);
+    for (int label : out) {
+        EXPECT_GE(label, 1);
+        EXPECT_LE(label, 4);
+    }
+}
+
+TEST(BeamDecode, ZeroWidthPanics)
+{
+    Matrix logits(3, 3);
+    EXPECT_DEATH(ctcBeamDecode(logits, 0), "beam width");
+}
+
+TEST(BeamDecode, SumsPathsThatGreedyMisses)
+{
+    // Two frames: blank-heavy argmax path but total mass favours label 1:
+    // P(frame, 1) = 0.45, P(frame, blank) = 0.55 per frame.
+    // Greedy: blank blank -> empty. Beam: P("") = 0.55^2 = 0.3025,
+    // P("1") = 0.45*0.55 + 0.55*0.45 + 0.45*0.45 = 0.6975 -> "1".
+    Matrix logits(2, 2);
+    const float lb = std::log(0.55f), l1 = std::log(0.45f);
+    logits(0, 0) = lb;
+    logits(0, 1) = l1;
+    logits(1, 0) = lb;
+    logits(1, 1) = l1;
+    EXPECT_TRUE(ctcGreedyDecode(logits).empty());
+    EXPECT_EQ(ctcBeamDecode(logits, 8), std::vector<int>{1});
+}

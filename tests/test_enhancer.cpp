@@ -1,0 +1,203 @@
+/** @file Tests for the Accuracy Enhancer and the System Evaluator, on a
+ *  deliberately tiny network/corpus so they run fast. */
+
+#include <gtest/gtest.h>
+
+#include "basecall/bonito_lite.h"
+#include "core/deploy.h"
+#include "core/enhancer.h"
+#include "core/evaluator.h"
+#include "genomics/dataset.h"
+#include "test_util.h"
+
+using namespace swordfish;
+using namespace swordfish::core;
+using namespace swordfish::basecall;
+using namespace swordfish::genomics;
+
+namespace {
+
+BonitoLiteConfig
+tinyConfig()
+{
+    BonitoLiteConfig cfg;
+    cfg.convChannels = 8;
+    cfg.lstmHidden = 8;
+    cfg.lstmLayers = 1;
+    return cfg;
+}
+
+struct Fixture
+{
+    Fixture()
+        : teacher(buildBonitoLite(tinyConfig()))
+    {
+        const PoreModel pore;
+        const Dataset train = makeTrainingDataset(3, 150, pore);
+        chunks = chunkDataset(train, 256);
+        dataset = makeDataset(specById("D1"), pore, 3);
+    }
+
+    nn::SequenceModel teacher;
+    std::vector<TrainChunk> chunks;
+    Dataset dataset;
+};
+
+} // namespace
+
+TEST(Enhancer, TechniqueNamesMatchPaper)
+{
+    EXPECT_STREQ(techniqueName(Technique::Vat), "VAT");
+    EXPECT_STREQ(techniqueName(Technique::RsaKd), "RSA+KD");
+    EXPECT_STREQ(techniqueName(Technique::Rvw), "R-V-W");
+    const auto sweep = figureTenSweep();
+    ASSERT_EQ(sweep.size(), 5u);
+    EXPECT_EQ(sweep.back(), Technique::All);
+}
+
+TEST(Enhancer, NoneLeavesWeightsAndScenarioUntouched)
+{
+    Fixture f;
+    AccuracyEnhancer enhancer(f.teacher, f.chunks);
+    NonIdealityConfig scenario;
+    auto deployed = quantizeModel(f.teacher, scenario.quant);
+    EnhancerConfig cfg;
+    cfg.technique = Technique::None;
+    auto out = enhancer.enhance(deployed, scenario, cfg);
+    EXPECT_EQ(out.remap.fraction, 0.0);
+    EXPECT_EQ(out.evalConfig.crossbar.scheme, scenario.crossbar.scheme);
+    auto a = deployed.parameters();
+    auto b = out.model.parameters();
+    for (std::size_t i = 0; i < a.size(); ++i)
+        for (std::size_t j = 0; j < a[i]->size(); ++j)
+            EXPECT_EQ(a[i]->value.raw()[j], b[i]->value.raw()[j]);
+}
+
+TEST(Enhancer, RvwSwitchesProgrammingScheme)
+{
+    Fixture f;
+    AccuracyEnhancer enhancer(f.teacher, f.chunks);
+    NonIdealityConfig scenario;
+    EnhancerConfig cfg;
+    cfg.technique = Technique::Rvw;
+    auto out = enhancer.enhance(quantizeModel(f.teacher, scenario.quant),
+                                scenario, cfg);
+    EXPECT_EQ(out.evalConfig.crossbar.scheme,
+              crossbar::WriteScheme::WriteReadVerify);
+    EXPECT_EQ(out.remap.fraction, 0.0);
+}
+
+TEST(Enhancer, RsaSetsRemapWithoutRetraining)
+{
+    Fixture f;
+    AccuracyEnhancer enhancer(f.teacher, f.chunks);
+    NonIdealityConfig scenario;
+    EnhancerConfig cfg;
+    cfg.technique = Technique::Rsa;
+    cfg.sramFraction = 0.07;
+    auto deployed = quantizeModel(f.teacher, scenario.quant);
+    auto out = enhancer.enhance(deployed, scenario, cfg);
+    EXPECT_DOUBLE_EQ(out.remap.fraction, 0.07);
+    EXPECT_TRUE(out.remap.useErrorKnowledge);
+    // No retraining: weights unchanged.
+    auto a = deployed.parameters();
+    auto b = out.model.parameters();
+    for (std::size_t j = 0; j < a[0]->size(); ++j)
+        EXPECT_EQ(a[0]->value.raw()[j], b[0]->value.raw()[j]);
+}
+
+TEST(Enhancer, VatChangesWeights)
+{
+    Fixture f;
+    AccuracyEnhancer enhancer(f.teacher, f.chunks);
+    NonIdealityConfig scenario;
+    scenario.kind = NonIdealityKind::Combined;
+    EnhancerConfig cfg;
+    cfg.technique = Technique::Vat;
+    cfg.retrainEpochs = 1;
+    auto deployed = quantizeModel(f.teacher, scenario.quant);
+    auto out = enhancer.enhance(deployed, scenario, cfg);
+    bool changed = false;
+    auto a = deployed.parameters();
+    auto b = out.model.parameters();
+    for (std::size_t j = 0; j < a[0]->size(); ++j)
+        changed |= a[0]->value.raw()[j] != b[0]->value.raw()[j];
+    EXPECT_TRUE(changed);
+}
+
+TEST(Enhancer, AllCombinesSchemeRemapAndRetraining)
+{
+    Fixture f;
+    AccuracyEnhancer enhancer(f.teacher, f.chunks);
+    NonIdealityConfig scenario;
+    scenario.kind = NonIdealityKind::Combined;
+    EnhancerConfig cfg;
+    cfg.technique = Technique::All;
+    cfg.retrainEpochs = 1;
+    cfg.sramFraction = 0.05;
+    auto out = enhancer.enhance(quantizeModel(f.teacher, scenario.quant),
+                                scenario, cfg);
+    EXPECT_EQ(out.evalConfig.crossbar.scheme,
+              crossbar::WriteScheme::WriteReadVerify);
+    EXPECT_DOUBLE_EQ(out.remap.fraction, 0.05);
+}
+
+TEST(Enhancer, OutputWeightsAreQuantized)
+{
+    Fixture f;
+    AccuracyEnhancer enhancer(f.teacher, f.chunks);
+    NonIdealityConfig scenario;
+    scenario.quant = QuantConfig{4, 4};
+    EnhancerConfig cfg;
+    cfg.technique = Technique::Vat;
+    cfg.retrainEpochs = 1;
+    auto out = enhancer.enhance(quantizeModel(f.teacher, scenario.quant),
+                                scenario, cfg);
+    for (nn::Parameter* p : out.model.parameters()) {
+        if (!isVmmWeight(p->name))
+            continue;
+        std::set<float> levels(p->value.raw().begin(),
+                               p->value.raw().end());
+        EXPECT_LE(levels.size(), 16u) << p->name;
+    }
+}
+
+TEST(Evaluator, QuantAccuracyAtFullPrecisionMatchesPlainEval)
+{
+    Fixture f;
+    const double plain = evaluateAccuracy(f.teacher, f.dataset, 2)
+        .meanIdentity;
+    const double quant = evaluateQuantizedAccuracy(
+        f.teacher, QuantConfig{32, 32}, f.dataset, 2);
+    EXPECT_NEAR(plain, quant, 1e-9);
+}
+
+TEST(Evaluator, NonIdealSummaryShape)
+{
+    Fixture f;
+    auto deployed = quantizeModel(f.teacher, QuantConfig::deployment());
+    NonIdealityConfig scenario;
+    scenario.kind = NonIdealityKind::Combined;
+    scenario.crossbar.size = 16;
+    const auto s = evaluateNonIdealAccuracy(deployed, scenario, {},
+                                            f.dataset, 3, 2);
+    EXPECT_EQ(s.runs, 3u);
+    EXPECT_GE(s.min, 0.0);
+    EXPECT_LE(s.max, 1.0);
+    EXPECT_GE(s.mean, s.min - 1e-12);
+    EXPECT_LE(s.mean, s.max + 1e-12);
+}
+
+TEST(Evaluator, IdealScenarioMatchesDigitalQuantEval)
+{
+    Fixture f;
+    auto deployed = quantizeModel(f.teacher, QuantConfig::deployment());
+    NonIdealityConfig scenario;
+    scenario.kind = NonIdealityKind::None;
+    scenario.quant = QuantConfig::deployment();
+    const auto s = evaluateNonIdealAccuracy(deployed, scenario, {},
+                                            f.dataset, 1, 2);
+    const double digital = evaluateQuantizedAccuracy(
+        f.teacher, QuantConfig::deployment(), f.dataset, 2);
+    EXPECT_NEAR(s.mean, digital, 0.02);
+}

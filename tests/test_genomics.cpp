@@ -1,0 +1,221 @@
+/** @file Tests for sequences, genomes, pore model and datasets. */
+
+#include <gtest/gtest.h>
+
+#include "genomics/dataset.h"
+#include "genomics/pore_model.h"
+#include "genomics/sequence.h"
+
+using namespace swordfish;
+using namespace swordfish::genomics;
+
+TEST(Sequence, CharRoundtrip)
+{
+    const std::string s = "ACGTACGT";
+    EXPECT_EQ(toString(fromString(s)), s);
+}
+
+TEST(Sequence, InvalidCharacterIsFatal)
+{
+    EXPECT_EXIT(charToBase('N'), ::testing::ExitedWithCode(1), "invalid");
+}
+
+TEST(Sequence, ReverseComplement)
+{
+    EXPECT_EQ(toString(reverseComplement(fromString("ACGT"))), "ACGT");
+    EXPECT_EQ(toString(reverseComplement(fromString("AACG"))), "CGTT");
+    // Involution: rc(rc(x)) == x.
+    const Sequence x = fromString("GATTACA");
+    EXPECT_EQ(reverseComplement(reverseComplement(x)), x);
+}
+
+TEST(Sequence, GcContent)
+{
+    EXPECT_DOUBLE_EQ(gcContent(fromString("GGCC")), 1.0);
+    EXPECT_DOUBLE_EQ(gcContent(fromString("AATT")), 0.0);
+    EXPECT_DOUBLE_EQ(gcContent(fromString("ACGT")), 0.5);
+    EXPECT_DOUBLE_EQ(gcContent({}), 0.0);
+}
+
+TEST(Sequence, CtcLabelRoundtrip)
+{
+    const Sequence seq = fromString("TGCA");
+    const auto labels = toCtcLabels(seq);
+    EXPECT_EQ(labels, (std::vector<int>{4, 3, 2, 1}));
+    EXPECT_EQ(fromCtcLabels(labels), seq);
+}
+
+TEST(Genome, LengthAndDeterminism)
+{
+    Rng a(1), b(1);
+    const Sequence g1 = generateGenome(1000, 0.5, a);
+    const Sequence g2 = generateGenome(1000, 0.5, b);
+    EXPECT_EQ(g1.size(), 1000u);
+    EXPECT_EQ(g1, g2);
+}
+
+TEST(Genome, GcBiasIsRespected)
+{
+    Rng rng(2);
+    const Sequence low = generateGenome(20000, 0.3, rng);
+    const Sequence high = generateGenome(20000, 0.7, rng);
+    EXPECT_NEAR(gcContent(low), 0.3, 0.02);
+    EXPECT_NEAR(gcContent(high), 0.7, 0.02);
+}
+
+TEST(PoreModel, DeterministicTable)
+{
+    const PoreModel a(123), b(123);
+    for (std::uint8_t p = 0; p < 4; ++p)
+        for (std::uint8_t c = 0; c < 4; ++c)
+            for (std::uint8_t n = 0; n < 4; ++n)
+                EXPECT_EQ(a.level(p, c, n), b.level(p, c, n));
+}
+
+TEST(PoreModel, CenterBaseDominatesLevel)
+{
+    const PoreModel pore;
+    // Averaged over contexts, levels must be ordered A < C < G < T.
+    double mean[4] = {};
+    for (int c = 0; c < 4; ++c) {
+        for (int p = 0; p < 4; ++p)
+            for (int n = 0; n < 4; ++n)
+                mean[c] += pore.level(static_cast<std::uint8_t>(p),
+                                      static_cast<std::uint8_t>(c),
+                                      static_cast<std::uint8_t>(n));
+        mean[c] /= 16.0;
+    }
+    EXPECT_LT(mean[0], mean[1]);
+    EXPECT_LT(mean[1], mean[2]);
+    EXPECT_LT(mean[2], mean[3]);
+}
+
+TEST(PoreModel, ContextShiftsLevel)
+{
+    const PoreModel pore;
+    // Same center base, different neighbours -> different level.
+    EXPECT_NE(pore.level(0, 1, 0), pore.level(3, 1, 3));
+}
+
+TEST(PoreModel, SimulateRespectsDwellBounds)
+{
+    const PoreModel pore;
+    SignalParams params;
+    Rng rng(3);
+    const Sequence seq = generateGenome(200, 0.5, rng);
+    std::vector<std::int32_t> s2b;
+    const auto signal = pore.simulate(seq, params, rng, &s2b);
+
+    ASSERT_EQ(signal.size(), s2b.size());
+    EXPECT_GE(signal.size(), seq.size()
+              * static_cast<std::size_t>(params.dwellMin));
+    EXPECT_LE(signal.size(), seq.size()
+              * static_cast<std::size_t>(params.dwellMax));
+
+    // sample-to-base must be non-decreasing and cover every base with a
+    // dwell inside [min, max].
+    std::vector<int> dwell(seq.size(), 0);
+    for (std::size_t i = 0; i < s2b.size(); ++i) {
+        if (i > 0) {
+            EXPECT_GE(s2b[i], s2b[i - 1]);
+        }
+        ++dwell[static_cast<std::size_t>(s2b[i])];
+    }
+    for (int d : dwell) {
+        EXPECT_GE(d, params.dwellMin);
+        EXPECT_LE(d, params.dwellMax);
+    }
+}
+
+TEST(PoreModel, NoiseSigmaScalesSpread)
+{
+    const PoreModel pore;
+    Rng rng(4);
+    const Sequence seq(100, 0); // homopolymer A: constant level
+    SignalParams quiet;
+    quiet.noiseSigma = 0.01;
+    quiet.driftSigma = 0.0;
+    SignalParams loud = quiet;
+    loud.noiseSigma = 0.2;
+    auto measure_spread = [&](const SignalParams& p) {
+        Rng local(5);
+        const auto sig = pore.simulate(seq, p, local);
+        double mean = 0.0;
+        for (float v : sig)
+            mean += v;
+        mean /= static_cast<double>(sig.size());
+        double var = 0.0;
+        for (float v : sig)
+            var += (v - mean) * (v - mean);
+        return var / static_cast<double>(sig.size());
+    };
+    EXPECT_GT(measure_spread(loud), 4.0 * measure_spread(quiet));
+}
+
+TEST(Datasets, Table2RegistryComplete)
+{
+    const auto specs = table2Specs();
+    ASSERT_EQ(specs.size(), 4u);
+    EXPECT_EQ(specs[0].id, "D1");
+    EXPECT_EQ(specs[3].id, "D4");
+    // Klebsiella datasets are GC-rich, the others GC-poor (Table 2
+    // organisms' real genome character).
+    EXPECT_LT(specs[0].gcBias, 0.5);
+    EXPECT_GT(specs[2].gcBias, 0.5);
+}
+
+TEST(Datasets, SpecLookup)
+{
+    EXPECT_EQ(specById("D3").organism.find("Klebsiella"), 0u);
+    EXPECT_EXIT(specById("D9"), ::testing::ExitedWithCode(1), "unknown");
+}
+
+TEST(Datasets, MaterializationIsDeterministic)
+{
+    const PoreModel pore;
+    const auto spec = specById("D1");
+    const Dataset a = makeDataset(spec, pore, 3);
+    const Dataset b = makeDataset(spec, pore, 3);
+    ASSERT_EQ(a.reads.size(), 3u);
+    EXPECT_EQ(a.reference, b.reference);
+    EXPECT_EQ(a.reads[2].bases, b.reads[2].bases);
+    EXPECT_EQ(a.reads[2].signal, b.reads[2].signal);
+}
+
+TEST(Datasets, ReadsComeFromReference)
+{
+    const PoreModel pore;
+    const Dataset ds = makeDataset(specById("D2"), pore, 5);
+    for (const Read& read : ds.reads) {
+        ASSERT_LE(read.refStart + read.bases.size(), ds.reference.size());
+        const Sequence expect(
+            ds.reference.begin()
+                + static_cast<std::ptrdiff_t>(read.refStart),
+            ds.reference.begin()
+                + static_cast<std::ptrdiff_t>(read.refStart
+                                              + read.bases.size()));
+        EXPECT_EQ(read.bases, expect);
+    }
+}
+
+TEST(Datasets, TrainingSetIndependentOfEvalSets)
+{
+    const PoreModel pore;
+    const Dataset train = makeTrainingDataset(3, 200, pore);
+    EXPECT_EQ(train.spec.id, "TRAIN");
+    for (const auto& spec : table2Specs())
+        EXPECT_NE(train.spec.seed, spec.seed);
+}
+
+TEST(Datasets, TotalsAddUp)
+{
+    const PoreModel pore;
+    const Dataset ds = makeDataset(specById("D1"), pore, 4);
+    std::size_t bases = 0, samples = 0;
+    for (const Read& r : ds.reads) {
+        bases += r.bases.size();
+        samples += r.signal.size();
+    }
+    EXPECT_EQ(ds.totalBases(), bases);
+    EXPECT_EQ(ds.totalSamples(), samples);
+}

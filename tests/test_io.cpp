@@ -1,0 +1,172 @@
+/** @file Tests for FASTA/FASTQ I/O and CIGAR strings. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "genomics/align.h"
+#include "genomics/dataset.h"
+#include "genomics/io.h"
+
+using namespace swordfish;
+using namespace swordfish::genomics;
+
+TEST(Fasta, RoundtripSingleRecord)
+{
+    std::vector<SeqRecord> recs = {{"read1", fromString("ACGTACGT"), ""}};
+    std::stringstream ss;
+    writeFasta(ss, recs);
+    const auto back = readFasta(ss);
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].name, "read1");
+    EXPECT_EQ(back[0].seq, recs[0].seq);
+}
+
+TEST(Fasta, WrapsLongSequences)
+{
+    Rng rng(1);
+    std::vector<SeqRecord> recs = {
+        {"long", generateGenome(500, 0.5, rng), ""}};
+    std::stringstream ss;
+    writeFasta(ss, recs);
+    std::string line;
+    std::getline(ss, line); // header
+    std::getline(ss, line);
+    EXPECT_EQ(line.size(), 70u);
+    ss.seekg(0);
+    const auto back = readFasta(ss);
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].seq, recs[0].seq);
+}
+
+TEST(Fasta, MultipleRecords)
+{
+    std::vector<SeqRecord> recs = {
+        {"a", fromString("ACGT"), ""},
+        {"b", fromString("TTTT"), ""},
+        {"c", fromString("G"), ""},
+    };
+    std::stringstream ss;
+    writeFasta(ss, recs);
+    const auto back = readFasta(ss);
+    ASSERT_EQ(back.size(), 3u);
+    EXPECT_EQ(back[1].name, "b");
+    EXPECT_EQ(back[2].seq, fromString("G"));
+}
+
+TEST(Fasta, DataBeforeHeaderIsFatal)
+{
+    std::stringstream ss("ACGT\n>late\nACGT\n");
+    EXPECT_EXIT(readFasta(ss), ::testing::ExitedWithCode(1),
+                "before any header");
+}
+
+TEST(Fastq, RoundtripWithQualities)
+{
+    std::vector<SeqRecord> recs = {{"r", fromString("ACGT"), "IIII"}};
+    std::stringstream ss;
+    writeFastq(ss, recs);
+    const auto back = readFastq(ss);
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].qualities, "IIII");
+    EXPECT_EQ(back[0].seq, recs[0].seq);
+}
+
+TEST(Fastq, PlaceholderQualitiesWhenMissing)
+{
+    std::vector<SeqRecord> recs = {{"r", fromString("ACGTA"), ""}};
+    std::stringstream ss;
+    writeFastq(ss, recs);
+    const auto back = readFastq(ss);
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].qualities, "IIIII");
+}
+
+TEST(Fastq, MalformedRecordIsFatal)
+{
+    std::stringstream bad_header("ACGT\n");
+    EXPECT_EXIT(readFastq(bad_header), ::testing::ExitedWithCode(1),
+                "expected '@'");
+    std::stringstream truncated("@r\nACGT\n");
+    EXPECT_EXIT(readFastq(truncated), ::testing::ExitedWithCode(1),
+                "truncated");
+    std::stringstream mismatch("@r\nACGT\n+\nII\n");
+    EXPECT_EXIT(readFastq(mismatch), ::testing::ExitedWithCode(1),
+                "quality length");
+}
+
+TEST(Cigar, PerfectMatch)
+{
+    const Sequence s = fromString("ACGTACGT");
+    EXPECT_EQ(alignGlobal(s, s).cigar, "8M");
+}
+
+TEST(Cigar, SubstitutionIsStillM)
+{
+    const auto res = alignGlobal(fromString("ACGTA"), fromString("ACCTA"));
+    EXPECT_EQ(res.cigar, "5M");
+}
+
+TEST(Cigar, InsertionAndDeletion)
+{
+    // a = ACGGTA vs b = ACGTA: one insertion in a.
+    const auto ins = alignGlobal(fromString("ACGGTA"), fromString("ACGTA"));
+    EXPECT_NE(ins.cigar.find('I'), std::string::npos);
+    const auto del = alignGlobal(fromString("ACTA"), fromString("ACGTA"));
+    EXPECT_NE(del.cigar.find('D'), std::string::npos);
+}
+
+TEST(Cigar, OperationCountsMatchResult)
+{
+    Rng rng(2);
+    const Sequence a = generateGenome(200, 0.5, rng);
+    Sequence b = a;
+    b.erase(b.begin() + 50);
+    b[100] = static_cast<std::uint8_t>((b[100] + 1) % 4);
+    const auto res = alignGlobal(a, b);
+
+    std::size_t m = 0, i = 0, d = 0;
+    std::size_t num = 0;
+    for (char c : res.cigar) {
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            num = num * 10 + static_cast<std::size_t>(c - '0');
+        } else {
+            if (c == 'M')
+                m += num;
+            else if (c == 'I')
+                i += num;
+            else if (c == 'D')
+                d += num;
+            num = 0;
+        }
+    }
+    EXPECT_EQ(m, res.matches + res.mismatches);
+    EXPECT_EQ(i, res.insertions);
+    EXPECT_EQ(d, res.deletions);
+}
+
+TEST(Cigar, GlocalIncludesEndGapsAsDeletions)
+{
+    Rng rng(3);
+    const Sequence window = generateGenome(260, 0.5, rng);
+    const Sequence read(window.begin() + 20, window.begin() + 240);
+    const auto res = alignGlocal(read, window, 64);
+    // Leading 20D, 220M, trailing 20D.
+    EXPECT_EQ(res.cigar, "20D220M20D");
+}
+
+TEST(Cigar, BasecalledReadEndsToEnd)
+{
+    // FASTA out of a simulated dataset read and back.
+    const PoreModel pore;
+    const Dataset ds = makeDataset(specById("D1"), pore, 2);
+    std::vector<SeqRecord> recs;
+    for (const Read& r : ds.reads)
+        recs.push_back({"read" + std::to_string(r.id), r.bases, ""});
+    std::stringstream ss;
+    writeFasta(ss, recs);
+    const auto back = readFasta(ss);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0].seq, ds.reads[0].bases);
+    EXPECT_EQ(back[1].seq, ds.reads[1].bases);
+}

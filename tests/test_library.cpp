@@ -1,0 +1,116 @@
+/** @file Tests for the emulated chip-measurement library. */
+
+#include <gtest/gtest.h>
+
+#include "crossbar/library.h"
+
+using namespace swordfish;
+using namespace swordfish::crossbar;
+
+TEST(MeasurementLibrary, ProfilesAreDeterministic)
+{
+    const MeasurementLibrary lib(64, LibraryStats{});
+    const auto a = lib.profile(17, 32, 32);
+    const auto b = lib.profile(17, 32, 32);
+    for (std::size_t i = 0; i < a.cellError.size(); ++i)
+        EXPECT_FLOAT_EQ(a.cellError.raw()[i], b.cellError.raw()[i]);
+    EXPECT_EQ(a.columnGain, b.columnGain);
+}
+
+TEST(MeasurementLibrary, InstancesDiffer)
+{
+    const MeasurementLibrary lib(64, LibraryStats{});
+    const auto a = lib.profile(1, 16, 16);
+    const auto b = lib.profile(2, 16, 16);
+    int same = 0;
+    for (std::size_t i = 0; i < a.cellError.size(); ++i)
+        same += a.cellError.raw()[i] == b.cellError.raw()[i] ? 1 : 0;
+    EXPECT_LT(same, 8);
+}
+
+TEST(MeasurementLibrary, CellErrorCenteredAroundUnity)
+{
+    const MeasurementLibrary lib(64, LibraryStats{});
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t id = 0; id < 20; ++id) {
+        const auto p = lib.profile(id, 64, 64);
+        for (float e : p.cellError.raw()) {
+            sum += e;
+            ++n;
+        }
+    }
+    EXPECT_NEAR(sum / static_cast<double>(n), 1.0, 0.05);
+}
+
+TEST(MeasurementLibrary, StuckCellsAppearAtConfiguredRate)
+{
+    LibraryStats stats;
+    stats.stuckProb = 0.05;
+    const MeasurementLibrary lib(64, stats);
+    std::size_t stuck = 0, total = 0;
+    for (std::size_t id = 0; id < 30; ++id) {
+        const auto p = lib.profile(id, 64, 64);
+        for (float e : p.cellError.raw()) {
+            stuck += (e == 0.0f || e == 1.8f) ? 1 : 0;
+            ++total;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(stuck) / static_cast<double>(total),
+                0.05, 0.01);
+}
+
+TEST(MeasurementLibrary, LargerArraysNoisier)
+{
+    const LibraryStats stats;
+    const MeasurementLibrary small(64, stats);
+    const MeasurementLibrary big(256, stats);
+    auto spread = [](const TileProfile& p) {
+        double sq = 0.0;
+        for (float e : p.cellError.raw())
+            sq += (e - 1.0) * (e - 1.0);
+        return sq / static_cast<double>(p.cellError.size());
+    };
+    double s_small = 0.0, s_big = 0.0;
+    for (std::size_t id = 0; id < 10; ++id) {
+        s_small += spread(small.profile(id, 64, 64));
+        s_big += spread(big.profile(id, 64, 64));
+    }
+    EXPECT_GT(s_big, s_small);
+}
+
+TEST(MeasurementLibrary, SampleInstanceInRange)
+{
+    const MeasurementLibrary lib(64, LibraryStats{}, 100);
+    Rng rng(1);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_LT(lib.sampleInstance(rng), 100u);
+}
+
+TEST(MeasurementLibrary, ProfileShapeMatchesRequest)
+{
+    const MeasurementLibrary lib(256, LibraryStats{});
+    const auto p = lib.profile(0, 128, 32);
+    EXPECT_EQ(p.cellError.rows(), 128u);
+    EXPECT_EQ(p.cellError.cols(), 32u);
+    EXPECT_EQ(p.columnGain.size(), 128u);
+    EXPECT_EQ(p.columnOffset.size(), 128u);
+}
+
+TEST(MeasurementLibrary, OversizedTilePanics)
+{
+    const MeasurementLibrary lib(64, LibraryStats{});
+    EXPECT_DEATH(lib.profile(0, 65, 10), "exceeds");
+}
+
+TEST(MeasurementLibrary, OutOfRangeInstancePanics)
+{
+    const MeasurementLibrary lib(64, LibraryStats{}, 10);
+    EXPECT_DEATH(lib.profile(10, 8, 8), "out of range");
+}
+
+TEST(MeasurementLibrary, ZeroInstancesIsFatal)
+{
+    EXPECT_EXIT(MeasurementLibrary(64, LibraryStats{}, 0),
+                ::testing::ExitedWithCode(1), "at least one");
+}

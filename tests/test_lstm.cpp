@@ -1,0 +1,124 @@
+/** @file Tests for the LSTM layer: shapes, direction handling, recurrence
+ *  and gradient correctness. */
+
+#include <gtest/gtest.h>
+
+#include "nn/lstm.h"
+#include "test_util.h"
+
+using namespace swordfish;
+using namespace swordfish::nn;
+using swordfish::testing::checkLayerGradients;
+using swordfish::testing::randomMatrix;
+
+TEST(Lstm, OutputShape)
+{
+    Rng rng(1);
+    Lstm lstm("l", 3, 5, false, rng);
+    const Matrix y = lstm.forward(randomMatrix(9, 3, 2));
+    EXPECT_EQ(y.rows(), 9u);
+    EXPECT_EQ(y.cols(), 5u);
+    EXPECT_EQ(lstm.outChannels(3), 5u);
+}
+
+TEST(Lstm, HiddenStatesBounded)
+{
+    Rng rng(3);
+    Lstm lstm("l", 2, 4, false, rng);
+    const Matrix y = lstm.forward(randomMatrix(30, 2, 4, 2.0));
+    for (float v : y.raw()) {
+        EXPECT_GE(v, -1.0f); // h = o * tanh(c) in (-1, 1)
+        EXPECT_LE(v, 1.0f);
+    }
+}
+
+TEST(Lstm, RecurrenceCarriesInformation)
+{
+    // An impulse at t=0 must influence outputs at later timesteps.
+    Rng rng(5);
+    Lstm lstm("l", 1, 4, false, rng);
+    Matrix x0(10, 1);
+    Matrix x1 = x0;
+    x1(0, 0) = 3.0f;
+    const Matrix y0 = lstm.forward(x0);
+    const Matrix y1 = lstm.forward(x1);
+    float late_diff = 0.0f;
+    for (std::size_t t = 5; t < 10; ++t)
+        for (std::size_t h = 0; h < 4; ++h)
+            late_diff += std::fabs(y1(t, h) - y0(t, h));
+    EXPECT_GT(late_diff, 1e-4f);
+}
+
+TEST(Lstm, ReverseEqualsForwardOnReversedInput)
+{
+    Rng rng_a(7), rng_b(7);
+    Lstm fwd("f", 2, 3, false, rng_a);
+    Lstm rev("r", 2, 3, true, rng_b); // identical weights, reversed
+    const Matrix x = randomMatrix(8, 2, 8);
+    Matrix x_rev(8, 2);
+    for (std::size_t t = 0; t < 8; ++t)
+        for (std::size_t c = 0; c < 2; ++c)
+            x_rev(t, c) = x(7 - t, c);
+    const Matrix y_fwd = fwd.forward(x_rev);
+    const Matrix y_rev = rev.forward(x);
+    for (std::size_t t = 0; t < 8; ++t)
+        for (std::size_t h = 0; h < 3; ++h)
+            EXPECT_NEAR(y_rev(t, h), y_fwd(7 - t, h), 1e-5f);
+}
+
+TEST(Lstm, ForwardGradientsMatchFiniteDifferences)
+{
+    Rng rng(9);
+    Lstm lstm("l", 3, 4, false, rng);
+    checkLayerGradients(lstm, randomMatrix(6, 3, 10), /*tol=*/3e-2);
+}
+
+TEST(Lstm, ReverseGradientsMatchFiniteDifferences)
+{
+    Rng rng(11);
+    Lstm lstm("l", 2, 3, true, rng);
+    checkLayerGradients(lstm, randomMatrix(5, 2, 12), /*tol=*/3e-2);
+}
+
+TEST(Lstm, CloneIsDeepAndIndependent)
+{
+    Rng rng(13);
+    Lstm lstm("l", 2, 3, false, rng);
+    auto copy = lstm.clone();
+    const Matrix x = randomMatrix(4, 2, 14);
+    const Matrix y1 = lstm.forward(x);
+    lstm.inputWeight().value.fill(0.0f);
+    auto* copy_lstm = dynamic_cast<Lstm*>(copy.get());
+    ASSERT_NE(copy_lstm, nullptr);
+    const Matrix y2 = copy_lstm->forward(x);
+    for (std::size_t i = 0; i < y1.size(); ++i)
+        EXPECT_FLOAT_EQ(y1.raw()[i], y2.raw()[i]);
+}
+
+TEST(Lstm, ForgetGateBiasInitialized)
+{
+    Rng rng(15);
+    Lstm lstm("l", 2, 4, false, rng);
+    // Bias layout [i, f, g, o]: forget block starts at hidden index.
+    for (std::size_t h = 0; h < 4; ++h)
+        EXPECT_FLOAT_EQ(lstm.recurrentWeight().value.rows() == 16
+                            ? lstm.parameters()[2]->value(0, 4 + h)
+                            : 0.0f,
+                        1.0f);
+}
+
+TEST(Lstm, WrongInputWidthPanics)
+{
+    Rng rng(17);
+    Lstm lstm("l", 3, 4, false, rng);
+    EXPECT_DEATH(lstm.forward(randomMatrix(5, 2, 18)), "expected");
+}
+
+TEST(Lstm, DescribeMentionsDirection)
+{
+    Rng rng(19);
+    Lstm fwd("l", 2, 3, false, rng);
+    Lstm rev("l", 2, 3, true, rng);
+    EXPECT_NE(fwd.describe().find("forward"), std::string::npos);
+    EXPECT_NE(rev.describe().find("reverse"), std::string::npos);
+}

@@ -1,0 +1,202 @@
+/** @file Tests for the matrix type and BLAS-like kernels. */
+
+#include <gtest/gtest.h>
+
+#include "tensor/matrix.h"
+#include "test_util.h"
+
+using namespace swordfish;
+using swordfish::testing::randomMatrix;
+
+namespace {
+
+/** Naive reference GEMM. */
+Matrix
+naiveGemm(const Matrix& a, const Matrix& b)
+{
+    Matrix c(a.rows(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < b.cols(); ++j)
+            for (std::size_t k = 0; k < a.cols(); ++k)
+                c(i, j) += a(i, k) * b(k, j);
+    return c;
+}
+
+void
+expectNear(const Matrix& a, const Matrix& b, float tol = 1e-4f)
+{
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(a.raw()[i], b.raw()[i], tol) << "element " << i;
+}
+
+} // namespace
+
+TEST(Matrix, ConstructZeroInitialized)
+{
+    Matrix m(3, 4);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    for (float v : m.raw())
+        EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Matrix, ElementAccessRowMajor)
+{
+    Matrix m(2, 3);
+    m(1, 2) = 7.0f;
+    EXPECT_EQ(m.raw()[5], 7.0f);
+    EXPECT_EQ(m.rowPtr(1)[2], 7.0f);
+}
+
+TEST(Matrix, TransposedSwapsIndices)
+{
+    const Matrix m = randomMatrix(3, 5, 1);
+    const Matrix t = m.transposed();
+    ASSERT_EQ(t.rows(), 5u);
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            EXPECT_EQ(m(r, c), t(c, r));
+}
+
+TEST(Matrix, AbsMaxFindsLargestMagnitude)
+{
+    Matrix m(2, 2);
+    m(0, 0) = -9.0f;
+    m(1, 1) = 3.0f;
+    EXPECT_FLOAT_EQ(m.absMax(), 9.0f);
+}
+
+TEST(Matrix, FrobeniusNorm)
+{
+    Matrix m(1, 2);
+    m(0, 0) = 3.0f;
+    m(0, 1) = 4.0f;
+    EXPECT_FLOAT_EQ(m.frobeniusNorm(), 5.0f);
+}
+
+TEST(Matrix, PlusEqualsElementwise)
+{
+    Matrix a = randomMatrix(2, 3, 2);
+    const Matrix a0 = a;
+    const Matrix b = randomMatrix(2, 3, 3);
+    a += b;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_FLOAT_EQ(a.raw()[i], a0.raw()[i] + b.raw()[i]);
+}
+
+struct GemmShape
+{
+    std::size_t m, k, n;
+};
+
+class GemmTest : public ::testing::TestWithParam<GemmShape>
+{};
+
+TEST_P(GemmTest, MatchesNaive)
+{
+    const auto [m, k, n] = GetParam();
+    const Matrix a = randomMatrix(m, k, 10 + m);
+    const Matrix b = randomMatrix(k, n, 20 + n);
+    Matrix c;
+    gemm(a, b, c);
+    expectNear(c, naiveGemm(a, b));
+}
+
+TEST_P(GemmTest, GemmBTMatchesNaive)
+{
+    const auto [m, k, n] = GetParam();
+    const Matrix a = randomMatrix(m, k, 30 + m);
+    const Matrix b = randomMatrix(n, k, 40 + n);
+    Matrix c;
+    gemmBT(a, b, c);
+    expectNear(c, naiveGemm(a, b.transposed()));
+}
+
+TEST_P(GemmTest, GemmATMatchesNaive)
+{
+    const auto [m, k, n] = GetParam();
+    const Matrix a = randomMatrix(k, m, 50 + m);
+    const Matrix b = randomMatrix(k, n, 60 + n);
+    Matrix c;
+    gemmAT(a, b, c);
+    expectNear(c, naiveGemm(a.transposed(), b));
+}
+
+TEST_P(GemmTest, AccumulateAddsIntoExisting)
+{
+    const auto [m, k, n] = GetParam();
+    const Matrix a = randomMatrix(m, k, 70);
+    const Matrix b = randomMatrix(k, n, 71);
+    Matrix c;
+    gemm(a, b, c);
+    Matrix c2 = c;
+    gemm(a, b, c2, /*accumulate=*/true);
+    for (std::size_t i = 0; i < c.size(); ++i)
+        EXPECT_NEAR(c2.raw()[i], 2.0f * c.raw()[i], 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmTest,
+    ::testing::Values(GemmShape{1, 1, 1}, GemmShape{2, 3, 4},
+                      GemmShape{5, 1, 7}, GemmShape{16, 16, 16},
+                      GemmShape{33, 17, 9}, GemmShape{64, 64, 64},
+                      GemmShape{128, 40, 5}));
+
+TEST(Gemv, MatchesGemm)
+{
+    const Matrix w = randomMatrix(6, 4, 80);
+    std::vector<float> x = {1.0f, -2.0f, 0.5f, 3.0f};
+    std::vector<float> y;
+    gemv(w, x, y);
+    for (std::size_t i = 0; i < w.rows(); ++i) {
+        float acc = 0.0f;
+        for (std::size_t j = 0; j < w.cols(); ++j)
+            acc += w(i, j) * x[j];
+        EXPECT_NEAR(y[i], acc, 1e-5f);
+    }
+}
+
+TEST(GemvT, MatchesTransposedGemv)
+{
+    const Matrix w = randomMatrix(6, 4, 81);
+    std::vector<float> x = {1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f};
+    std::vector<float> y1;
+    gemvT(w, x, y1);
+    std::vector<float> y2;
+    gemv(w.transposed(), x, y2);
+    for (std::size_t i = 0; i < y1.size(); ++i)
+        EXPECT_NEAR(y1[i], y2[i], 1e-5f);
+}
+
+TEST(Axpy, AddsScaledVector)
+{
+    std::vector<float> x = {1.0f, 2.0f};
+    std::vector<float> y = {10.0f, 20.0f};
+    axpy(0.5f, x, y);
+    EXPECT_FLOAT_EQ(y[0], 10.5f);
+    EXPECT_FLOAT_EQ(y[1], 21.0f);
+}
+
+TEST(Dot, KnownValue)
+{
+    EXPECT_FLOAT_EQ(dot({1.0f, 2.0f, 3.0f}, {4.0f, 5.0f, 6.0f}), 32.0f);
+}
+
+TEST(AddRowBias, AddsToEveryRow)
+{
+    Matrix m(2, 3);
+    addRowBias(m, {1.0f, 2.0f, 3.0f});
+    for (std::size_t r = 0; r < 2; ++r) {
+        EXPECT_FLOAT_EQ(m(r, 0), 1.0f);
+        EXPECT_FLOAT_EQ(m(r, 2), 3.0f);
+    }
+}
+
+TEST(GemmDeath, MismatchedInnerDimensionPanics)
+{
+    const Matrix a(2, 3), b(4, 5);
+    Matrix c;
+    EXPECT_DEATH(gemm(a, b, c), "inner dimensions");
+}

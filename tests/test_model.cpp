@@ -1,0 +1,187 @@
+/** @file Tests for the SequenceModel container: forward/backward chaining,
+ *  cloning, serialization, backend installation. */
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "basecall/bonito_lite.h"
+#include "nn/activations.h"
+#include "nn/linear.h"
+#include "nn/model.h"
+#include "test_util.h"
+
+using namespace swordfish;
+using namespace swordfish::nn;
+using swordfish::testing::randomMatrix;
+
+namespace {
+
+SequenceModel
+makeTinyModel(std::uint64_t seed = 1)
+{
+    Rng rng(seed);
+    SequenceModel m;
+    m.emplace<Linear>("a", 3, 4, rng);
+    m.emplace<Tanh>();
+    m.emplace<Linear>("b", 4, 2, rng);
+    return m;
+}
+
+std::string
+tempPath(const char* name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+} // namespace
+
+TEST(SequenceModel, ForwardChainsLayers)
+{
+    auto m = makeTinyModel();
+    const Matrix y = m.forward(randomMatrix(5, 3, 2));
+    EXPECT_EQ(y.rows(), 5u);
+    EXPECT_EQ(y.cols(), 2u);
+}
+
+TEST(SequenceModel, ParameterAggregation)
+{
+    auto m = makeTinyModel();
+    const auto params = m.parameters();
+    ASSERT_EQ(params.size(), 4u); // 2 linears x (w, b)
+    EXPECT_EQ(params[0]->name, "a.w");
+    EXPECT_EQ(params[3]->name, "b.b");
+    EXPECT_EQ(m.parameterCount(), 3u * 4 + 4 + 4u * 2 + 2);
+}
+
+TEST(SequenceModel, BackwardProducesInputGradient)
+{
+    auto m = makeTinyModel();
+    const Matrix x = randomMatrix(4, 3, 3);
+    const Matrix y = m.forward(x);
+    Matrix dy(y.rows(), y.cols());
+    dy.fill(1.0f);
+    const Matrix dx = m.backward(dy);
+    EXPECT_EQ(dx.rows(), x.rows());
+    EXPECT_EQ(dx.cols(), x.cols());
+    float nonzero = 0.0f;
+    for (float v : dx.raw())
+        nonzero += std::fabs(v);
+    EXPECT_GT(nonzero, 0.0f);
+}
+
+TEST(SequenceModel, CopyIsDeep)
+{
+    auto m = makeTinyModel();
+    SequenceModel copy = m;
+    m.parameters()[0]->value(0, 0) = 123.0f;
+    EXPECT_NE(copy.parameters()[0]->value(0, 0), 123.0f);
+}
+
+TEST(SequenceModel, CopiesProduceIdenticalOutput)
+{
+    auto m = makeTinyModel();
+    SequenceModel copy = m;
+    const Matrix x = randomMatrix(3, 3, 4);
+    const Matrix y1 = m.forward(x);
+    const Matrix y2 = copy.forward(x);
+    for (std::size_t i = 0; i < y1.size(); ++i)
+        EXPECT_FLOAT_EQ(y1.raw()[i], y2.raw()[i]);
+}
+
+TEST(SequenceModel, SaveLoadRoundtrip)
+{
+    auto m = makeTinyModel(7);
+    const std::string path = tempPath("swordfish_model_test.bin");
+    m.save(path);
+
+    auto fresh = makeTinyModel(8); // different init
+    ASSERT_TRUE(fresh.load(path));
+    const Matrix x = randomMatrix(3, 3, 5);
+    const Matrix y1 = m.forward(x);
+    const Matrix y2 = fresh.forward(x);
+    for (std::size_t i = 0; i < y1.size(); ++i)
+        EXPECT_FLOAT_EQ(y1.raw()[i], y2.raw()[i]);
+    std::remove(path.c_str());
+}
+
+TEST(SequenceModel, LoadMissingFileFails)
+{
+    auto m = makeTinyModel();
+    EXPECT_FALSE(m.load(tempPath("definitely_not_there.bin")));
+}
+
+TEST(SequenceModel, LoadWrongArchitectureFails)
+{
+    auto m = makeTinyModel();
+    const std::string path = tempPath("swordfish_model_mismatch.bin");
+    m.save(path);
+    Rng rng(9);
+    SequenceModel other;
+    other.emplace<Linear>("x", 3, 4, rng);
+    EXPECT_FALSE(other.load(path));
+    std::remove(path.c_str());
+}
+
+TEST(SequenceModel, ZeroGradClearsAll)
+{
+    auto m = makeTinyModel();
+    const Matrix x = randomMatrix(4, 3, 6);
+    Matrix dy(4, 2);
+    dy.fill(1.0f);
+    m.forward(x);
+    m.backward(dy);
+    m.zeroGrad();
+    for (Parameter* p : m.parameters())
+        for (float g : p->grad.raw())
+            EXPECT_EQ(g, 0.0f);
+}
+
+TEST(SequenceModel, DescribeListsLayers)
+{
+    auto m = makeTinyModel();
+    const std::string desc = m.describe();
+    EXPECT_NE(desc.find("Linear(3 -> 4)"), std::string::npos);
+    EXPECT_NE(desc.find("Tanh"), std::string::npos);
+}
+
+TEST(BonitoLite, ArchitectureMatchesConfig)
+{
+    basecall::BonitoLiteConfig cfg;
+    auto model = basecall::buildBonitoLite(cfg);
+    // conv + silu + 3 lstm + head
+    EXPECT_EQ(model.layerCount(), 2 + cfg.lstmLayers + 1);
+    EXPECT_EQ(model.strideFactor(), cfg.convStride);
+
+    // Forward pass over a realistic chunk: [256 x 1] -> [126 x 5].
+    const Matrix y = model.forward(randomMatrix(256, 1, 10));
+    EXPECT_EQ(y.rows(), (256 - cfg.convKernel) / cfg.convStride + 1);
+    EXPECT_EQ(y.cols(), cfg.numClasses);
+}
+
+TEST(BonitoLite, DeterministicInit)
+{
+    auto a = basecall::buildBonitoLite();
+    auto b = basecall::buildBonitoLite();
+    const Matrix x = randomMatrix(64, 1, 11);
+    const Matrix ya = a.forward(x);
+    const Matrix yb = b.forward(x);
+    for (std::size_t i = 0; i < ya.size(); ++i)
+        EXPECT_FLOAT_EQ(ya.raw()[i], yb.raw()[i]);
+}
+
+TEST(BonitoLite, AlternatingLstmDirections)
+{
+    auto model = basecall::buildBonitoLite();
+    int reversed = 0, forward = 0;
+    for (std::size_t i = 0; i < model.layerCount(); ++i) {
+        const std::string desc = model.layer(i).describe();
+        if (desc.find("reverse") != std::string::npos)
+            ++reversed;
+        if (desc.find("forward") != std::string::npos)
+            ++forward;
+    }
+    EXPECT_EQ(reversed, 2);
+    EXPECT_EQ(forward, 1);
+}

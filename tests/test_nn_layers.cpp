@@ -1,0 +1,187 @@
+/** @file Tests for Linear, Conv1d, activation layers: shapes, math,
+ *  gradients (finite differences), cloning. */
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/conv1d.h"
+#include "nn/linear.h"
+#include "test_util.h"
+
+using namespace swordfish;
+using namespace swordfish::nn;
+using swordfish::testing::checkLayerGradients;
+using swordfish::testing::randomMatrix;
+
+TEST(Linear, ForwardMatchesManual)
+{
+    Rng rng(1);
+    Linear layer("fc", 3, 2, rng);
+    layer.weight().value = Matrix(2, 3, {1, 2, 3, 4, 5, 6});
+    layer.bias().value = Matrix(1, 2, {0.5f, -0.5f});
+    Matrix x(1, 3, {1, 1, 1});
+    const Matrix y = layer.forward(x);
+    EXPECT_FLOAT_EQ(y(0, 0), 6.5f);
+    EXPECT_FLOAT_EQ(y(0, 1), 14.5f);
+}
+
+TEST(Linear, GradientsMatchFiniteDifferences)
+{
+    Rng rng(2);
+    Linear layer("fc", 5, 4, rng);
+    checkLayerGradients(layer, randomMatrix(7, 5, 3));
+}
+
+TEST(Linear, BackwardShapesAndAccumulation)
+{
+    Rng rng(3);
+    Linear layer("fc", 4, 6, rng);
+    const Matrix x = randomMatrix(5, 4, 4);
+    layer.forward(x);
+    Matrix dy(5, 6);
+    dy.fill(1.0f);
+    const Matrix dx = layer.backward(dy);
+    EXPECT_EQ(dx.rows(), 5u);
+    EXPECT_EQ(dx.cols(), 4u);
+    const Matrix g1 = layer.weight().grad;
+    layer.forward(x);
+    layer.backward(dy);
+    // Gradients accumulate across backward calls until zeroGrad().
+    EXPECT_NEAR(layer.weight().grad.raw()[0], 2.0f * g1.raw()[0], 1e-4f);
+    layer.zeroGrad();
+    EXPECT_EQ(layer.weight().grad.raw()[0], 0.0f);
+}
+
+TEST(Linear, CloneIsDeepCopy)
+{
+    Rng rng(4);
+    Linear layer("fc", 2, 2, rng);
+    auto copy = layer.clone();
+    layer.weight().value(0, 0) = 99.0f;
+    auto* copy_linear = dynamic_cast<Linear*>(copy.get());
+    ASSERT_NE(copy_linear, nullptr);
+    EXPECT_NE(copy_linear->weight().value(0, 0), 99.0f);
+}
+
+TEST(Linear, DescribeMentionsShape)
+{
+    Rng rng(5);
+    Linear layer("fc", 3, 7, rng);
+    EXPECT_EQ(layer.describe(), "Linear(3 -> 7)");
+    EXPECT_EQ(layer.outChannels(3), 7u);
+}
+
+TEST(Conv1d, OutputLengthFormula)
+{
+    Rng rng(6);
+    Conv1d conv("c", 2, 4, 5, 2, rng);
+    EXPECT_EQ(conv.outSteps(256), 126u);
+    EXPECT_EQ(conv.outSteps(5), 1u);
+    EXPECT_EQ(conv.outSteps(4), 0u);
+    EXPECT_EQ(conv.strideFactor(), 2u);
+}
+
+TEST(Conv1d, ForwardMatchesNaiveConvolution)
+{
+    Rng rng(7);
+    Conv1d conv("c", 2, 3, 3, 1, rng);
+    const Matrix x = randomMatrix(10, 2, 8);
+    const Matrix y = conv.forward(x);
+    ASSERT_EQ(y.rows(), 8u);
+    ASSERT_EQ(y.cols(), 3u);
+    // Naive: y[t][o] = sum_k sum_c w[o][k*2+c] * x[t+k][c] + b[o]
+    const auto& w = conv.weight().value;
+    for (std::size_t t = 0; t < y.rows(); ++t) {
+        for (std::size_t o = 0; o < 3; ++o) {
+            float acc = 0.0f;
+            for (std::size_t k = 0; k < 3; ++k)
+                for (std::size_t c = 0; c < 2; ++c)
+                    acc += w(o, k * 2 + c) * x(t + k, c);
+            EXPECT_NEAR(y(t, o), acc, 1e-4f);
+        }
+    }
+}
+
+TEST(Conv1d, StridedForwardSkipsSteps)
+{
+    Rng rng(9);
+    Conv1d conv1("c1", 1, 1, 3, 1, rng);
+    Rng rng2(9);
+    Conv1d conv2("c2", 1, 1, 3, 2, rng2);
+    // Same init seed -> same weights; stride-2 output = every other step.
+    const Matrix x = randomMatrix(11, 1, 10);
+    const Matrix y1 = conv1.forward(x);
+    const Matrix y2 = conv2.forward(x);
+    ASSERT_EQ(y2.rows(), 5u);
+    for (std::size_t t = 0; t < y2.rows(); ++t)
+        EXPECT_NEAR(y2(t, 0), y1(2 * t, 0), 1e-5f);
+}
+
+TEST(Conv1d, GradientsMatchFiniteDifferences)
+{
+    Rng rng(10);
+    Conv1d conv("c", 2, 3, 3, 2, rng);
+    checkLayerGradients(conv, randomMatrix(12, 2, 11));
+}
+
+TEST(Conv1d, TooShortInputPanics)
+{
+    Rng rng(11);
+    Conv1d conv("c", 1, 1, 5, 1, rng);
+    EXPECT_DEATH(conv.forward(randomMatrix(3, 1, 12)), "too short");
+}
+
+TEST(Conv1d, WrongChannelCountPanics)
+{
+    Rng rng(12);
+    Conv1d conv("c", 2, 1, 3, 1, rng);
+    EXPECT_DEATH(conv.forward(randomMatrix(8, 3, 13)), "channels");
+}
+
+TEST(SiLU, MatchesDefinition)
+{
+    SiLU act;
+    Matrix x(1, 3, {0.0f, 2.0f, -2.0f});
+    const Matrix y = act.forward(x);
+    EXPECT_NEAR(y(0, 0), 0.0f, 1e-6f);
+    EXPECT_NEAR(y(0, 1), 2.0f / (1.0f + std::exp(-2.0f)), 1e-5f);
+    EXPECT_LT(y(0, 2), 0.0f); // silu dips below zero for negatives
+}
+
+TEST(SiLU, GradientsMatchFiniteDifferences)
+{
+    SiLU act;
+    checkLayerGradients(act, randomMatrix(6, 4, 14));
+}
+
+TEST(Tanh, ForwardAndGradient)
+{
+    Tanh act;
+    Matrix x(1, 2, {0.5f, -1.5f});
+    const Matrix y = act.forward(x);
+    EXPECT_NEAR(y(0, 0), std::tanh(0.5f), 1e-6f);
+    checkLayerGradients(act, randomMatrix(4, 4, 15));
+}
+
+TEST(Activations, SigmoidProperties)
+{
+    EXPECT_NEAR(sigmoidf(0.0f), 0.5f, 1e-6f);
+    EXPECT_NEAR(sigmoidf(100.0f), 1.0f, 1e-6f);
+    EXPECT_NEAR(sigmoidf(-100.0f), 0.0f, 1e-6f);
+    // Symmetry: s(-x) = 1 - s(x).
+    for (float x : {0.3f, 1.7f, 4.2f})
+        EXPECT_NEAR(sigmoidf(-x), 1.0f - sigmoidf(x), 1e-6f);
+}
+
+TEST(Activations, XavierInitBounds)
+{
+    Matrix w(64, 32);
+    Rng rng(16);
+    xavierInit(w, 32, 64, rng);
+    const float bound = std::sqrt(6.0f / (32 + 64));
+    for (float v : w.raw()) {
+        EXPECT_GE(v, -bound);
+        EXPECT_LE(v, bound);
+    }
+    EXPECT_GT(w.absMax(), 0.0f);
+}

@@ -1,0 +1,126 @@
+/** @file Tests for Adam, gradient clipping and masked updates. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/optimizer.h"
+#include "test_util.h"
+
+using namespace swordfish;
+using namespace swordfish::nn;
+
+namespace {
+
+Parameter
+makeParam(const char* name, std::vector<float> w, std::vector<float> g)
+{
+    Parameter p(name, 1, w.size());
+    p.value.raw() = std::move(w);
+    p.grad.raw() = std::move(g);
+    return p;
+}
+
+} // namespace
+
+TEST(Adam, StepMovesAgainstGradient)
+{
+    Parameter p = makeParam("p", {1.0f, -1.0f}, {0.5f, -0.5f});
+    AdamConfig cfg;
+    cfg.lr = 0.1f;
+    Adam adam({&p}, cfg);
+    adam.step();
+    EXPECT_LT(p.value(0, 0), 1.0f);
+    EXPECT_GT(p.value(0, 1), -1.0f);
+}
+
+TEST(Adam, FirstStepSizeApproxLr)
+{
+    // With bias correction, |Delta w| ~ lr for the first step.
+    Parameter p = makeParam("p", {0.0f}, {3.0f});
+    AdamConfig cfg;
+    cfg.lr = 0.01f;
+    Adam adam({&p}, cfg);
+    adam.step();
+    EXPECT_NEAR(std::fabs(p.value(0, 0)), 0.01f, 1e-3f);
+}
+
+TEST(Adam, ZeroesGradientsAfterStep)
+{
+    Parameter p = makeParam("p", {1.0f}, {2.0f});
+    Adam adam({&p}, {});
+    adam.step();
+    EXPECT_EQ(p.grad(0, 0), 0.0f);
+}
+
+TEST(Adam, MaskFreezesElements)
+{
+    Parameter p = makeParam("p", {1.0f, 1.0f}, {1.0f, 1.0f});
+    AdamConfig cfg;
+    cfg.lr = 0.1f;
+    Adam adam({&p}, cfg);
+    adam.setMask(0, {0, 1}); // only second element trainable
+    adam.step();
+    EXPECT_FLOAT_EQ(p.value(0, 0), 1.0f);
+    EXPECT_LT(p.value(0, 1), 1.0f);
+}
+
+TEST(Adam, MaskSizeMismatchPanics)
+{
+    Parameter p = makeParam("p", {1.0f, 1.0f}, {0.0f, 0.0f});
+    Adam adam({&p}, {});
+    EXPECT_DEATH(adam.setMask(0, {1}), "mask size");
+    EXPECT_DEATH(adam.setMask(5, {}), "out of range");
+}
+
+TEST(Adam, WeightDecayShrinksWeights)
+{
+    Parameter p = makeParam("p", {10.0f}, {0.0f});
+    AdamConfig cfg;
+    cfg.lr = 0.1f;
+    cfg.weightDecay = 0.5f;
+    Adam adam({&p}, cfg);
+    adam.step();
+    EXPECT_LT(p.value(0, 0), 10.0f);
+}
+
+TEST(Adam, ConvergesOnQuadratic)
+{
+    // Minimize (w - 3)^2 by feeding grad = 2(w - 3).
+    Parameter p = makeParam("p", {0.0f}, {0.0f});
+    AdamConfig cfg;
+    cfg.lr = 0.1f;
+    Adam adam({&p}, cfg);
+    for (int i = 0; i < 300; ++i) {
+        p.grad(0, 0) = 2.0f * (p.value(0, 0) - 3.0f);
+        adam.step();
+    }
+    EXPECT_NEAR(p.value(0, 0), 3.0f, 0.05f);
+}
+
+TEST(ClipGradNorm, NoChangeBelowThreshold)
+{
+    Parameter p = makeParam("p", {0.0f, 0.0f}, {0.3f, 0.4f});
+    const float norm = clipGradNorm({&p}, 1.0f);
+    EXPECT_NEAR(norm, 0.5f, 1e-5f);
+    EXPECT_FLOAT_EQ(p.grad(0, 0), 0.3f);
+}
+
+TEST(ClipGradNorm, ScalesDownAboveThreshold)
+{
+    Parameter p = makeParam("p", {0.0f, 0.0f}, {3.0f, 4.0f});
+    const float norm = clipGradNorm({&p}, 1.0f);
+    EXPECT_NEAR(norm, 5.0f, 1e-4f);
+    EXPECT_NEAR(p.grad(0, 0), 0.6f, 1e-4f);
+    EXPECT_NEAR(p.grad(0, 1), 0.8f, 1e-4f);
+}
+
+TEST(ClipGradNorm, GlobalAcrossParameters)
+{
+    Parameter a = makeParam("a", {0.0f}, {3.0f});
+    Parameter b = makeParam("b", {0.0f}, {4.0f});
+    clipGradNorm({&a, &b}, 1.0f);
+    const float total = std::sqrt(a.grad(0, 0) * a.grad(0, 0)
+                                  + b.grad(0, 0) * b.grad(0, 0));
+    EXPECT_NEAR(total, 1.0f, 1e-4f);
+}

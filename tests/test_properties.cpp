@@ -1,0 +1,202 @@
+/** @file Parameterized property tests sweeping configurations that the
+ *  targeted unit tests pin down only pointwise: crossbar fast-vs-circuit
+ *  agreement across sizes and noise sets, CTC gradient invariants across
+ *  random problems, alignment invariants across mutation rates. */
+
+#include <gtest/gtest.h>
+
+#include "crossbar/crossbar.h"
+#include "genomics/align.h"
+#include "genomics/dataset.h"
+#include "nn/ctc.h"
+#include "test_util.h"
+
+using namespace swordfish;
+using swordfish::testing::randomMatrix;
+
+// ---------------------------------------------------------------------
+// Crossbar: the effective-weight GEMM path and the per-cell circuit path
+// must agree for every noise combination and geometry.
+
+struct CrossbarCase
+{
+    std::size_t size;
+    bool quant, write, wire, sneak, dac, adc;
+};
+
+class CrossbarAgreement : public ::testing::TestWithParam<CrossbarCase>
+{};
+
+TEST_P(CrossbarAgreement, FastMatchesCircuit)
+{
+    const auto c = GetParam();
+    crossbar::CrossbarConfig config;
+    config.size = c.size;
+    crossbar::NoiseToggles toggles{c.quant, c.write, c.wire, c.sneak,
+                                   c.dac, c.adc};
+    const Matrix w = randomMatrix(c.size, c.size, 1 + c.size);
+    const crossbar::CrossbarTile tile(config, w, 0.0f, toggles, 77);
+
+    std::vector<float> x(c.size);
+    Rng xr(2);
+    for (float& v : x)
+        v = static_cast<float>(xr.gauss(0.0, 0.5));
+    Matrix xm(1, c.size, std::vector<float>(x));
+
+    Rng r1(5), r2(5);
+    const Matrix y_fast = tile.vmmFast(xm, r1);
+    const auto y_circ = tile.vmmCircuit(x, r2);
+    for (std::size_t o = 0; o < y_circ.size(); ++o) {
+        EXPECT_NEAR(y_fast(0, o), y_circ[o],
+                    2e-3f * std::max(1.0f, std::fabs(y_circ[o])))
+            << "output " << o;
+    }
+}
+
+TEST_P(CrossbarAgreement, EffectiveWeightsBoundedByScale)
+{
+    const auto c = GetParam();
+    crossbar::CrossbarConfig config;
+    config.size = c.size;
+    crossbar::NoiseToggles toggles{c.quant, c.write, c.wire, c.sneak,
+                                   c.dac, c.adc};
+    const Matrix w = randomMatrix(c.size, c.size, 3 + c.size);
+    const crossbar::CrossbarTile tile(config, w, 0.0f, toggles, 78);
+    // Conductances are clamped to [gMin, gMax], so no effective weight
+    // can exceed the mapping scale (absMax), up to a small epsilon.
+    EXPECT_LE(tile.effectiveWeights().absMax(), w.absMax() * 1.02f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NoiseCombos, CrossbarAgreement,
+    ::testing::Values(
+        CrossbarCase{16, false, false, false, false, false, false},
+        CrossbarCase{16, true, false, false, false, false, false},
+        CrossbarCase{16, true, true, false, false, false, false},
+        CrossbarCase{16, true, false, true, false, false, false},
+        CrossbarCase{16, true, false, false, true, false, false},
+        CrossbarCase{16, true, false, false, false, true, false},
+        CrossbarCase{16, true, false, false, false, false, true},
+        CrossbarCase{16, true, true, true, true, true, true},
+        CrossbarCase{48, true, true, true, true, true, true},
+        CrossbarCase{64, true, true, true, true, true, true}));
+
+// ---------------------------------------------------------------------
+// CTC invariants across random problems.
+
+class CtcProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(CtcProperty, GradientRowsSumToZero)
+{
+    const int seed = GetParam();
+    Rng rng(static_cast<std::uint64_t>(seed));
+    const std::size_t t_len = 6 + rng.next(20);
+    const Matrix logits = randomMatrix(t_len, 5,
+                                       static_cast<std::uint64_t>(seed));
+    std::vector<int> target;
+    const std::size_t l_len = 1 + rng.next(t_len / 3 + 1);
+    for (std::size_t i = 0; i < l_len; ++i)
+        target.push_back(static_cast<int>(rng.range(1, 4)));
+
+    const auto res = nn::ctcLoss(logits, target);
+    if (!res.feasible)
+        GTEST_SKIP() << "infeasible draw";
+    EXPECT_GT(res.loss, 0.0);
+    for (std::size_t t = 0; t < t_len; ++t) {
+        double sum = 0.0;
+        for (std::size_t k = 0; k < 5; ++k)
+            sum += res.dLogits(t, k);
+        EXPECT_NEAR(sum, 0.0, 1e-4);
+    }
+}
+
+TEST_P(CtcProperty, GradientStepReducesLoss)
+{
+    const int seed = GetParam();
+    Matrix logits = randomMatrix(12, 5,
+                                 static_cast<std::uint64_t>(seed) + 100);
+    const std::vector<int> target = {1, 2, 3, 4};
+    const auto before = nn::ctcLoss(logits, target);
+    ASSERT_TRUE(before.feasible);
+    // One gradient-descent step on the logits must lower the loss.
+    for (std::size_t i = 0; i < logits.size(); ++i)
+        logits.raw()[i] -= 0.1f * before.dLogits.raw()[i];
+    const auto after = nn::ctcLoss(logits, target);
+    EXPECT_LT(after.loss, before.loss);
+}
+
+TEST_P(CtcProperty, BeamNeverWorseThanGreedyLikelihood)
+{
+    const int seed = GetParam();
+    const Matrix logits = randomMatrix(10, 5,
+                                       static_cast<std::uint64_t>(seed)
+                                           + 200);
+    // Feasibility of decoding both ways with valid labels.
+    for (int label : nn::ctcBeamDecode(logits, 8)) {
+        EXPECT_GE(label, 1);
+        EXPECT_LE(label, 4);
+    }
+    for (int label : nn::ctcGreedyDecode(logits)) {
+        EXPECT_GE(label, 1);
+        EXPECT_LE(label, 4);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CtcProperty, ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------
+// Alignment invariants across mutation rates.
+
+class AlignProperty : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(AlignProperty, ColumnsConsistentAndIdentityMonotone)
+{
+    const double rate = GetParam();
+    Rng rng(static_cast<std::uint64_t>(rate * 1000) + 7);
+    const genomics::Sequence a = genomics::generateGenome(300, 0.5, rng);
+    genomics::Sequence b = a;
+    for (auto& base : b)
+        if (rng.bernoulli(rate))
+            base = static_cast<std::uint8_t>((base + 1 + rng.next(3)) % 4);
+
+    const auto res = genomics::alignGlobal(a, b);
+    EXPECT_EQ(res.matches + res.mismatches + res.insertions, a.size());
+    EXPECT_EQ(res.matches + res.mismatches + res.deletions, b.size());
+    EXPECT_LE(res.identity(), 1.0);
+    // Identity cannot exceed the fraction of untouched bases by much,
+    // nor fall below it catastrophically for substitution-only noise.
+    EXPECT_NEAR(res.identity(), 1.0 - rate, 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(MutationRates, AlignProperty,
+                         ::testing::Values(0.0, 0.02, 0.05, 0.10, 0.20));
+
+// ---------------------------------------------------------------------
+// Dataset signal invariants across all four Table 2 datasets.
+
+class DatasetProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(DatasetProperty, ReadsAnnotatedAndSignalSane)
+{
+    const auto specs = genomics::table2Specs();
+    const auto& spec = specs[static_cast<std::size_t>(GetParam())];
+    const genomics::PoreModel pore;
+    const auto ds = genomics::makeDataset(spec, pore, 3);
+    ASSERT_EQ(ds.reads.size(), 3u);
+    for (const auto& read : ds.reads) {
+        EXPECT_EQ(read.signal.size(), read.sampleToBase.size());
+        EXPECT_GE(read.signal.size(),
+                  read.bases.size()
+                      * static_cast<std::size_t>(spec.signal.dwellMin));
+        float abs_max = 0.0f;
+        for (float v : read.signal)
+            abs_max = std::max(abs_max, std::fabs(v));
+        EXPECT_LT(abs_max, 3.0f); // levels ~[-1,1] plus bounded noise
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetProperty,
+                         ::testing::Range(0, 4));

@@ -1,0 +1,174 @@
+/** @file Tests for the deterministic RNG. */
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+using namespace swordfish;
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a() == b() ? 1 : 0;
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(7);
+    const auto first = a();
+    a.reseed(7);
+    EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(4);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-2.5, 7.5);
+        EXPECT_GE(u, -2.5);
+        EXPECT_LT(u, 7.5);
+    }
+}
+
+TEST(Rng, UniformMeanIsCentered)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, NextBoundedIsInRange)
+{
+    Rng rng(6);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.next(17), 17u);
+}
+
+TEST(Rng, NextCoversAllValues)
+{
+    Rng rng(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.next(10));
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, RangeInclusiveBounds)
+{
+    Rng rng(8);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussMomentsMatch)
+{
+    Rng rng(9);
+    double sum = 0.0, sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gauss();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussScaledMoments)
+{
+    Rng rng(10);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gauss(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, LogNormalIsPositive)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GT(rng.logNormal(0.0, 0.5), 0.0);
+}
+
+TEST(Rng, LogNormalMedianNearOne)
+{
+    Rng rng(12);
+    std::vector<double> v;
+    for (int i = 0; i < 10001; ++i)
+        v.push_back(rng.logNormal(0.0, 0.3));
+    std::nth_element(v.begin(), v.begin() + 5000, v.end());
+    EXPECT_NEAR(v[5000], 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(14);
+    std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    auto sorted = v;
+    rng.shuffle(v);
+    EXPECT_FALSE(std::is_sorted(v.begin(), v.end())); // overwhelmingly
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitStreamsAreIndependent)
+{
+    Rng a(15);
+    Rng b = a.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a() == b() ? 1 : 0;
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, HashSeedOrderSensitive)
+{
+    EXPECT_NE(hashSeed({1, 2}), hashSeed({2, 1}));
+    EXPECT_EQ(hashSeed({1, 2, 3}), hashSeed({1, 2, 3}));
+    EXPECT_NE(hashSeed({1}), hashSeed({1, 0}));
+}

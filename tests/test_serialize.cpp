@@ -1,0 +1,113 @@
+/** @file Tests for binary serialization and env/logging helpers. */
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "util/env.h"
+#include "util/serialize.h"
+#include "util/timer.h"
+
+using namespace swordfish;
+
+namespace {
+
+std::string
+tempPath(const char* name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+} // namespace
+
+TEST(Serialize, RoundtripAllTypes)
+{
+    const std::string path = tempPath("swordfish_serialize_test.bin");
+    {
+        BinaryWriter w(path);
+        w.putU64(42);
+        w.putI64(-7);
+        w.putF64(3.25);
+        w.putString("hello");
+        w.putFloats({1.0f, 2.0f, 3.0f});
+        ASSERT_TRUE(w.good());
+    }
+    BinaryReader r(path);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.getU64(), 42u);
+    EXPECT_EQ(r.getI64(), -7);
+    EXPECT_DOUBLE_EQ(r.getF64(), 3.25);
+    EXPECT_EQ(r.getString(), "hello");
+    EXPECT_EQ(r.getFloats(), (std::vector<float>{1.0f, 2.0f, 3.0f}));
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileNotOk)
+{
+    BinaryReader r(tempPath("swordfish_no_such_file.bin"));
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialize, BadMagicRejected)
+{
+    const std::string path = tempPath("swordfish_bad_magic.bin");
+    {
+        std::ofstream out(path, std::ios::binary);
+        const std::uint64_t junk = 0x1234;
+        out.write(reinterpret_cast<const char*>(&junk), sizeof(junk));
+    }
+    BinaryReader r(path);
+    EXPECT_FALSE(r.ok());
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, EmptyContainersRoundtrip)
+{
+    const std::string path = tempPath("swordfish_empty.bin");
+    {
+        BinaryWriter w(path);
+        w.putString("");
+        w.putFloats({});
+    }
+    BinaryReader r(path);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.getString(), "");
+    EXPECT_TRUE(r.getFloats().empty());
+    std::remove(path.c_str());
+}
+
+TEST(Env, FlagParsing)
+{
+    ::setenv("SWORDFISH_TEST_FLAG", "1", 1);
+    EXPECT_TRUE(envFlag("SWORDFISH_TEST_FLAG"));
+    ::setenv("SWORDFISH_TEST_FLAG", "0", 1);
+    EXPECT_FALSE(envFlag("SWORDFISH_TEST_FLAG"));
+    ::setenv("SWORDFISH_TEST_FLAG", "false", 1);
+    EXPECT_FALSE(envFlag("SWORDFISH_TEST_FLAG"));
+    ::unsetenv("SWORDFISH_TEST_FLAG");
+    EXPECT_FALSE(envFlag("SWORDFISH_TEST_FLAG"));
+}
+
+TEST(Env, LongParsing)
+{
+    ::setenv("SWORDFISH_TEST_NUM", "123", 1);
+    EXPECT_EQ(envLong("SWORDFISH_TEST_NUM", 5), 123);
+    ::setenv("SWORDFISH_TEST_NUM", "junk", 1);
+    EXPECT_EQ(envLong("SWORDFISH_TEST_NUM", 5), 5);
+    ::unsetenv("SWORDFISH_TEST_NUM");
+    EXPECT_EQ(envLong("SWORDFISH_TEST_NUM", 7), 7);
+}
+
+TEST(Timer, StopwatchAdvances)
+{
+    Stopwatch w;
+    volatile double sink = 0.0;
+    for (int i = 0; i < 100000; ++i)
+        sink = sink + i;
+    EXPECT_GT(w.seconds(), 0.0);
+    const double before = w.seconds();
+    w.restart();
+    EXPECT_LT(w.seconds(), before + 1.0);
+}

@@ -1,0 +1,100 @@
+/** @file Tests for statistics helpers and the text table. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace swordfish;
+
+TEST(RunningStat, MeanOfKnownSamples)
+{
+    RunningStat s;
+    for (double x : {1.0, 2.0, 3.0, 4.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_EQ(s.count(), 4u);
+}
+
+TEST(RunningStat, VarianceMatchesDefinition)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStat, MinMaxTracked)
+{
+    RunningStat s;
+    for (double x : {3.0, -1.0, 5.0, 2.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.min(), -1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStat, SingleSampleHasZeroVariance)
+{
+    RunningStat s;
+    s.add(42.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, MatchesRunningStat)
+{
+    const auto s = Summary::of({1.0, 3.0, 5.0, 7.0, 9.0});
+    EXPECT_DOUBLE_EQ(s.mean, 5.0);
+    EXPECT_DOUBLE_EQ(s.median, 5.0);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 9.0);
+    EXPECT_EQ(s.count, 5u);
+}
+
+TEST(Summary, EmptyThrows)
+{
+    EXPECT_THROW(Summary::of({}), std::invalid_argument);
+}
+
+TEST(Percentile, EndpointsAndMedian)
+{
+    const std::vector<double> v = {10.0, 20.0, 30.0, 40.0, 50.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 50.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 30.0);
+}
+
+TEST(Percentile, InterpolatesBetweenSamples)
+{
+    const std::vector<double> v = {0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 25), 2.5);
+}
+
+TEST(Percentile, UnsortedInputHandled)
+{
+    const std::vector<double> v = {50.0, 10.0, 30.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 50.0);
+}
+
+TEST(TextTable, AlignsColumnsAndPrintsAllRows)
+{
+    TextTable t;
+    t.header({"A", "LongHeader"});
+    t.row({"x", "1"});
+    t.row({"yy", "22"});
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("LongHeader"), std::string::npos);
+    EXPECT_NE(out.find("yy"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatsFixedPrecision)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(97.315, 1), "97.3");
+    EXPECT_EQ(TextTable::num(-1.0, 0), "-1");
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shared test helpers: random tensors, numeric gradient checking for NN
+ * layers, and tolerances.
+ */
+
+#ifndef SWORDFISH_TESTS_TEST_UTIL_H
+#define SWORDFISH_TESTS_TEST_UTIL_H
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "nn/module.h"
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace swordfish::testing {
+
+/** Gaussian random matrix with a fixed seed. */
+inline Matrix
+randomMatrix(std::size_t rows, std::size_t cols, std::uint64_t seed,
+             double sigma = 0.5)
+{
+    Matrix m(rows, cols);
+    Rng rng(seed);
+    for (float& v : m.raw())
+        v = static_cast<float>(rng.gauss(0.0, sigma));
+    return m;
+}
+
+/** Sum-of-elements loss, gradient of which is all-ones. */
+inline double
+sumLoss(const Matrix& y)
+{
+    double s = 0.0;
+    for (float v : y.raw())
+        s += v;
+    return s;
+}
+
+/**
+ * Finite-difference gradient check of a layer: compares the analytic
+ * parameter and input gradients of loss = sum(layer(x)) against central
+ * differences. Checks a subsample of coordinates for speed.
+ */
+inline void
+checkLayerGradients(nn::Module& layer, const Matrix& x,
+                    double tol = 2e-2, std::size_t max_coords = 24)
+{
+    // Analytic gradients.
+    layer.zeroGrad();
+    Matrix y = layer.forward(x);
+    Matrix dy(y.rows(), y.cols());
+    dy.fill(1.0f);
+    Matrix dx = layer.backward(dy);
+
+    const float eps = 1e-3f;
+    // Input gradient.
+    Matrix xm = x;
+    const std::size_t x_stride =
+        std::max<std::size_t>(1, x.size() / max_coords);
+    for (std::size_t i = 0; i < x.size(); i += x_stride) {
+        const float orig = xm.raw()[i];
+        xm.raw()[i] = orig + eps;
+        const double up = sumLoss(layer.forward(xm));
+        xm.raw()[i] = orig - eps;
+        const double down = sumLoss(layer.forward(xm));
+        xm.raw()[i] = orig;
+        const double numeric = (up - down) / (2.0 * eps);
+        EXPECT_NEAR(dx.raw()[i], numeric,
+                    tol * std::max(1.0, std::fabs(numeric)))
+            << "input grad coord " << i;
+    }
+
+    // Parameter gradients.
+    for (nn::Parameter* p : layer.parameters()) {
+        const std::size_t stride =
+            std::max<std::size_t>(1, p->size() / max_coords);
+        for (std::size_t i = 0; i < p->size(); i += stride) {
+            const float orig = p->value.raw()[i];
+            p->value.raw()[i] = orig + eps;
+            const double up = sumLoss(layer.forward(x));
+            p->value.raw()[i] = orig - eps;
+            const double down = sumLoss(layer.forward(x));
+            p->value.raw()[i] = orig;
+            const double numeric = (up - down) / (2.0 * eps);
+            EXPECT_NEAR(p->grad.raw()[i], numeric,
+                        tol * std::max(1.0, std::fabs(numeric)))
+                << p->name << " grad coord " << i;
+        }
+    }
+}
+
+} // namespace swordfish::testing
+
+#endif // SWORDFISH_TESTS_TEST_UTIL_H
