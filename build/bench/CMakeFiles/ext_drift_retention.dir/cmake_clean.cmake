@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_drift_retention.dir/ext_drift_retention.cpp.o"
+  "CMakeFiles/ext_drift_retention.dir/ext_drift_retention.cpp.o.d"
+  "ext_drift_retention"
+  "ext_drift_retention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_drift_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

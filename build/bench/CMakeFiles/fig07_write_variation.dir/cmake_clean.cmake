@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_write_variation.dir/fig07_write_variation.cpp.o"
+  "CMakeFiles/fig07_write_variation.dir/fig07_write_variation.cpp.o.d"
+  "fig07_write_variation"
+  "fig07_write_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_write_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_nonidealities_64.dir/fig08_nonidealities_64.cpp.o"
+  "CMakeFiles/fig08_nonidealities_64.dir/fig08_nonidealities_64.cpp.o.d"
+  "fig08_nonidealities_64"
+  "fig08_nonidealities_64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_nonidealities_64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

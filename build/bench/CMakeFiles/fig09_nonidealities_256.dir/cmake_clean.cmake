@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_nonidealities_256.dir/fig09_nonidealities_256.cpp.o"
+  "CMakeFiles/fig09_nonidealities_256.dir/fig09_nonidealities_256.cpp.o.d"
+  "fig09_nonidealities_256"
+  "fig09_nonidealities_256.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_nonidealities_256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

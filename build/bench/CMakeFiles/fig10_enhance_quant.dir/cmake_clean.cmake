@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_enhance_quant.dir/fig10_enhance_quant.cpp.o"
+  "CMakeFiles/fig10_enhance_quant.dir/fig10_enhance_quant.cpp.o.d"
+  "fig10_enhance_quant"
+  "fig10_enhance_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_enhance_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

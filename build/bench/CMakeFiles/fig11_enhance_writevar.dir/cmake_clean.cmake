@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_enhance_writevar.dir/fig11_enhance_writevar.cpp.o"
+  "CMakeFiles/fig11_enhance_writevar.dir/fig11_enhance_writevar.cpp.o.d"
+  "fig11_enhance_writevar"
+  "fig11_enhance_writevar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_enhance_writevar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

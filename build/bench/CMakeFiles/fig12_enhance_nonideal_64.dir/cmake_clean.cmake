@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_enhance_nonideal_64.dir/fig12_enhance_nonideal_64.cpp.o"
+  "CMakeFiles/fig12_enhance_nonideal_64.dir/fig12_enhance_nonideal_64.cpp.o.d"
+  "fig12_enhance_nonideal_64"
+  "fig12_enhance_nonideal_64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_enhance_nonideal_64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_area_accuracy.dir/fig15_area_accuracy.cpp.o"
+  "CMakeFiles/fig15_area_accuracy.dir/fig15_area_accuracy.cpp.o.d"
+  "fig15_area_accuracy"
+  "fig15_area_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_area_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_device_config.dir/tab01_device_config.cpp.o"
+  "CMakeFiles/tab01_device_config.dir/tab01_device_config.cpp.o.d"
+  "tab01_device_config"
+  "tab01_device_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_device_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_datasets.dir/tab02_datasets.cpp.o"
+  "CMakeFiles/tab02_datasets.dir/tab02_datasets.cpp.o.d"
+  "tab02_datasets"
+  "tab02_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_quantization.dir/tab03_quantization.cpp.o"
+  "CMakeFiles/tab03_quantization.dir/tab03_quantization.cpp.o.d"
+  "tab03_quantization"
+  "tab03_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

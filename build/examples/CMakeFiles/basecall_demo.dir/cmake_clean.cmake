@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basecall_demo.dir/basecall_demo.cpp.o"
+  "CMakeFiles/basecall_demo.dir/basecall_demo.cpp.o.d"
+  "basecall_demo"
+  "basecall_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basecall_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

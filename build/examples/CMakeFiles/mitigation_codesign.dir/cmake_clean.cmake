@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitigation_codesign.dir/mitigation_codesign.cpp.o"
+  "CMakeFiles/mitigation_codesign.dir/mitigation_codesign.cpp.o.d"
+  "mitigation_codesign"
+  "mitigation_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitigation_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

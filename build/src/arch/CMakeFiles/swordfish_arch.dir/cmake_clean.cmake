@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swordfish_arch.dir/area.cpp.o"
+  "CMakeFiles/swordfish_arch.dir/area.cpp.o.d"
+  "CMakeFiles/swordfish_arch.dir/energy.cpp.o"
+  "CMakeFiles/swordfish_arch.dir/energy.cpp.o.d"
+  "CMakeFiles/swordfish_arch.dir/partition.cpp.o"
+  "CMakeFiles/swordfish_arch.dir/partition.cpp.o.d"
+  "CMakeFiles/swordfish_arch.dir/throughput.cpp.o"
+  "CMakeFiles/swordfish_arch.dir/throughput.cpp.o.d"
+  "libswordfish_arch.a"
+  "libswordfish_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swordfish_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/basecall/basecaller.cpp" "src/basecall/CMakeFiles/swordfish_basecall.dir/basecaller.cpp.o" "gcc" "src/basecall/CMakeFiles/swordfish_basecall.dir/basecaller.cpp.o.d"
+  "/root/repo/src/basecall/bonito_lite.cpp" "src/basecall/CMakeFiles/swordfish_basecall.dir/bonito_lite.cpp.o" "gcc" "src/basecall/CMakeFiles/swordfish_basecall.dir/bonito_lite.cpp.o.d"
+  "/root/repo/src/basecall/chunker.cpp" "src/basecall/CMakeFiles/swordfish_basecall.dir/chunker.cpp.o" "gcc" "src/basecall/CMakeFiles/swordfish_basecall.dir/chunker.cpp.o.d"
+  "/root/repo/src/basecall/pipeline.cpp" "src/basecall/CMakeFiles/swordfish_basecall.dir/pipeline.cpp.o" "gcc" "src/basecall/CMakeFiles/swordfish_basecall.dir/pipeline.cpp.o.d"
+  "/root/repo/src/basecall/trainer.cpp" "src/basecall/CMakeFiles/swordfish_basecall.dir/trainer.cpp.o" "gcc" "src/basecall/CMakeFiles/swordfish_basecall.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/swordfish_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/genomics/CMakeFiles/swordfish_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/swordfish_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/swordfish_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

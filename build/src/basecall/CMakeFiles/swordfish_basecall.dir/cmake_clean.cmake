@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swordfish_basecall.dir/basecaller.cpp.o"
+  "CMakeFiles/swordfish_basecall.dir/basecaller.cpp.o.d"
+  "CMakeFiles/swordfish_basecall.dir/bonito_lite.cpp.o"
+  "CMakeFiles/swordfish_basecall.dir/bonito_lite.cpp.o.d"
+  "CMakeFiles/swordfish_basecall.dir/chunker.cpp.o"
+  "CMakeFiles/swordfish_basecall.dir/chunker.cpp.o.d"
+  "CMakeFiles/swordfish_basecall.dir/pipeline.cpp.o"
+  "CMakeFiles/swordfish_basecall.dir/pipeline.cpp.o.d"
+  "CMakeFiles/swordfish_basecall.dir/trainer.cpp.o"
+  "CMakeFiles/swordfish_basecall.dir/trainer.cpp.o.d"
+  "libswordfish_basecall.a"
+  "libswordfish_basecall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swordfish_basecall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for swordfish_basecall.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/context.cpp" "src/core/CMakeFiles/swordfish_core.dir/context.cpp.o" "gcc" "src/core/CMakeFiles/swordfish_core.dir/context.cpp.o.d"
+  "/root/repo/src/core/enhancer.cpp" "src/core/CMakeFiles/swordfish_core.dir/enhancer.cpp.o" "gcc" "src/core/CMakeFiles/swordfish_core.dir/enhancer.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/swordfish_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/swordfish_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/vmm_backend.cpp" "src/core/CMakeFiles/swordfish_core.dir/vmm_backend.cpp.o" "gcc" "src/core/CMakeFiles/swordfish_core.dir/vmm_backend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crossbar/CMakeFiles/swordfish_crossbar.dir/DependInfo.cmake"
+  "/root/repo/build/src/basecall/CMakeFiles/swordfish_basecall.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/swordfish_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/genomics/CMakeFiles/swordfish_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/swordfish_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/swordfish_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/swordfish_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swordfish_core.dir/context.cpp.o"
+  "CMakeFiles/swordfish_core.dir/context.cpp.o.d"
+  "CMakeFiles/swordfish_core.dir/enhancer.cpp.o"
+  "CMakeFiles/swordfish_core.dir/enhancer.cpp.o.d"
+  "CMakeFiles/swordfish_core.dir/evaluator.cpp.o"
+  "CMakeFiles/swordfish_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/swordfish_core.dir/vmm_backend.cpp.o"
+  "CMakeFiles/swordfish_core.dir/vmm_backend.cpp.o.d"
+  "libswordfish_core.a"
+  "libswordfish_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swordfish_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crossbar/converters.cpp" "src/crossbar/CMakeFiles/swordfish_crossbar.dir/converters.cpp.o" "gcc" "src/crossbar/CMakeFiles/swordfish_crossbar.dir/converters.cpp.o.d"
+  "/root/repo/src/crossbar/crossbar.cpp" "src/crossbar/CMakeFiles/swordfish_crossbar.dir/crossbar.cpp.o" "gcc" "src/crossbar/CMakeFiles/swordfish_crossbar.dir/crossbar.cpp.o.d"
+  "/root/repo/src/crossbar/library.cpp" "src/crossbar/CMakeFiles/swordfish_crossbar.dir/library.cpp.o" "gcc" "src/crossbar/CMakeFiles/swordfish_crossbar.dir/library.cpp.o.d"
+  "/root/repo/src/crossbar/mapping.cpp" "src/crossbar/CMakeFiles/swordfish_crossbar.dir/mapping.cpp.o" "gcc" "src/crossbar/CMakeFiles/swordfish_crossbar.dir/mapping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/swordfish_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/swordfish_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

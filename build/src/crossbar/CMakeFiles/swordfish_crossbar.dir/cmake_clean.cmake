@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swordfish_crossbar.dir/converters.cpp.o"
+  "CMakeFiles/swordfish_crossbar.dir/converters.cpp.o.d"
+  "CMakeFiles/swordfish_crossbar.dir/crossbar.cpp.o"
+  "CMakeFiles/swordfish_crossbar.dir/crossbar.cpp.o.d"
+  "CMakeFiles/swordfish_crossbar.dir/library.cpp.o"
+  "CMakeFiles/swordfish_crossbar.dir/library.cpp.o.d"
+  "CMakeFiles/swordfish_crossbar.dir/mapping.cpp.o"
+  "CMakeFiles/swordfish_crossbar.dir/mapping.cpp.o.d"
+  "libswordfish_crossbar.a"
+  "libswordfish_crossbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swordfish_crossbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

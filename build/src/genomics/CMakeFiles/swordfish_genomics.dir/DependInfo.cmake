@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/genomics/align.cpp" "src/genomics/CMakeFiles/swordfish_genomics.dir/align.cpp.o" "gcc" "src/genomics/CMakeFiles/swordfish_genomics.dir/align.cpp.o.d"
+  "/root/repo/src/genomics/dataset.cpp" "src/genomics/CMakeFiles/swordfish_genomics.dir/dataset.cpp.o" "gcc" "src/genomics/CMakeFiles/swordfish_genomics.dir/dataset.cpp.o.d"
+  "/root/repo/src/genomics/io.cpp" "src/genomics/CMakeFiles/swordfish_genomics.dir/io.cpp.o" "gcc" "src/genomics/CMakeFiles/swordfish_genomics.dir/io.cpp.o.d"
+  "/root/repo/src/genomics/mapper.cpp" "src/genomics/CMakeFiles/swordfish_genomics.dir/mapper.cpp.o" "gcc" "src/genomics/CMakeFiles/swordfish_genomics.dir/mapper.cpp.o.d"
+  "/root/repo/src/genomics/pore_model.cpp" "src/genomics/CMakeFiles/swordfish_genomics.dir/pore_model.cpp.o" "gcc" "src/genomics/CMakeFiles/swordfish_genomics.dir/pore_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/swordfish_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

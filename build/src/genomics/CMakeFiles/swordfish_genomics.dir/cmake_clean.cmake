@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swordfish_genomics.dir/align.cpp.o"
+  "CMakeFiles/swordfish_genomics.dir/align.cpp.o.d"
+  "CMakeFiles/swordfish_genomics.dir/dataset.cpp.o"
+  "CMakeFiles/swordfish_genomics.dir/dataset.cpp.o.d"
+  "CMakeFiles/swordfish_genomics.dir/io.cpp.o"
+  "CMakeFiles/swordfish_genomics.dir/io.cpp.o.d"
+  "CMakeFiles/swordfish_genomics.dir/mapper.cpp.o"
+  "CMakeFiles/swordfish_genomics.dir/mapper.cpp.o.d"
+  "CMakeFiles/swordfish_genomics.dir/pore_model.cpp.o"
+  "CMakeFiles/swordfish_genomics.dir/pore_model.cpp.o.d"
+  "libswordfish_genomics.a"
+  "libswordfish_genomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swordfish_genomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswordfish_genomics.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/conv1d.cpp" "src/nn/CMakeFiles/swordfish_nn.dir/conv1d.cpp.o" "gcc" "src/nn/CMakeFiles/swordfish_nn.dir/conv1d.cpp.o.d"
+  "/root/repo/src/nn/ctc.cpp" "src/nn/CMakeFiles/swordfish_nn.dir/ctc.cpp.o" "gcc" "src/nn/CMakeFiles/swordfish_nn.dir/ctc.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/swordfish_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/swordfish_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/swordfish_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/swordfish_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/swordfish_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/swordfish_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/swordfish_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/swordfish_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/swordfish_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/swordfish_nn.dir/optimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/swordfish_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/swordfish_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swordfish_nn.dir/conv1d.cpp.o"
+  "CMakeFiles/swordfish_nn.dir/conv1d.cpp.o.d"
+  "CMakeFiles/swordfish_nn.dir/ctc.cpp.o"
+  "CMakeFiles/swordfish_nn.dir/ctc.cpp.o.d"
+  "CMakeFiles/swordfish_nn.dir/linear.cpp.o"
+  "CMakeFiles/swordfish_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/swordfish_nn.dir/lstm.cpp.o"
+  "CMakeFiles/swordfish_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/swordfish_nn.dir/model.cpp.o"
+  "CMakeFiles/swordfish_nn.dir/model.cpp.o.d"
+  "CMakeFiles/swordfish_nn.dir/module.cpp.o"
+  "CMakeFiles/swordfish_nn.dir/module.cpp.o.d"
+  "CMakeFiles/swordfish_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/swordfish_nn.dir/optimizer.cpp.o.d"
+  "libswordfish_nn.a"
+  "libswordfish_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swordfish_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swordfish_tensor.dir/matrix.cpp.o"
+  "CMakeFiles/swordfish_tensor.dir/matrix.cpp.o.d"
+  "libswordfish_tensor.a"
+  "libswordfish_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swordfish_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swordfish_util.dir/logging.cpp.o"
+  "CMakeFiles/swordfish_util.dir/logging.cpp.o.d"
+  "libswordfish_util.a"
+  "libswordfish_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swordfish_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

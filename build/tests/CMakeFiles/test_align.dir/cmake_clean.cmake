@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_align.dir/test_align.cpp.o"
+  "CMakeFiles/test_align.dir/test_align.cpp.o.d"
+  "test_align"
+  "test_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

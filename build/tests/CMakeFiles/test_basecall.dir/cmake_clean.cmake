@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_basecall.dir/test_basecall.cpp.o"
+  "CMakeFiles/test_basecall.dir/test_basecall.cpp.o.d"
+  "test_basecall"
+  "test_basecall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_basecall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ctc.dir/test_ctc.cpp.o"
+  "CMakeFiles/test_ctc.dir/test_ctc.cpp.o.d"
+  "test_ctc"
+  "test_ctc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ctc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

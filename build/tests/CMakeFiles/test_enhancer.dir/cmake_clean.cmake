@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_enhancer.dir/test_enhancer.cpp.o"
+  "CMakeFiles/test_enhancer.dir/test_enhancer.cpp.o.d"
+  "test_enhancer"
+  "test_enhancer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_enhancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

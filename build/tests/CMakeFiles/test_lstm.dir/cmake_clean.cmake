@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lstm.dir/test_lstm.cpp.o"
+  "CMakeFiles/test_lstm.dir/test_lstm.cpp.o.d"
+  "test_lstm"
+  "test_lstm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lstm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
