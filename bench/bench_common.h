@@ -10,6 +10,8 @@
  *   SWORDFISH_EVAL_RUNS=N       noisy instantiations per error bar
  *   SWORDFISH_RETRAIN_EPOCHS=N  enhancer fine-tune epochs
  *   SWORDFISH_ARTIFACTS=dir     artifact cache directory
+ *   SWORDFISH_THREADS=N         evaluation pool workers (0 = serial;
+ *                               default: hardware concurrency)
  */
 
 #ifndef SWORDFISH_BENCH_COMMON_H

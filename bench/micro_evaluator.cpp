@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Micro-benchmark for the parallel Monte-Carlo evaluation engine: wall
+ * time of evaluateNonIdealAccuracy with the global pool disabled vs.
+ * pooled, reported as reads/s and emitted as one JSON object so future
+ * PRs can track the trajectory.
+ *
+ * Knobs: SWORDFISH_THREADS (pooled worker count; default hardware
+ * concurrency), SWORDFISH_EVAL_RUNS / SWORDFISH_EVAL_READS (work size),
+ * SWORDFISH_FAST=1 (smoke-run sizes).
+ */
+
+#include <cstdio>
+#include <thread>
+
+#include "basecall/bonito_lite.h"
+#include "core/evaluator.h"
+#include "core/nonideality.h"
+#include "core/vmm_backend.h"
+#include "genomics/dataset.h"
+#include "util/env.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace swordfish;
+using namespace swordfish::core;
+
+int
+main()
+{
+    const bool fast = fastMode();
+    const std::size_t runs = static_cast<std::size_t>(
+        envLong("SWORDFISH_EVAL_RUNS", fast ? 2 : 4));
+    const std::size_t reads = static_cast<std::size_t>(
+        envLong("SWORDFISH_EVAL_READS", fast ? 2 : 6));
+    const std::size_t hw = std::thread::hardware_concurrency() > 0
+        ? std::thread::hardware_concurrency() : 1;
+    const long env_threads = envLong("SWORDFISH_THREADS",
+                                     static_cast<long>(hw));
+    // Negative values mean "unset" (as in thread_pool.cpp), not SIZE_MAX.
+    const std::size_t pooled_threads = env_threads >= 0
+        ? static_cast<std::size_t>(env_threads) : hw;
+
+    basecall::BonitoLiteConfig cfg;
+    cfg.convChannels = fast ? 8 : 16;
+    cfg.lstmHidden = fast ? 8 : 16;
+    cfg.lstmLayers = fast ? 1 : 2;
+    nn::SequenceModel model = basecall::buildBonitoLite(cfg);
+
+    const genomics::PoreModel pore;
+    const genomics::Dataset dataset =
+        genomics::makeDataset(genomics::specById("D1"), pore, reads);
+
+    NonIdealityConfig scenario;
+    scenario.kind = NonIdealityKind::Combined;
+    scenario.crossbar.size = 64;
+    const SramRemapConfig remap;
+
+    // Reads/s of one full Monte-Carlo evaluation at the given pool size
+    // (0 = fully serial). The first call warms allocators and code paths.
+    auto measure = [&](std::size_t threads) {
+        setGlobalPoolThreads(threads);
+        evaluateNonIdealAccuracy(model, scenario, remap, dataset,
+                                 /*runs=*/1, reads, /*seed_base=*/42);
+        Stopwatch watch;
+        evaluateNonIdealAccuracy(model, scenario, remap, dataset, runs,
+                                 reads, /*seed_base=*/42);
+        const double secs = watch.seconds();
+        return secs > 0.0
+            ? static_cast<double>(runs * reads) / secs : 0.0;
+    };
+
+    const double serial = measure(0);
+    const double pooled = measure(pooled_threads);
+    const double speedup = serial > 0.0 ? pooled / serial : 0.0;
+
+    std::printf("{\"bench\":\"micro_evaluator\",\"runs\":%zu,"
+                "\"reads\":%zu,\"pooled_threads\":%zu,"
+                "\"serial_reads_per_s\":%.3f,"
+                "\"pooled_reads_per_s\":%.3f,\"speedup\":%.3f}\n",
+                runs, reads, pooled_threads, serial, pooled, speedup);
+    return 0;
+}

@@ -4,6 +4,7 @@
 
 #include "basecall/chunker.h"
 #include "nn/ctc.h"
+#include "util/thread_pool.h"
 
 namespace swordfish::basecall {
 
@@ -19,6 +20,21 @@ basecallRead(nn::SequenceModel& model, const genomics::Read& read,
     return genomics::fromCtcLabels(labels);
 }
 
+std::vector<nn::SequenceModel>
+makeWorkerReplicas(nn::SequenceModel& model, std::size_t count)
+{
+    std::vector<nn::SequenceModel> replicas;
+    replicas.reserve(count);
+    for (std::size_t s = 0; s < count; ++s) {
+        replicas.emplace_back(model);
+        // Cloned layers reset to the ideal backend; shards must share the
+        // original's (thread-safe) backend so they hit the same programmed
+        // tiles.
+        replicas.back().setBackend(&model.backend());
+    }
+    return replicas;
+}
+
 AccuracyResult
 evaluateAccuracy(nn::SequenceModel& model, const genomics::Dataset& dataset,
                  std::size_t max_reads, Decoder decoder)
@@ -28,15 +44,47 @@ evaluateAccuracy(nn::SequenceModel& model, const genomics::Dataset& dataset,
         ? dataset.reads.size()
         : std::min(dataset.reads.size(), max_reads);
 
+    // Per-read slots, reduced in index order below: results are bitwise
+    // identical no matter how reads are sharded across workers.
+    std::vector<double> identity(n, 0.0);
+    std::vector<std::size_t> bases(n, 0);
+    auto eval_one = [&](nn::SequenceModel& m, std::size_t i) {
+        m.beginRead(i); // read-indexed conversion-noise stream
+        const genomics::Sequence called =
+            basecallRead(m, dataset.reads[i], decoder);
+        const genomics::AlignmentResult aln =
+            genomics::alignGlobal(called, dataset.reads[i].bases);
+        identity[i] = aln.identity();
+        bases[i] = called.size();
+    };
+
+    ThreadPool& pool = globalPool();
+    const std::size_t shards = pool.shardCount(n);
+    if (shards <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            eval_one(model, i);
+    } else {
+        // The model's forward pass caches activations per layer, so each
+        // shard basecalls through its own replica.
+        auto replicas = makeWorkerReplicas(model, shards);
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(shards);
+        for (std::size_t s = 0; s < shards; ++s) {
+            tasks.push_back([&, s] {
+                const auto [begin, end] = ThreadPool::shardRange(n, shards,
+                                                                 s);
+                for (std::size_t i = begin; i < end; ++i)
+                    eval_one(replicas[s], i);
+            });
+        }
+        pool.runTasks(std::move(tasks));
+    }
+
     double identity_sum = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-        const genomics::Read& read = dataset.reads[i];
-        const genomics::Sequence called = basecallRead(model, read, decoder);
-        const genomics::AlignmentResult aln =
-            genomics::alignGlobal(called, read.bases);
-        identity_sum += aln.identity();
-        res.minIdentity = std::min(res.minIdentity, aln.identity());
-        res.basesCalled += called.size();
+        identity_sum += identity[i];
+        res.minIdentity = std::min(res.minIdentity, identity[i]);
+        res.basesCalled += bases[i];
         ++res.readsEvaluated;
     }
     res.meanIdentity = res.readsEvaluated > 0

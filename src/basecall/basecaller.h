@@ -25,6 +25,16 @@ genomics::Sequence basecallRead(nn::SequenceModel& model,
                                 Decoder decoder = Decoder::Greedy,
                                 std::size_t beam_width = 8);
 
+/**
+ * Deep-copy `count` worker replicas of a model, each wired to the
+ * original's VMM backend. Forward passes cache per-layer state, so every
+ * read-sharding worker basecalls through its own replica while sharing the
+ * one set of programmed tiles (safe: CrossbarVmmBackend::matmul is
+ * thread-safe after programming).
+ */
+std::vector<nn::SequenceModel> makeWorkerReplicas(nn::SequenceModel& model,
+                                                  std::size_t count);
+
 /** Accuracy evaluation result over a dataset. */
 struct AccuracyResult
 {

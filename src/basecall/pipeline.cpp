@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "genomics/mapper.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace swordfish::basecall {
@@ -16,27 +17,55 @@ runPipeline(nn::SequenceModel& model, const genomics::Dataset& dataset,
         ? dataset.reads.size()
         : std::min(dataset.reads.size(), max_reads);
 
-    // Stage 1: basecalling.
+    ThreadPool& pool = globalPool();
+
+    // Stage 1: basecalling — reads shard across workers, each worker
+    // basecalling through its own model replica (per-read noise streams
+    // keep the calls independent of the sharding).
     Stopwatch watch;
-    std::vector<genomics::Sequence> calls;
-    calls.reserve(n);
-    for (std::size_t i = 0; i < n; ++i)
-        calls.push_back(basecallRead(model, dataset.reads[i]));
+    std::vector<genomics::Sequence> calls(n);
+    {
+        const std::size_t shards = pool.shardCount(n);
+        if (shards <= 1) {
+            for (std::size_t i = 0; i < n; ++i) {
+                model.beginRead(i);
+                calls[i] = basecallRead(model, dataset.reads[i]);
+            }
+        } else {
+            auto replicas = makeWorkerReplicas(model, shards);
+            std::vector<std::function<void()>> tasks;
+            tasks.reserve(shards);
+            for (std::size_t s = 0; s < shards; ++s) {
+                tasks.push_back([&, s] {
+                    const auto [begin, end] =
+                        ThreadPool::shardRange(n, shards, s);
+                    for (std::size_t i = begin; i < end; ++i) {
+                        replicas[s].beginRead(i);
+                        calls[i] = basecallRead(replicas[s],
+                                                dataset.reads[i]);
+                    }
+                });
+            }
+            pool.runTasks(std::move(tasks));
+        }
+    }
     report.stages.push_back({"Basecalling", watch.seconds(), 0.0});
 
     // Stage 2: read mapping (index construction counts as mapping work,
-    // as it does in minimap2).
+    // as it does in minimap2). The index builds once; queries are const
+    // and shard freely.
     watch.restart();
     genomics::ReadMapper mapper(dataset.reference);
-    std::vector<genomics::MappingResult> mappings;
-    mappings.reserve(n);
+    std::vector<genomics::MappingResult> mappings(n);
+    pool.parallelFor(n, [&](std::size_t i) {
+        mappings[i] = mapper.map(calls[i]);
+    });
     double identity_sum = 0.0;
     std::size_t mapped = 0;
-    for (const genomics::Sequence& call : calls) {
-        mappings.push_back(mapper.map(call));
-        if (mappings.back().mapped) {
+    for (const genomics::MappingResult& m : mappings) {
+        if (m.mapped) {
             ++mapped;
-            identity_sum += mappings.back().identity;
+            identity_sum += m.identity;
         }
     }
     report.stages.push_back({"Read mapping", watch.seconds(), 0.0});
@@ -44,10 +73,10 @@ runPipeline(nn::SequenceModel& model, const genomics::Dataset& dataset,
     // Stage 3: consensus/polishing — per mapped read, realign against its
     // window and tally agreement (a pileup-style polish pass).
     watch.restart();
-    std::size_t polish_columns = 0;
-    for (std::size_t i = 0; i < calls.size(); ++i) {
+    std::vector<std::size_t> columns(n, 0);
+    pool.parallelFor(n, [&](std::size_t i) {
         if (!mappings[i].mapped)
-            continue;
+            return;
         const std::size_t start = mappings[i].refStart;
         const std::size_t end = std::min(dataset.reference.size(),
                                          start + calls[i].size() + 64);
@@ -57,8 +86,11 @@ runPipeline(nn::SequenceModel& model, const genomics::Dataset& dataset,
             dataset.reference.begin() + static_cast<std::ptrdiff_t>(end));
         const genomics::AlignmentResult aln =
             genomics::alignGlocal(calls[i], window, 96);
-        polish_columns += aln.alignmentLength;
-    }
+        columns[i] = aln.alignmentLength;
+    });
+    std::size_t polish_columns = 0;
+    for (std::size_t c : columns)
+        polish_columns += c;
     (void)polish_columns;
     report.stages.push_back({"Consensus/polish", watch.seconds(), 0.0});
 

@@ -1,6 +1,7 @@
 #include "evaluator.h"
 
 #include "core/deploy.h"
+#include "util/thread_pool.h"
 
 namespace swordfish::core {
 
@@ -12,16 +13,47 @@ evaluateNonIdealAccuracy(nn::SequenceModel& model,
                          std::size_t runs, std::size_t max_reads,
                          std::uint64_t seed_base)
 {
-    RunningStat stat;
-    for (std::size_t r = 0; r < runs; ++r) {
+    // One Monte-Carlo run = program a fresh backend (seed_base + r) and
+    // basecall the dataset through it. Runs are independent, so they fan
+    // out across the pool, each worker owning a model replica and backend;
+    // per-run accuracies land in indexed slots and reduce in run order, so
+    // the summary is bitwise identical for any worker count.
+    std::vector<double> run_mean(runs, 0.0);
+    auto run_one = [&](nn::SequenceModel& m, std::size_t r) {
         CrossbarVmmBackend backend(scenario, seed_base + r);
         backend.setSramRemap(remap);
-        model.setBackend(&backend);
-        const auto acc = basecall::evaluateAccuracy(model, dataset,
-                                                    max_reads);
-        stat.add(acc.meanIdentity);
+        m.setBackend(&backend);
+        run_mean[r] = basecall::evaluateAccuracy(m, dataset,
+                                                 max_reads).meanIdentity;
+        m.setBackend(nullptr);
+    };
+
+    ThreadPool& pool = globalPool();
+    const std::size_t shards = pool.shardCount(runs);
+    if (shards <= 1) {
+        // Serial over runs; within each run, evaluateAccuracy still shards
+        // reads across any idle workers.
+        for (std::size_t r = 0; r < runs; ++r)
+            run_one(model, r);
+    } else {
+        auto replicas = basecall::makeWorkerReplicas(model, shards);
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(shards);
+        for (std::size_t s = 0; s < shards; ++s) {
+            tasks.push_back([&, s] {
+                const auto [begin, end] = ThreadPool::shardRange(runs,
+                                                                 shards, s);
+                for (std::size_t r = begin; r < end; ++r)
+                    run_one(replicas[s], r);
+            });
+        }
+        pool.runTasks(std::move(tasks));
     }
     model.setBackend(nullptr);
+
+    RunningStat stat;
+    for (std::size_t r = 0; r < runs; ++r)
+        stat.add(run_mean[r]);
 
     AccuracySummary summary;
     summary.mean = stat.mean();

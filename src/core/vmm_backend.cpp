@@ -4,14 +4,46 @@
 #include <numeric>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace swordfish::core {
+
+namespace {
+
+/** Process-unique backend ids so tls conversion streams can't alias a
+ *  recycled address after a backend is destroyed. */
+std::atomic<std::uint64_t> next_instance_id{1};
+
+/**
+ * One conversion-noise stream per (thread, backend): reads announce their
+ * stream via beginRead(); matmul draws from the calling thread's stream.
+ * Keeping it thread-local (instead of a member) is what makes a programmed
+ * backend shareable across read-sharding workers.
+ */
+struct TlsConversionStream
+{
+    std::uint64_t owner = 0; ///< backend instanceId_ the rng is seeded for
+    Rng rng;
+};
+thread_local TlsConversionStream tls_stream;
+
+/** Per-thread scratch for the tiled matmul hot path. */
+struct TlsMatmulScratch
+{
+    Matrix xSub;                 ///< column-tile input slice
+    crossbar::VmmScratch tile;   ///< vmmFast input copy + partial sums
+};
+thread_local TlsMatmulScratch tls_scratch;
+
+constexpr std::uint64_t kConversionTag = 0xc0417e27ULL;
+
+} // namespace
 
 CrossbarVmmBackend::CrossbarVmmBackend(const NonIdealityConfig& config,
                                        std::uint64_t run_seed)
     : config_(config), runSeed_(run_seed),
-      activationQuant_(config.quant.activationBits),
-      conversionRng_(hashSeed({run_seed, 0xc0417e27ULL}))
+      instanceId_(next_instance_id.fetch_add(1)),
+      activationQuant_(config.quant.activationBits)
 {
     if (config_.usesLibrary()) {
         library_.emplace(config_.crossbar.size, config_.library, 10000,
@@ -20,16 +52,49 @@ CrossbarVmmBackend::CrossbarVmmBackend(const NonIdealityConfig& config,
 }
 
 void
+CrossbarVmmBackend::beginRead(std::uint64_t read_stream)
+{
+    tls_stream.owner = instanceId_;
+    tls_stream.rng.reseed(hashSeed({runSeed_, read_stream,
+                                    kConversionTag}));
+}
+
+Rng&
+CrossbarVmmBackend::conversionRng() const
+{
+    // Threads that never saw beginRead() (direct matmul callers, e.g.
+    // training-time noise injection) run on the read-0 stream.
+    if (tls_stream.owner != instanceId_) {
+        tls_stream.owner = instanceId_;
+        tls_stream.rng.reseed(hashSeed({runSeed_, 0, kConversionTag}));
+    }
+    return tls_stream.rng;
+}
+
+void
 CrossbarVmmBackend::onActivations(Matrix& activations)
 {
     activationQuant_.apply(activations);
 }
 
-CrossbarVmmBackend::MappedWeight&
+const CrossbarVmmBackend::MappedWeight&
 CrossbarVmmBackend::mapped(const std::string& name, const Matrix& w)
 {
+    {
+        std::shared_lock<std::shared_mutex> lock(programMutex_);
+        auto it = weights_.find(name);
+        if (it != weights_.end()) {
+            if (it->second.rows != w.rows() || it->second.cols != w.cols())
+                panic("CrossbarVmmBackend: shape of ", name,
+                      " changed after programming");
+            return it->second;
+        }
+    }
+
+    std::unique_lock<std::shared_mutex> lock(programMutex_);
     auto it = weights_.find(name);
     if (it != weights_.end()) {
+        // Another read-shard programmed it while we waited for the lock.
         if (it->second.rows != w.rows() || it->second.cols != w.cols())
             panic("CrossbarVmmBackend: shape of ", name,
                   " changed after programming");
@@ -51,7 +116,7 @@ CrossbarVmmBackend::mapped(const std::string& name, const Matrix& w)
 std::vector<std::uint8_t>
 CrossbarVmmBackend::selectSramCells(const Matrix& error,
                                     const std::string& name,
-                                    std::size_t tile_index)
+                                    std::size_t tile_index) const
 {
     std::vector<std::uint8_t> mask(error.size(), 0);
     const auto k = static_cast<std::size_t>(
@@ -90,38 +155,49 @@ CrossbarVmmBackend::programAnalytical(MappedWeight& mw,
     const auto toggles = config_.toggles();
     auto& masks = sramMasks_[name];
 
-    mw.tiles.resize(row_tiles);
-    std::size_t tile_index = 0;
-    for (std::size_t rt = 0; rt < row_tiles; ++rt) {
+    // Each tile's build is independent given its precomputed seed, so the
+    // builds fan out across the pool (inline when already on a worker).
+    // Tiles land in indexed slots and masks in disjoint regions, keeping
+    // the result identical to the serial order.
+    std::vector<std::optional<crossbar::CrossbarTile>> built(
+        row_tiles * col_tiles);
+    globalPool().parallelFor(row_tiles * col_tiles, [&](std::size_t idx) {
+        const std::size_t rt = idx / col_tiles;
+        const std::size_t ct = idx % col_tiles;
         const std::size_t r0 = rt * s;
         const std::size_t r1 = std::min(mw.rows, r0 + s);
-        for (std::size_t ct = 0; ct < col_tiles; ++ct, ++tile_index) {
-            const std::size_t c0 = ct * s;
-            const std::size_t c1 = std::min(mw.cols, c0 + s);
+        const std::size_t c0 = ct * s;
+        const std::size_t c1 = std::min(mw.cols, c0 + s);
 
-            Matrix sub(r1 - r0, c1 - c0);
+        Matrix sub(r1 - r0, c1 - c0);
+        for (std::size_t r = r0; r < r1; ++r)
+            for (std::size_t c = c0; c < c1; ++c)
+                sub(r - r0, c - c0) = w(r, c);
+
+        const std::uint64_t tile_seed = hashSeed(
+            {runSeed_, std::hash<std::string>{}(name), rt, ct});
+        crossbar::CrossbarTile tile(config_.crossbar, sub, mw.absMax,
+                                    toggles, tile_seed);
+
+        if (remap_.fraction > 0.0) {
+            const auto mask = selectSramCells(
+                tile.cellErrorMagnitude(), name, idx);
+            tile.remapCellsToSram(mask);
             for (std::size_t r = r0; r < r1; ++r)
                 for (std::size_t c = c0; c < c1; ++c)
-                    sub(r - r0, c - c0) = w(r, c);
-
-            const std::uint64_t tile_seed = hashSeed(
-                {runSeed_, std::hash<std::string>{}(name), rt, ct});
-            crossbar::CrossbarTile tile(config_.crossbar, sub, mw.absMax,
-                                        toggles, tile_seed);
-
-            if (remap_.fraction > 0.0) {
-                const auto mask = selectSramCells(
-                    tile.cellErrorMagnitude(), name, tile_index);
-                tile.remapCellsToSram(mask);
-                for (std::size_t r = r0; r < r1; ++r)
-                    for (std::size_t c = c0; c < c1; ++c)
-                        masks[r * mw.cols + c] = mask[
-                            (r - r0) * (c1 - c0) + (c - c0)];
-            }
-            mw.tiles[rt].push_back(std::move(tile));
-            ++tileCount_;
+                    masks[r * mw.cols + c] = mask[
+                        (r - r0) * (c1 - c0) + (c - c0)];
         }
+        built[idx].emplace(std::move(tile));
+    });
+
+    mw.tiles.resize(row_tiles);
+    for (std::size_t rt = 0; rt < row_tiles; ++rt) {
+        mw.tiles[rt].reserve(col_tiles);
+        for (std::size_t ct = 0; ct < col_tiles; ++ct)
+            mw.tiles[rt].push_back(std::move(*built[rt * col_tiles + ct]));
     }
+    tileCount_ += row_tiles * col_tiles;
 }
 
 void
@@ -132,83 +208,105 @@ CrossbarVmmBackend::programMeasured(MappedWeight& mw,
     const std::size_t s = config_.crossbar.size;
     const std::size_t row_tiles = (mw.rows + s - 1) / s;
     const std::size_t col_tiles = (mw.cols + s - 1) / s;
+    const std::size_t n_tiles = row_tiles * col_tiles;
     auto& masks = sramMasks_[name];
 
+    // Library draws happen up front in tile order so the instance choice
+    // stays independent of how the builds are scheduled.
     Rng draw(hashSeed({runSeed_, std::hash<std::string>{}(name),
                        0x11bULL}));
+    std::vector<std::size_t> instances(n_tiles);
+    for (std::size_t i = 0; i < n_tiles; ++i)
+        instances[i] = library_->sampleInstance(draw);
+
     mw.measuredWeights = Matrix(mw.rows, mw.cols);
     mw.measuredGain.assign(mw.rows, 1.0f);
     mw.measuredOffset.assign(mw.rows, 0.0f);
 
-    std::size_t tile_index = 0;
-    for (std::size_t rt = 0; rt < row_tiles; ++rt) {
+    // R-V-W programming shrinks the programming-induced part of the
+    // measured error (~70% of the per-cell error in the characterized
+    // chips); die-level gain/offset is untouched.
+    const double prog_scale = 0.3 + 0.7
+        * crossbar::effectiveWriteSigma(
+              config_.crossbar.scheme, 1.0,
+              config_.crossbar.verifyIterations);
+
+    // Parallel stage: per-tile effective weights, masks and column
+    // profiles into indexed slots (writes to measuredWeights and masks are
+    // disjoint per tile).
+    std::vector<std::vector<float>> tile_gain(n_tiles);
+    std::vector<std::vector<float>> tile_offset(n_tiles);
+    globalPool().parallelFor(n_tiles, [&](std::size_t idx) {
+        const std::size_t rt = idx / col_tiles;
+        const std::size_t ct = idx % col_tiles;
         const std::size_t r0 = rt * s;
         const std::size_t r1 = std::min(mw.rows, r0 + s);
-        for (std::size_t ct = 0; ct < col_tiles; ++ct, ++tile_index) {
-            const std::size_t c0 = ct * s;
-            const std::size_t c1 = std::min(mw.cols, c0 + s);
-            const std::size_t tr = r1 - r0, tc = c1 - c0;
+        const std::size_t c0 = ct * s;
+        const std::size_t c1 = std::min(mw.cols, c0 + s);
+        const std::size_t tr = r1 - r0, tc = c1 - c0;
 
-            const auto profile = library_->profile(
-                library_->sampleInstance(draw), tr, tc);
-            ++tileCount_;
+        const auto profile = library_->profile(instances[idx], tr, tc);
 
-            // R-V-W programming shrinks the programming-induced part of
-            // the measured error (~70% of the per-cell error in the
-            // characterized chips); die-level gain/offset is untouched.
-            const double prog_scale = 0.3 + 0.7
-                * crossbar::effectiveWriteSigma(
-                      config_.crossbar.scheme, 1.0,
-                      config_.crossbar.verifyIterations);
-
-            Matrix eff(tr, tc), err(tr, tc);
-            for (std::size_t r = 0; r < tr; ++r) {
-                for (std::size_t c = 0; c < tc; ++c) {
-                    const float mult = 1.0f + static_cast<float>(
-                        prog_scale)
-                        * (profile.cellError(r, c) - 1.0f);
-                    const float add = static_cast<float>(prog_scale)
-                        * profile.cellAddError(r, c) * mw.absMax;
-                    eff(r, c) = w(r0 + r, c0 + c) * mult + add;
-                    err(r, c) = std::fabs(eff(r, c) - w(r0 + r, c0 + c));
-                }
-            }
-
-            std::vector<std::uint8_t> mask;
-            if (remap_.fraction > 0.0) {
-                mask = selectSramCells(err, name, tile_index);
-                for (std::size_t i = 0; i < mask.size(); ++i) {
-                    if (mask[i] != 0)
-                        eff.raw()[i] = w(r0 + i / tc, c0 + i % tc);
-                }
-            }
-
-            for (std::size_t r = 0; r < tr; ++r) {
-                for (std::size_t c = 0; c < tc; ++c) {
-                    mw.measuredWeights(r0 + r, c0 + c) = eff(r, c);
-                    if (!mask.empty())
-                        masks[(r0 + r) * mw.cols + (c0 + c)] =
-                            mask[r * tc + c];
-                }
-            }
-            // Column gain/offset: the library reports them per physical
-            // column; average across column tiles sharing an output.
-            for (std::size_t r = 0; r < tr; ++r) {
-                mw.measuredGain[r0 + r] *= profile.columnGain[r];
-                mw.measuredOffset[r0 + r] += profile.columnOffset[r];
+        Matrix eff(tr, tc), err(tr, tc);
+        for (std::size_t r = 0; r < tr; ++r) {
+            for (std::size_t c = 0; c < tc; ++c) {
+                const float mult = 1.0f + static_cast<float>(prog_scale)
+                    * (profile.cellError(r, c) - 1.0f);
+                const float add = static_cast<float>(prog_scale)
+                    * profile.cellAddError(r, c) * mw.absMax;
+                eff(r, c) = w(r0 + r, c0 + c) * mult + add;
+                err(r, c) = std::fabs(eff(r, c) - w(r0 + r, c0 + c));
             }
         }
+
+        std::vector<std::uint8_t> mask;
+        if (remap_.fraction > 0.0) {
+            mask = selectSramCells(err, name, idx);
+            for (std::size_t i = 0; i < mask.size(); ++i) {
+                if (mask[i] != 0)
+                    eff.raw()[i] = w(r0 + i / tc, c0 + i % tc);
+            }
+        }
+
+        for (std::size_t r = 0; r < tr; ++r) {
+            for (std::size_t c = 0; c < tc; ++c) {
+                mw.measuredWeights(r0 + r, c0 + c) = eff(r, c);
+                if (!mask.empty())
+                    masks[(r0 + r) * mw.cols + (c0 + c)] =
+                        mask[r * tc + c];
+            }
+        }
+        tile_gain[idx].assign(profile.columnGain.begin(),
+                              profile.columnGain.begin()
+                                  + static_cast<std::ptrdiff_t>(tr));
+        tile_offset[idx].assign(profile.columnOffset.begin(),
+                                profile.columnOffset.begin()
+                                    + static_cast<std::ptrdiff_t>(tr));
+    });
+
+    // Serial stage: fold column gain/offset in tile order — the library
+    // reports them per physical column, and column tiles sharing an output
+    // must combine in a fixed order for bitwise reproducibility.
+    for (std::size_t idx = 0; idx < n_tiles; ++idx) {
+        const std::size_t rt = idx / col_tiles;
+        const std::size_t r0 = rt * s;
+        for (std::size_t r = 0; r < tile_gain[idx].size(); ++r) {
+            mw.measuredGain[r0 + r] *= tile_gain[idx][r];
+            mw.measuredOffset[r0 + r] += tile_offset[idx][r];
+        }
     }
+    tileCount_ += n_tiles;
 }
 
 void
 CrossbarVmmBackend::matmul(const std::string& name, const Matrix& w,
                            const Matrix& x, Matrix& y)
 {
-    MappedWeight& mw = mapped(name, w);
+    const MappedWeight& mw = mapped(name, w);
 
     if (config_.usesLibrary()) {
-        gemmBT(x, mw.measuredWeights, y);
+        y.resize(x.rows(), mw.rows);
+        gemmBT(x, mw.measuredWeights, y, /*accumulate=*/true);
         float x_max = x.absMax();
         if (x_max <= 0.0f)
             x_max = 1.0f;
@@ -223,20 +321,21 @@ CrossbarVmmBackend::matmul(const std::string& name, const Matrix& w,
 
     const std::size_t s = config_.crossbar.size;
     const std::size_t col_tiles = (mw.cols + s - 1) / s;
-    y = Matrix(x.rows(), mw.rows);
+    y.resize(x.rows(), mw.rows);
 
-    Matrix x_sub;
+    Rng& rng = conversionRng();
+    Matrix& x_sub = tls_scratch.xSub;
     for (std::size_t ct = 0; ct < col_tiles; ++ct) {
         const std::size_t c0 = ct * s;
         const std::size_t c1 = std::min(mw.cols, c0 + s);
-        x_sub = Matrix(x.rows(), c1 - c0);
+        x_sub.resize(x.rows(), c1 - c0);
         for (std::size_t t = 0; t < x.rows(); ++t)
             for (std::size_t c = c0; c < c1; ++c)
                 x_sub(t, c - c0) = x(t, c);
 
         for (std::size_t rt = 0; rt < mw.tiles.size(); ++rt) {
-            const Matrix part = mw.tiles[rt][ct].vmmFast(x_sub,
-                                                         conversionRng_);
+            mw.tiles[rt][ct].vmmFast(x_sub, rng, tls_scratch.tile);
+            const Matrix& part = tls_scratch.tile.y;
             const std::size_t r0 = rt * s;
             // Digital accumulation of partial sums across column tiles.
             for (std::size_t t = 0; t < part.rows(); ++t)

@@ -20,9 +20,11 @@
 #ifndef SWORDFISH_CORE_VMM_BACKEND_H
 #define SWORDFISH_CORE_VMM_BACKEND_H
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -57,10 +59,26 @@ class CrossbarVmmBackend : public nn::VmmBackend
         remap_ = remap;
     }
 
+    /**
+     * Thread-safe after a weight is programmed: the first matmul for a
+     * given name programs its tiles under a lock; afterwards concurrent
+     * calls only read the tile set and draw conversion noise from the
+     * calling thread's per-read stream (see beginRead()).
+     */
     void matmul(const std::string& name, const Matrix& w, const Matrix& x,
                 Matrix& y) override;
 
     void onActivations(Matrix& activations) override;
+
+    /**
+     * Seed the calling thread's conversion-noise stream for one read:
+     * stream = hash(runSeed, read_stream). Every matmul of that read then
+     * draws ADC noise from this stream, so a read's result depends only on
+     * (runSeed, read index) — never on which thread executes it or how
+     * reads are interleaved. Threads that never call this get the
+     * read_stream = 0 stream.
+     */
+    void beginRead(std::uint64_t read_stream) override;
 
     /**
      * Per-parameter SRAM masks recorded while programming (1 = weight is
@@ -73,7 +91,7 @@ class CrossbarVmmBackend : public nn::VmmBackend
     }
 
     /** Number of tiles programmed so far. */
-    std::size_t programmedTiles() const { return tileCount_; }
+    std::size_t programmedTiles() const { return tileCount_.load(); }
 
     const NonIdealityConfig& config() const { return config_; }
 
@@ -93,24 +111,31 @@ class CrossbarVmmBackend : public nn::VmmBackend
         float absMax = 0.0f;
     };
 
-    MappedWeight& mapped(const std::string& name, const Matrix& w);
+    const MappedWeight& mapped(const std::string& name, const Matrix& w);
     void programAnalytical(MappedWeight& mw, const std::string& name,
                            const Matrix& w);
     void programMeasured(MappedWeight& mw, const std::string& name,
                          const Matrix& w);
     std::vector<std::uint8_t> selectSramCells(const Matrix& error,
                                               const std::string& name,
-                                              std::size_t tile_index);
+                                              std::size_t tile_index) const;
+
+    /** The calling thread's conversion stream for this backend instance. */
+    Rng& conversionRng() const;
 
     NonIdealityConfig config_;
     std::uint64_t runSeed_;
+    std::uint64_t instanceId_; ///< process-unique; keys the tls streams
     Quantizer activationQuant_;
     std::optional<crossbar::MeasurementLibrary> library_;
     SramRemapConfig remap_;
+    // Programming happens once per weight name under the unique lock;
+    // matmul holds the shared lock only for the map lookup (nodes are
+    // never erased, so returned references stay valid).
+    mutable std::shared_mutex programMutex_;
     std::map<std::string, MappedWeight> weights_;
     std::map<std::string, std::vector<std::uint8_t>> sramMasks_;
-    Rng conversionRng_; ///< per-conversion ADC noise stream
-    std::size_t tileCount_ = 0;
+    std::atomic<std::size_t> tileCount_ = 0;
 };
 
 } // namespace swordfish::core

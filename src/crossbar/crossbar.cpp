@@ -124,6 +124,14 @@ CrossbarTile::buildEffectiveWeights(const NoiseToggles& toggles,
 Matrix
 CrossbarTile::vmmFast(const Matrix& x, Rng& rng) const
 {
+    VmmScratch scratch;
+    vmmFast(x, rng, scratch);
+    return std::move(scratch.y);
+}
+
+void
+CrossbarTile::vmmFast(const Matrix& x, Rng& rng, VmmScratch& scratch) const
+{
     if (x.cols() != ideal_.cols())
         panic("CrossbarTile::vmmFast: input width ", x.cols(),
               " != tile fan-in ", ideal_.cols());
@@ -134,17 +142,19 @@ CrossbarTile::vmmFast(const Matrix& x, Rng& rng) const
     if (x_scale <= 0.0f)
         x_scale = 1.0f;
 
-    Matrix xn = x;
+    Matrix& xn = scratch.xn;
+    xn.resize(x.rows(), x.cols());
     const float inv = 1.0f / x_scale;
-    for (float& v : xn.raw())
-        v *= inv;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        xn.raw()[i] = x.raw()[i] * inv;
     if (!dac_->isIdeal()) {
         for (float& v : xn.raw())
             v = dac_->convert(v);
     }
 
-    Matrix y;
-    gemmBT(xn, effective_, y);
+    Matrix& y = scratch.y;
+    y.resize(x.rows(), effective_.rows());
+    gemmBT(xn, effective_, y, /*accumulate=*/true);
 
     const bool sneak = !colSneak_.empty()
         && std::any_of(colSneak_.begin(), colSneak_.end(),
@@ -168,7 +178,6 @@ CrossbarTile::vmmFast(const Matrix& x, Rng& rng) const
 
     for (float& v : y.raw())
         v *= x_scale;
-    return y;
 }
 
 std::vector<float>

@@ -88,6 +88,17 @@ struct DriftConfig
     double t0Hours = 1.0;  ///< reference time of the programmed state
 };
 
+/**
+ * Reusable buffers for CrossbarTile::vmmFast(). Hot evaluation loops keep
+ * one per thread so the per-call input copy and output allocation are
+ * amortized across every tile VMM of a read.
+ */
+struct VmmScratch
+{
+    Matrix xn; ///< normalized (and DAC-converted) input copy
+    Matrix y;  ///< tile output accumulator
+};
+
 /** One programmed crossbar tile holding a weight sub-matrix. */
 class CrossbarTile
 {
@@ -114,6 +125,12 @@ class CrossbarTile
      * @param rng per-conversion noise stream
      */
     Matrix vmmFast(const Matrix& x, Rng& rng) const;
+
+    /**
+     * Allocation-free fast path: identical arithmetic, but the input copy
+     * and the result live in caller-owned scratch (result in scratch.y).
+     */
+    void vmmFast(const Matrix& x, Rng& rng, VmmScratch& scratch) const;
 
     /** Reference path: explicit per-cell current summation (one vector). */
     std::vector<float> vmmCircuit(const std::vector<float>& x,

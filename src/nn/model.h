@@ -103,6 +103,20 @@ class SequenceModel
             layer->setBackend(backend);
     }
 
+    /** The installed VMM backend (the ideal one when none was set). */
+    VmmBackend&
+    backend() const
+    {
+        return layers_.empty() ? idealBackend() : layers_.front()->backend();
+    }
+
+    /** Announce the per-read noise stream to the backend (see VmmBackend). */
+    void
+    beginRead(std::uint64_t read_stream)
+    {
+        backend().beginRead(read_stream);
+    }
+
     std::size_t layerCount() const { return layers_.size(); }
     Module& layer(std::size_t i) { return *layers_[i]; }
     const Module& layer(std::size_t i) const { return *layers_[i]; }

@@ -76,6 +76,17 @@ class VmmBackend
      * activation storage override this (default: leave exact).
      */
     virtual void onActivations(Matrix&) {}
+
+    /**
+     * Per-read noise-stream hook: the evaluation loops call this on the
+     * processing thread before each read's forward pass with a stable
+     * stream id (the read index). Backends that consume randomness at
+     * inference time (per-conversion ADC noise) derive that read's noise
+     * stream from it, making results independent of which thread runs
+     * which read — the determinism contract of the parallel evaluator.
+     * Default: stateless backends ignore it.
+     */
+    virtual void beginRead(std::uint64_t /*read_stream*/) {}
 };
 
 /** Exact float GEMM backend (the digital / training path). */

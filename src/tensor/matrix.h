@@ -65,6 +65,19 @@ class Matrix
     std::vector<float>& raw() { return data_; }
     const std::vector<float>& raw() const { return data_; }
 
+    /**
+     * Reshape to rows x cols with all elements zeroed, reusing the existing
+     * allocation when capacity suffices — the scratch-buffer primitive of
+     * the hot VMM paths.
+     */
+    void
+    resize(std::size_t rows, std::size_t cols)
+    {
+        rows_ = rows;
+        cols_ = cols;
+        data_.assign(rows * cols, 0.0f);
+    }
+
     /** Set every element to v. */
     void
     fill(float v)

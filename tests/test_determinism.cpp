@@ -1,0 +1,141 @@
+/** @file Determinism tests for the parallel Monte-Carlo engine: results
+ *  must be bitwise identical regardless of the worker count, because runs
+ *  and reads land in indexed slots, reductions happen in index order, and
+ *  conversion noise comes from per-read streams (VmmBackend::beginRead)
+ *  rather than a shared mutable generator. */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "basecall/basecaller.h"
+#include "basecall/bonito_lite.h"
+#include "core/evaluator.h"
+#include "core/nonideality.h"
+#include "core/vmm_backend.h"
+#include "genomics/dataset.h"
+#include "util/thread_pool.h"
+
+using namespace swordfish;
+using namespace swordfish::core;
+
+namespace {
+
+/** Exact bit pattern of a double, for bitwise (not just ==) comparison. */
+std::uint64_t
+bits(double v)
+{
+    std::uint64_t u = 0;
+    std::memcpy(&u, &v, sizeof(u));
+    return u;
+}
+
+void
+expectBitwiseEqual(const AccuracySummary& a, const AccuracySummary& b)
+{
+    EXPECT_EQ(bits(a.mean), bits(b.mean));
+    EXPECT_EQ(bits(a.stddev), bits(b.stddev));
+    EXPECT_EQ(bits(a.min), bits(b.min));
+    EXPECT_EQ(bits(a.max), bits(b.max));
+    EXPECT_EQ(a.runs, b.runs);
+}
+
+/** Small untrained model + dataset (accuracy values are irrelevant here;
+ *  only their exact reproducibility matters). */
+struct Fixture
+{
+    static Fixture&
+    get()
+    {
+        static Fixture f;
+        return f;
+    }
+
+    nn::SequenceModel model;
+    genomics::Dataset dataset;
+
+  private:
+    Fixture()
+    {
+        basecall::BonitoLiteConfig cfg;
+        cfg.convChannels = 8;
+        cfg.lstmHidden = 8;
+        cfg.lstmLayers = 1;
+        model = basecall::buildBonitoLite(cfg);
+        const genomics::PoreModel pore;
+        dataset = genomics::makeDataset(genomics::specById("D1"), pore, 3);
+    }
+};
+
+AccuracySummary
+evalWithThreads(std::size_t threads, NonIdealityKind kind)
+{
+    Fixture& f = Fixture::get();
+    setGlobalPoolThreads(threads);
+    NonIdealityConfig scenario;
+    scenario.kind = kind;
+    scenario.crossbar.size = 64;
+    SramRemapConfig remap;
+    remap.fraction = 0.05;
+    return evaluateNonIdealAccuracy(f.model, scenario, remap, f.dataset,
+                                    /*runs=*/3, /*max_reads=*/3,
+                                    /*seed_base=*/7);
+}
+
+} // namespace
+
+TEST(Determinism, NonIdealAccuracyIndependentOfThreadCount)
+{
+    const AccuracySummary t1 =
+        evalWithThreads(1, NonIdealityKind::Combined);
+    const AccuracySummary t2 =
+        evalWithThreads(2, NonIdealityKind::Combined);
+    const AccuracySummary t4 =
+        evalWithThreads(4, NonIdealityKind::Combined);
+    expectBitwiseEqual(t1, t2);
+    expectBitwiseEqual(t1, t4);
+    EXPECT_EQ(t1.runs, 3u);
+}
+
+TEST(Determinism, MeasuredScenarioIndependentOfThreadCount)
+{
+    // The Measured path adds library draws and per-die column gain/offset
+    // folds, which must stay in tile order under parallel programming.
+    const AccuracySummary t1 =
+        evalWithThreads(1, NonIdealityKind::Measured);
+    const AccuracySummary t4 =
+        evalWithThreads(4, NonIdealityKind::Measured);
+    expectBitwiseEqual(t1, t4);
+}
+
+TEST(Determinism, RepeatedCallIsReproducible)
+{
+    // Same seed, same thread count => same bits (no hidden global state
+    // leaks between evaluations).
+    const AccuracySummary a =
+        evalWithThreads(2, NonIdealityKind::Combined);
+    const AccuracySummary b =
+        evalWithThreads(2, NonIdealityKind::Combined);
+    expectBitwiseEqual(a, b);
+}
+
+TEST(Determinism, ReadShardingIndependentOfThreadCount)
+{
+    // Below the run fan-out, evaluateAccuracy itself shards reads across
+    // workers; its per-read identities must not depend on the sharding.
+    Fixture& f = Fixture::get();
+    CrossbarVmmBackend backend(NonIdealityConfig{}, 11);
+    f.model.setBackend(&backend);
+
+    setGlobalPoolThreads(1);
+    const auto serial = basecall::evaluateAccuracy(f.model, f.dataset, 3);
+    setGlobalPoolThreads(4);
+    const auto pooled = basecall::evaluateAccuracy(f.model, f.dataset, 3);
+    f.model.setBackend(nullptr);
+
+    EXPECT_EQ(bits(serial.meanIdentity), bits(pooled.meanIdentity));
+    EXPECT_EQ(bits(serial.minIdentity), bits(pooled.minIdentity));
+    EXPECT_EQ(serial.basesCalled, pooled.basesCalled);
+    EXPECT_EQ(serial.readsEvaluated, pooled.readsEvaluated);
+}
