@@ -1,0 +1,303 @@
+/**
+ * @file
+ * CI smoke test for the metrics/tracing exporter: runs a tiny end-to-end
+ * slice of the framework (training epoch, full pipeline, one Monte-Carlo
+ * evaluation run), exports the registry through the SWORDFISH_METRICS_OUT
+ * path, and validates the emitted JSON — syntactic validity plus presence
+ * and non-emptiness of every instrumented stage the acceptance criteria
+ * name (chunk, vmm, program, ctc, align, mc_run). Exits non-zero on any
+ * failure so ctest catches a broken exporter.
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "basecall/bonito_lite.h"
+#include "basecall/chunker.h"
+#include "basecall/pipeline.h"
+#include "basecall/trainer.h"
+#include "core/evaluator.h"
+#include "core/nonideality.h"
+#include "core/vmm_backend.h"
+#include "genomics/dataset.h"
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+
+using namespace swordfish;
+using namespace swordfish::core;
+
+namespace {
+
+/**
+ * Minimal recursive-descent JSON validator. Accepts the full JSON grammar
+ * the exporter can produce (objects, arrays, strings, numbers, literals);
+ * rejects trailing garbage and unterminated structures.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string& text) : s_(text) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos_ >= s_.size())
+            return false;
+        switch (s_[pos_]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size())
+                    return false;
+            }
+            ++pos_;
+        }
+        if (pos_ >= s_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < s_.size()
+               && (std::isdigit(static_cast<unsigned char>(s_[pos_]))
+                   || s_[pos_] == '.' || s_[pos_] == 'e'
+                   || s_[pos_] == 'E' || s_[pos_] == '+'
+                   || s_[pos_] == '-')) {
+            ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char* lit)
+    {
+        const std::string l(lit);
+        if (s_.compare(pos_, l.size(), l) != 0)
+            return false;
+        pos_ += l.size();
+        return true;
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size()
+               && (s_[pos_] == ' ' || s_[pos_] == '\n'
+                   || s_[pos_] == '\t' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    const std::string& s_;
+    std::size_t pos_ = 0;
+};
+
+int failures = 0;
+
+void
+check(bool ok, const std::string& what)
+{
+    if (!ok) {
+        std::fprintf(stderr, "metrics_smoke: FAIL: %s\n", what.c_str());
+        ++failures;
+    }
+}
+
+/** The span must exist in the JSON with a non-zero call count. */
+void
+checkSpanPresent(const std::string& json, const std::string& name)
+{
+    const std::string key = "\"" + name + "\":{\"calls\":";
+    const std::size_t at = json.find(key);
+    check(at != std::string::npos, "span '" + name + "' missing");
+    if (at != std::string::npos)
+        check(json[at + key.size()] != '0',
+              "span '" + name + "' has zero calls");
+}
+
+} // namespace
+
+int
+main()
+{
+    // Exercise every instrumented stage with a tiny workload.
+    basecall::BonitoLiteConfig cfg;
+    cfg.convChannels = 8;
+    cfg.lstmHidden = 8;
+    cfg.lstmLayers = 1;
+    nn::SequenceModel model = basecall::buildBonitoLite(cfg);
+
+    const genomics::PoreModel pore;
+    const genomics::Dataset dataset =
+        genomics::makeDataset(genomics::specById("D1"), pore, 2);
+
+    // Training: one epoch over a few chunks (chunk + train_epoch spans).
+    {
+        const genomics::Dataset train =
+            genomics::makeTrainingDataset(1, 120, pore);
+        const auto chunks = basecall::chunkDataset(train, 64);
+        basecall::TrainConfig tc;
+        tc.epochs = 1;
+        tc.batchSize = 2;
+        if (!chunks.empty())
+            basecall::trainCtc(model, chunks, tc);
+    }
+
+    // Full pipeline (basecall/map/polish spans, ctc + align underneath).
+    basecall::runPipeline(model, dataset, 2);
+
+    // One Monte-Carlo evaluation run (mc_run, vmm, program spans).
+    NonIdealityConfig scenario;
+    scenario.kind = NonIdealityKind::Combined;
+    scenario.crossbar.size = 64;
+    evaluateNonIdealAccuracy(model, scenario, SramRemapConfig{}, dataset,
+                             /*runs=*/1, /*max_reads=*/2,
+                             /*seed_base=*/42);
+
+    // Export through the same env-var path production runs use.
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "swordfish_metrics.json")
+            .string();
+    ::setenv(kMetricsOutEnv, path.c_str(), 1);
+    check(writeMetricsIfConfigured(), "writeMetricsIfConfigured");
+
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string json = buf.str();
+    while (!json.empty() && (json.back() == '\n' || json.back() == '\r'))
+        json.pop_back();
+    check(!json.empty(), "metrics file empty");
+    check(json.front() == '{' && json.back() == '}',
+          "metrics output is not a single JSON object");
+    check(JsonChecker(json).valid(), "metrics JSON malformed");
+
+    for (const char* section :
+         {"\"counters\":{", "\"gauges\":{", "\"histograms\":{",
+          "\"spans\":{"})
+        check(json.find(section) != std::string::npos,
+              std::string("section missing: ") + section);
+
+    // The six instrumented stages the acceptance criteria name, plus the
+    // pipeline-level spans.
+    for (const char* span : {"chunk", "vmm", "program", "ctc", "align",
+                             "mc_run", "train_epoch", "pipeline.basecall",
+                             "pipeline.map", "pipeline.polish"})
+        checkSpanPresent(json, span);
+
+    for (const char* counter :
+         {"\"vmm.calls\":", "\"vmm.dac_conversions\":",
+          "\"vmm.adc_conversions\":", "\"program.tiles\":",
+          "\"ctc.decodes\":", "\"align.calls\":", "\"mc.runs\":",
+          "\"chunk.samples\":", "\"eval.reads\":", "\"pipeline.reads\":"})
+        check(json.find(counter) != std::string::npos,
+              std::string("counter missing: ") + counter);
+
+    // Drop the env var so the atexit dump does not recreate the temp file.
+    ::unsetenv(kMetricsOutEnv);
+    std::remove(path.c_str());
+    if (failures == 0)
+        std::printf("{\"bench\":\"metrics_smoke\",\"status\":\"ok\","
+                    "\"bytes\":%zu}\n",
+                    json.size());
+    return failures == 0 ? 0 : 1;
+}

@@ -19,6 +19,7 @@
 #include "core/vmm_backend.h"
 #include "genomics/dataset.h"
 #include "util/env.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -74,10 +75,15 @@ main()
     const double pooled = measure(pooled_threads);
     const double speedup = serial > 0.0 ? pooled / serial : 0.0;
 
+    // Per-stage counters/spans accumulated over both measurements (the
+    // instrumentation is observe-only, so it cannot perturb the results).
+    const std::string metrics_json = metrics().snapshot().toJson();
     std::printf("{\"bench\":\"micro_evaluator\",\"runs\":%zu,"
                 "\"reads\":%zu,\"pooled_threads\":%zu,"
                 "\"serial_reads_per_s\":%.3f,"
-                "\"pooled_reads_per_s\":%.3f,\"speedup\":%.3f}\n",
-                runs, reads, pooled_threads, serial, pooled, speedup);
+                "\"pooled_reads_per_s\":%.3f,\"speedup\":%.3f,"
+                "\"metrics\":%s}\n",
+                runs, reads, pooled_threads, serial, pooled, speedup,
+                metrics_json.c_str());
     return 0;
 }

@@ -5,6 +5,7 @@
 #include "basecall/chunker.h"
 #include "nn/ctc.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace swordfish::basecall {
 
@@ -12,8 +13,13 @@ genomics::Sequence
 basecallRead(nn::SequenceModel& model, const genomics::Read& read,
              Decoder decoder, std::size_t beam_width)
 {
+    static const SpanStat kCtcSpan = metrics().span("ctc");
+    static const Counter kCtcDecodes = metrics().counter("ctc.decodes");
+
     const Matrix signal = normalizeSignal(read.signal);
     const Matrix logits = model.forward(signal);
+    TraceSpan trace(kCtcSpan);
+    kCtcDecodes.add();
     const std::vector<int> labels = decoder == Decoder::Greedy
         ? nn::ctcGreedyDecode(logits)
         : nn::ctcBeamDecode(logits, beam_width);
@@ -39,6 +45,11 @@ AccuracyResult
 evaluateAccuracy(nn::SequenceModel& model, const genomics::Dataset& dataset,
                  std::size_t max_reads, Decoder decoder)
 {
+    static const Counter kEvalReads = metrics().counter("eval.reads");
+    static const Histogram kIdentityHist = metrics().histogram(
+        "read.identity",
+        {0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95, 0.99});
+
     AccuracyResult res;
     const std::size_t n = max_reads == 0
         ? dataset.reads.size()
@@ -56,6 +67,8 @@ evaluateAccuracy(nn::SequenceModel& model, const genomics::Dataset& dataset,
             genomics::alignGlobal(called, dataset.reads[i].bases);
         identity[i] = aln.identity();
         bases[i] = called.size();
+        kEvalReads.add();
+        kIdentityHist.observe(identity[i]);
     };
 
     ThreadPool& pool = globalPool();

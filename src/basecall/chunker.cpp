@@ -4,12 +4,19 @@
 
 #include "genomics/sequence.h"
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace swordfish::basecall {
 
 Matrix
 normalizeSignal(const float* samples, std::size_t count)
 {
+    static const SpanStat kChunkSpan = metrics().span("chunk");
+    static const Counter kChunkSamples =
+        metrics().counter("chunk.samples");
+    TraceSpan trace(kChunkSpan);
+    kChunkSamples.add(count);
+
     Matrix out(count, 1);
     if (count == 0)
         return out;
@@ -34,8 +41,11 @@ void
 chunkRead(const genomics::Read& read, std::size_t chunk_len,
           std::vector<TrainChunk>& out)
 {
+    static const Counter kChunks = metrics().counter("chunk.chunks");
+
     if (read.sampleToBase.size() != read.signal.size())
         panic("chunkRead: read lacks sample-to-base annotations");
+    const std::size_t before = out.size();
 
     for (std::size_t start = 0; start + chunk_len <= read.signal.size();
          start += chunk_len) {
@@ -63,6 +73,7 @@ chunkRead(const genomics::Read& read, std::size_t chunk_len,
                 static_cast<std::size_t>(b)]) + 1);
         out.push_back(std::move(chunk));
     }
+    kChunks.add(out.size() - before);
 }
 
 std::vector<TrainChunk>

@@ -5,6 +5,7 @@
 #include "genomics/mapper.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace swordfish::basecall {
 
@@ -12,10 +13,17 @@ PipelineReport
 runPipeline(nn::SequenceModel& model, const genomics::Dataset& dataset,
             std::size_t max_reads)
 {
+    static const SpanStat kBasecallSpan =
+        metrics().span("pipeline.basecall");
+    static const SpanStat kMapSpan = metrics().span("pipeline.map");
+    static const SpanStat kPolishSpan = metrics().span("pipeline.polish");
+    static const Counter kReads = metrics().counter("pipeline.reads");
+
     PipelineReport report;
     const std::size_t n = max_reads == 0
         ? dataset.reads.size()
         : std::min(dataset.reads.size(), max_reads);
+    kReads.add(n);
 
     ThreadPool& pool = globalPool();
 
@@ -25,6 +33,7 @@ runPipeline(nn::SequenceModel& model, const genomics::Dataset& dataset,
     Stopwatch watch;
     std::vector<genomics::Sequence> calls(n);
     {
+        TraceSpan trace(kBasecallSpan);
         const std::size_t shards = pool.shardCount(n);
         if (shards <= 1) {
             for (std::size_t i = 0; i < n; ++i) {
@@ -57,9 +66,12 @@ runPipeline(nn::SequenceModel& model, const genomics::Dataset& dataset,
     watch.restart();
     genomics::ReadMapper mapper(dataset.reference);
     std::vector<genomics::MappingResult> mappings(n);
-    pool.parallelFor(n, [&](std::size_t i) {
-        mappings[i] = mapper.map(calls[i]);
-    });
+    {
+        TraceSpan trace(kMapSpan);
+        pool.parallelFor(n, [&](std::size_t i) {
+            mappings[i] = mapper.map(calls[i]);
+        });
+    }
     double identity_sum = 0.0;
     std::size_t mapped = 0;
     for (const genomics::MappingResult& m : mappings) {
@@ -74,20 +86,24 @@ runPipeline(nn::SequenceModel& model, const genomics::Dataset& dataset,
     // window and tally agreement (a pileup-style polish pass).
     watch.restart();
     std::vector<std::size_t> columns(n, 0);
-    pool.parallelFor(n, [&](std::size_t i) {
-        if (!mappings[i].mapped)
-            return;
-        const std::size_t start = mappings[i].refStart;
-        const std::size_t end = std::min(dataset.reference.size(),
-                                         start + calls[i].size() + 64);
-        const genomics::Sequence window(
-            dataset.reference.begin()
-                + static_cast<std::ptrdiff_t>(start),
-            dataset.reference.begin() + static_cast<std::ptrdiff_t>(end));
-        const genomics::AlignmentResult aln =
-            genomics::alignGlocal(calls[i], window, 96);
-        columns[i] = aln.alignmentLength;
-    });
+    {
+        TraceSpan trace(kPolishSpan);
+        pool.parallelFor(n, [&](std::size_t i) {
+            if (!mappings[i].mapped)
+                return;
+            const std::size_t start = mappings[i].refStart;
+            const std::size_t end = std::min(dataset.reference.size(),
+                                             start + calls[i].size() + 64);
+            const genomics::Sequence window(
+                dataset.reference.begin()
+                    + static_cast<std::ptrdiff_t>(start),
+                dataset.reference.begin()
+                    + static_cast<std::ptrdiff_t>(end));
+            const genomics::AlignmentResult aln =
+                genomics::alignGlocal(calls[i], window, 96);
+            columns[i] = aln.alignmentLength;
+        });
+    }
     std::size_t polish_columns = 0;
     for (std::size_t c : columns)
         polish_columns += c;

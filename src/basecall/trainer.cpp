@@ -4,6 +4,7 @@
 
 #include "nn/ctc.h"
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace swordfish::basecall {
 
@@ -25,8 +26,14 @@ trainCtc(nn::SequenceModel& model, const std::vector<TrainChunk>& chunks,
     std::vector<std::size_t> order(chunks.size());
     std::iota(order.begin(), order.end(), 0);
 
+    static const SpanStat kEpochSpan = metrics().span("train_epoch");
+    static const Counter kEpochs = metrics().counter("train.epochs");
+    static const Gauge kLastLoss = metrics().gauge("train.last_loss");
+
     double last_epoch_loss = 0.0;
     for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+        TraceSpan trace(kEpochSpan);
+        kEpochs.add();
         rng.shuffle(order);
         double loss_sum = 0.0;
         std::size_t loss_count = 0;
@@ -68,6 +75,7 @@ trainCtc(nn::SequenceModel& model, const std::vector<TrainChunk>& chunks,
 
         last_epoch_loss = loss_count > 0
             ? loss_sum / static_cast<double>(loss_count) : 0.0;
+        kLastLoss.set(last_epoch_loss);
         if (on_epoch)
             on_epoch({epoch, last_epoch_loss, loss_count});
     }

@@ -2,6 +2,7 @@
 
 #include "core/deploy.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace swordfish::core {
 
@@ -18,8 +19,13 @@ evaluateNonIdealAccuracy(nn::SequenceModel& model,
     // out across the pool, each worker owning a model replica and backend;
     // per-run accuracies land in indexed slots and reduce in run order, so
     // the summary is bitwise identical for any worker count.
+    static const SpanStat kMcRunSpan = metrics().span("mc_run");
+    static const Counter kMcRuns = metrics().counter("mc.runs");
+
     std::vector<double> run_mean(runs, 0.0);
     auto run_one = [&](nn::SequenceModel& m, std::size_t r) {
+        TraceSpan trace(kMcRunSpan);
+        kMcRuns.add();
         CrossbarVmmBackend backend(scenario, seed_base + r);
         backend.setSramRemap(remap);
         m.setBackend(&backend);

@@ -5,6 +5,7 @@
 
 #include "util/logging.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace swordfish::core {
 
@@ -149,6 +150,11 @@ CrossbarVmmBackend::programAnalytical(MappedWeight& mw,
                                       const std::string& name,
                                       const Matrix& w)
 {
+    static const SpanStat kProgramSpan = metrics().span("program");
+    static const Counter kProgramTiles =
+        metrics().counter("program.tiles");
+    TraceSpan trace(kProgramSpan);
+
     const std::size_t s = config_.crossbar.size;
     const std::size_t row_tiles = (mw.rows + s - 1) / s;
     const std::size_t col_tiles = (mw.cols + s - 1) / s;
@@ -198,6 +204,7 @@ CrossbarVmmBackend::programAnalytical(MappedWeight& mw,
             mw.tiles[rt].push_back(std::move(*built[rt * col_tiles + ct]));
     }
     tileCount_ += row_tiles * col_tiles;
+    kProgramTiles.add(row_tiles * col_tiles);
 }
 
 void
@@ -205,6 +212,11 @@ CrossbarVmmBackend::programMeasured(MappedWeight& mw,
                                     const std::string& name,
                                     const Matrix& w)
 {
+    static const SpanStat kProgramSpan = metrics().span("program");
+    static const Counter kProgramTiles =
+        metrics().counter("program.tiles");
+    TraceSpan trace(kProgramSpan);
+
     const std::size_t s = config_.crossbar.size;
     const std::size_t row_tiles = (mw.rows + s - 1) / s;
     const std::size_t col_tiles = (mw.cols + s - 1) / s;
@@ -296,12 +308,23 @@ CrossbarVmmBackend::programMeasured(MappedWeight& mw,
         }
     }
     tileCount_ += n_tiles;
+    kProgramTiles.add(n_tiles);
 }
 
 void
 CrossbarVmmBackend::matmul(const std::string& name, const Matrix& w,
                            const Matrix& x, Matrix& y)
 {
+    static const SpanStat kVmmSpan = metrics().span("vmm");
+    static const Counter kVmmCalls = metrics().counter("vmm.calls");
+    static const Counter kTileVmms = metrics().counter("vmm.tile_vmms");
+    static const Counter kDacConversions =
+        metrics().counter("vmm.dac_conversions");
+    static const Counter kAdcConversions =
+        metrics().counter("vmm.adc_conversions");
+    TraceSpan trace(kVmmSpan);
+    kVmmCalls.add();
+
     const MappedWeight& mw = mapped(name, w);
 
     if (config_.usesLibrary()) {
@@ -316,6 +339,8 @@ CrossbarVmmBackend::matmul(const std::string& name, const Matrix& w,
                 row[o] = row[o] * mw.measuredGain[o]
                     + mw.measuredOffset[o] * mw.absMax * x_max;
         }
+        kDacConversions.add(x.size());
+        kAdcConversions.add(y.size());
         return;
     }
 
@@ -325,6 +350,7 @@ CrossbarVmmBackend::matmul(const std::string& name, const Matrix& w,
 
     Rng& rng = conversionRng();
     Matrix& x_sub = tls_scratch.xSub;
+    std::uint64_t tile_vmms = 0, dac_elems = 0, adc_elems = 0;
     for (std::size_t ct = 0; ct < col_tiles; ++ct) {
         const std::size_t c0 = ct * s;
         const std::size_t c1 = std::min(mw.cols, c0 + s);
@@ -337,12 +363,18 @@ CrossbarVmmBackend::matmul(const std::string& name, const Matrix& w,
             mw.tiles[rt][ct].vmmFast(x_sub, rng, tls_scratch.tile);
             const Matrix& part = tls_scratch.tile.y;
             const std::size_t r0 = rt * s;
+            ++tile_vmms;
+            dac_elems += x_sub.size();
+            adc_elems += part.size();
             // Digital accumulation of partial sums across column tiles.
             for (std::size_t t = 0; t < part.rows(); ++t)
                 for (std::size_t r = 0; r < part.cols(); ++r)
                     y(t, r0 + r) += part(t, r);
         }
     }
+    kTileVmms.add(tile_vmms);
+    kDacConversions.add(dac_elems);
+    kAdcConversions.add(adc_elems);
 }
 
 } // namespace swordfish::core

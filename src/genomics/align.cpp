@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace swordfish::genomics {
 
@@ -209,6 +210,10 @@ AlignmentResult
 alignGlobal(const Sequence& a, const Sequence& b, std::size_t band,
             const AlignScores& scores)
 {
+    static const SpanStat kAlignSpan = metrics().span("align");
+    static const Counter kAlignCalls = metrics().counter("align.calls");
+    TraceSpan trace(kAlignSpan);
+    kAlignCalls.add();
     return alignImpl(a, b, band, scores, /*free_b_ends=*/false);
 }
 
@@ -216,6 +221,10 @@ AlignmentResult
 alignGlocal(const Sequence& a, const Sequence& b, std::size_t band,
             const AlignScores& scores)
 {
+    static const SpanStat kAlignSpan = metrics().span("align");
+    static const Counter kAlignCalls = metrics().counter("align.calls");
+    TraceSpan trace(kAlignSpan);
+    kAlignCalls.add();
     return alignImpl(a, b, band, scores, /*free_b_ends=*/true);
 }
 

@@ -12,6 +12,18 @@ namespace {
 
 constexpr std::size_t kFastaWrap = 70;
 
+/**
+ * Drop a trailing carriage return, so files with CRLF line endings (or a
+ * stray final "\r") parse identically to LF files instead of tripping
+ * quality-length checks or feeding '\r' into charToBase().
+ */
+void
+stripCr(std::string& line)
+{
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+}
+
 } // namespace
 
 void
@@ -43,6 +55,7 @@ readFasta(std::istream& is)
     std::vector<SeqRecord> records;
     std::string line;
     while (std::getline(is, line)) {
+        stripCr(line);
         if (line.empty())
             continue;
         if (line[0] == '>') {
@@ -87,6 +100,7 @@ readFastq(std::istream& is)
     std::vector<SeqRecord> records;
     std::string header, bases, plus, quals;
     while (std::getline(is, header)) {
+        stripCr(header);
         if (header.empty())
             continue;
         if (header[0] != '@')
@@ -95,6 +109,9 @@ readFastq(std::istream& is)
             || !std::getline(is, quals)) {
             fatal("readFastq: truncated record for ", header);
         }
+        stripCr(bases);
+        stripCr(plus);
+        stripCr(quals);
         if (plus.empty() || plus[0] != '+')
             fatal("readFastq: expected '+' separator for ", header);
         if (bases.size() != quals.size())

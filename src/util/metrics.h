@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Process-wide metrics registry: counters, gauges, and fixed-bucket
+ * histograms with per-thread sharded accumulation.
+ *
+ * Design rules:
+ *  - Observe-only: metrics never feed back into any computation, so the
+ *    bitwise-determinism guarantees of the evaluation stack (see
+ *    tests/test_determinism.cpp) hold with instrumentation enabled at any
+ *    thread count.
+ *  - Shard-per-thread: every thread accumulates into its own cells, so
+ *    ThreadPool workers never contend on a global lock in the hot path.
+ *    The registry lock is only taken to register a metric name, to grow a
+ *    shard, and to aggregate a snapshot.
+ *  - Handles are cheap value types. Call sites cache them in function-local
+ *    statics so steady-state updates are one relaxed atomic op.
+ *
+ * Export: snapshot() merges all shards; toJson() renders one JSON object.
+ * When SWORDFISH_METRICS_OUT=<path> is set, the full registry is written
+ * there at process exit (and writeMetricsIfConfigured() does it on demand).
+ */
+
+#ifndef SWORDFISH_UTIL_METRICS_H
+#define SWORDFISH_UTIL_METRICS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace swordfish {
+
+class MetricsRegistry;
+
+/** Aggregated state of one fixed-bucket histogram. */
+struct HistogramSnapshot
+{
+    std::vector<double> bounds;        ///< ascending upper bucket bounds
+    std::vector<std::uint64_t> counts; ///< bounds.size()+1 (last = overflow)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/** Aggregated wall-time of one traced stage (see util/trace.h). */
+struct SpanSnapshot
+{
+    std::uint64_t calls = 0;
+    double seconds = 0.0;    ///< total across all calls and threads
+    double maxSeconds = 0.0; ///< slowest single call
+};
+
+/** Point-in-time merge of every registered metric. */
+struct MetricsSnapshot
+{
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+    std::map<std::string, SpanSnapshot> spans;
+
+    /** Render as a single JSON object. */
+    std::string toJson() const;
+};
+
+/** Monotonic counter handle. */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1) const;
+
+  private:
+    friend class MetricsRegistry;
+    Counter(MetricsRegistry* reg, std::size_t id) : reg_(reg), id_(id) {}
+    MetricsRegistry* reg_;
+    std::size_t id_;
+};
+
+/** Last-write-wins gauge handle. */
+class Gauge
+{
+  public:
+    void set(double v) const;
+
+  private:
+    friend class MetricsRegistry;
+    Gauge(MetricsRegistry* reg, std::size_t id) : reg_(reg), id_(id) {}
+    MetricsRegistry* reg_;
+    std::size_t id_;
+};
+
+/** Fixed-bucket histogram handle. */
+class Histogram
+{
+  public:
+    void observe(double v) const;
+
+  private:
+    friend class MetricsRegistry;
+    Histogram(MetricsRegistry* reg, std::size_t id,
+              const std::vector<double>* bounds)
+        : reg_(reg), id_(id), bounds_(bounds)
+    {
+    }
+    MetricsRegistry* reg_;
+    std::size_t id_;
+    const std::vector<double>* bounds_; ///< owned by the registry
+};
+
+/** Stage-timing aggregate handle; fed by TraceSpan (util/trace.h). */
+class SpanStat
+{
+  public:
+    void record(double seconds) const;
+
+  private:
+    friend class MetricsRegistry;
+    SpanStat(MetricsRegistry* reg, std::size_t id) : reg_(reg), id_(id) {}
+    MetricsRegistry* reg_;
+    std::size_t id_;
+};
+
+/**
+ * The registry. One process-wide instance (metrics()); it is deliberately
+ * leaked so worker threads and atexit hooks can always reach it.
+ */
+class MetricsRegistry
+{
+  public:
+    /** The process-wide registry. */
+    static MetricsRegistry& instance();
+
+    /** Register (or look up) a metric by name. Thread-safe. */
+    Counter counter(const std::string& name);
+    Gauge gauge(const std::string& name);
+    /** `bounds` must be ascending; ignored if `name` already exists. */
+    Histogram histogram(const std::string& name,
+                        std::vector<double> bounds);
+    SpanStat span(const std::string& name);
+
+    /** Merge all thread shards into one snapshot. Thread-safe. */
+    MetricsSnapshot snapshot() const;
+
+    /** Zero every cell (registrations are kept). For tests/benches. */
+    void reset();
+
+    /** Write snapshot().toJson() to `path`; true on success. */
+    bool writeJsonFile(const std::string& path) const;
+
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  private:
+    friend class Counter;
+    friend class Gauge;
+    friend class Histogram;
+    friend class SpanStat;
+    friend struct MetricsThreadShard;
+
+    MetricsRegistry();
+
+    void counterAdd(std::size_t id, std::uint64_t n);
+    void gaugeSet(std::size_t id, double v);
+    void histObserve(std::size_t id, const std::vector<double>& bounds,
+                     double v);
+    void spanRecord(std::size_t id, double seconds);
+
+    struct Impl;
+    Impl* impl_; ///< leaked with the registry
+};
+
+/** Shorthand for MetricsRegistry::instance(). */
+MetricsRegistry& metrics();
+
+/** Env var naming the JSON dump path ("" / unset disables the dump). */
+inline constexpr const char* kMetricsOutEnv = "SWORDFISH_METRICS_OUT";
+
+/**
+ * If SWORDFISH_METRICS_OUT names a path, write the current snapshot there
+ * and return true. Also invoked automatically at process exit.
+ */
+bool writeMetricsIfConfigured();
+
+} // namespace swordfish
+
+#endif // SWORDFISH_UTIL_METRICS_H

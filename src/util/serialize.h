@@ -53,15 +53,20 @@ class BinaryWriter
     putFloats(const std::vector<float>& v)
     {
         putU64(v.size());
-        out_.write(reinterpret_cast<const char*>(v.data()),
-                   static_cast<std::streamsize>(v.size() * sizeof(float)));
+        // Empty vectors have a null data() pointer; ostream::write with a
+        // null pointer is UB even for a zero count.
+        if (!v.empty())
+            out_.write(reinterpret_cast<const char*>(v.data()),
+                       static_cast<std::streamsize>(v.size()
+                                                    * sizeof(float)));
     }
 
     void
     putString(const std::string& s)
     {
         putU64(s.size());
-        out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+        if (!s.empty())
+            out_.write(s.data(), static_cast<std::streamsize>(s.size()));
     }
 
     /** True when all writes so far succeeded. */
@@ -81,6 +86,12 @@ class BinaryReader
     explicit BinaryReader(const std::string& path)
         : in_(path, std::ios::binary)
     {
+        if (in_) {
+            in_.seekg(0, std::ios::end);
+            const auto end = in_.tellg();
+            in_.seekg(0, std::ios::beg);
+            fileSize_ = end < 0 ? 0 : static_cast<std::uint64_t>(end);
+        }
         if (in_ && getU64() != BinaryWriter::kMagic)
             in_.setstate(std::ios::failbit);
     }
@@ -115,22 +126,51 @@ class BinaryReader
     std::vector<float>
     getFloats()
     {
-        std::vector<float> v(getU64());
-        in_.read(reinterpret_cast<char*>(v.data()),
-                 static_cast<std::streamsize>(v.size() * sizeof(float)));
+        const std::uint64_t n = getU64();
+        // Bound the size prefix against the bytes actually left in the
+        // file: a corrupt/truncated artifact must fail cleanly instead of
+        // attempting a multi-gigabyte allocation.
+        if (!in_ || n > remainingBytes() / sizeof(float)) {
+            in_.setstate(std::ios::failbit);
+            return {};
+        }
+        std::vector<float> v(static_cast<std::size_t>(n));
+        if (!v.empty())
+            in_.read(reinterpret_cast<char*>(v.data()),
+                     static_cast<std::streamsize>(v.size()
+                                                  * sizeof(float)));
         return v;
     }
 
     std::string
     getString()
     {
-        std::string s(getU64(), '\0');
-        in_.read(s.data(), static_cast<std::streamsize>(s.size()));
+        const std::uint64_t n = getU64();
+        if (!in_ || n > remainingBytes()) {
+            in_.setstate(std::ios::failbit);
+            return {};
+        }
+        std::string s(static_cast<std::size_t>(n), '\0');
+        if (!s.empty())
+            in_.read(s.data(), static_cast<std::streamsize>(s.size()));
         return s;
     }
 
   private:
+    /** Bytes between the read cursor and end of file (0 when failed). */
+    std::uint64_t
+    remainingBytes()
+    {
+        if (!in_)
+            return 0;
+        const auto pos = in_.tellg();
+        if (pos < 0 || static_cast<std::uint64_t>(pos) > fileSize_)
+            return 0;
+        return fileSize_ - static_cast<std::uint64_t>(pos);
+    }
+
     std::ifstream in_;
+    std::uint64_t fileSize_ = 0;
 };
 
 } // namespace swordfish

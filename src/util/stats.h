@@ -82,10 +82,24 @@ struct Summary
         s.min = rs.min();
         s.max = rs.max();
         s.count = samples.size();
+        // Median must agree with percentile(samples, 50): interpolate the
+        // two middle elements for even-sized samples instead of returning
+        // the upper one.
+        const std::size_t mid = samples.size() / 2;
         std::nth_element(samples.begin(),
-                         samples.begin() + samples.size() / 2,
+                         samples.begin() + static_cast<std::ptrdiff_t>(mid),
                          samples.end());
-        s.median = samples[samples.size() / 2];
+        const double upper = samples[mid];
+        if (samples.size() % 2 == 0) {
+            // nth_element left the lower half before `mid`; its maximum is
+            // the lower middle element.
+            const double lower = *std::max_element(
+                samples.begin(),
+                samples.begin() + static_cast<std::ptrdiff_t>(mid));
+            s.median = lower * 0.5 + upper * 0.5;
+        } else {
+            s.median = upper;
+        }
         return s;
     }
 };

@@ -1,0 +1,21 @@
+#include "trace.h"
+
+namespace swordfish {
+
+TraceSpan::TraceSpan(const SpanStat& stat)
+    : stat_(stat), start_(Clock::now())
+{
+}
+
+TraceSpan::~TraceSpan()
+{
+    stat_.record(seconds());
+}
+
+double
+TraceSpan::seconds() const
+{
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+} // namespace swordfish

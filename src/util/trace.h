@@ -1,0 +1,48 @@
+/**
+ * @file
+ * RAII scoped timers that aggregate wall-time per stage into the metrics
+ * registry (util/metrics.h).
+ *
+ * Usage at a hot call site — register once, then time each invocation:
+ *
+ *     static const SpanStat kVmmSpan = metrics().span("vmm");
+ *     TraceSpan trace(kVmmSpan);
+ *
+ * Tracing is observe-only: a TraceSpan reads the clock and writes metric
+ * cells, never anything the computation depends on, so instrumented code
+ * stays bitwise deterministic (see tests/test_determinism.cpp).
+ */
+
+#ifndef SWORDFISH_UTIL_TRACE_H
+#define SWORDFISH_UTIL_TRACE_H
+
+#include <chrono>
+
+#include "metrics.h"
+
+namespace swordfish {
+
+/** Scoped timer: records its lifetime into a SpanStat on destruction. */
+class TraceSpan
+{
+  public:
+    explicit TraceSpan(const SpanStat& stat);
+
+    /** Records elapsed wall time into the span aggregate. */
+    ~TraceSpan();
+
+    TraceSpan(const TraceSpan&) = delete;
+    TraceSpan& operator=(const TraceSpan&) = delete;
+
+    /** Seconds elapsed since construction. */
+    double seconds() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    SpanStat stat_;
+    Clock::time_point start_;
+};
+
+} // namespace swordfish
+
+#endif // SWORDFISH_UTIL_TRACE_H

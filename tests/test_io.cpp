@@ -82,6 +82,59 @@ TEST(Fastq, PlaceholderQualitiesWhenMissing)
     EXPECT_EQ(back[0].qualities, "IIIII");
 }
 
+TEST(Fasta, CrlfLineEndingsParse)
+{
+    // Regression: '\r' used to reach charToBase() and kill the process.
+    std::stringstream ss(">r1\r\nACGT\r\nACG\r\n>r2\r\nTTTT\r\n");
+    const auto recs = readFasta(ss);
+    ASSERT_EQ(recs.size(), 2u);
+    EXPECT_EQ(recs[0].name, "r1");
+    EXPECT_EQ(recs[0].seq, fromString("ACGTACG"));
+    EXPECT_EQ(recs[1].seq, fromString("TTTT"));
+}
+
+TEST(Fasta, CrlfRoundtrip)
+{
+    // LF output re-read after a CRLF rewrite must give identical records.
+    std::vector<SeqRecord> recs = {{"read1", fromString("ACGTACGTAC"), ""}};
+    std::stringstream lf;
+    writeFasta(lf, recs);
+    std::string crlf_text;
+    for (char c : lf.str()) {
+        if (c == '\n')
+            crlf_text += "\r\n";
+        else
+            crlf_text += c;
+    }
+    std::stringstream crlf(crlf_text);
+    const auto back = readFasta(crlf);
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].name, recs[0].name);
+    EXPECT_EQ(back[0].seq, recs[0].seq);
+}
+
+TEST(Fastq, CrlfRoundtrip)
+{
+    // Regression: the quality-length check compared "ACGT" against
+    // "IIII\r" and aborted on CRLF files.
+    std::vector<SeqRecord> recs = {{"r", fromString("ACGT"), "IIII"}};
+    std::stringstream lf;
+    writeFastq(lf, recs);
+    std::string crlf_text;
+    for (char c : lf.str()) {
+        if (c == '\n')
+            crlf_text += "\r\n";
+        else
+            crlf_text += c;
+    }
+    std::stringstream crlf(crlf_text);
+    const auto back = readFastq(crlf);
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].name, "r");
+    EXPECT_EQ(back[0].seq, recs[0].seq);
+    EXPECT_EQ(back[0].qualities, "IIII");
+}
+
 TEST(Fastq, MalformedRecordIsFatal)
 {
     std::stringstream bad_header("ACGT\n");

@@ -94,6 +94,52 @@ TEST(Rng, RangeInclusiveBounds)
     EXPECT_TRUE(saw_hi);
 }
 
+TEST(Rng, NextOneAlwaysZero)
+{
+    Rng rng(20);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.next(1), 0u);
+}
+
+TEST(Rng, RangeDegenerateAtIntExtremes)
+{
+    Rng rng(21);
+    EXPECT_EQ(rng.range(0, 0), 0);
+    EXPECT_EQ(rng.range(std::numeric_limits<std::int64_t>::min(),
+                        std::numeric_limits<std::int64_t>::min()),
+              std::numeric_limits<std::int64_t>::min());
+    EXPECT_EQ(rng.range(std::numeric_limits<std::int64_t>::max(),
+                        std::numeric_limits<std::int64_t>::max()),
+              std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(Rng, RangeWindowsNearIntExtremes)
+{
+    Rng rng(22);
+    const std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+    const std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+    for (int i = 0; i < 1000; ++i) {
+        const auto top = rng.range(hi - 3, hi);
+        EXPECT_GE(top, hi - 3);
+        EXPECT_LE(top, hi);
+        const auto bottom = rng.range(lo, lo + 3);
+        EXPECT_GE(bottom, lo);
+        EXPECT_LE(bottom, lo + 3);
+    }
+}
+
+TEST(Rng, GaussCacheClearedByReseed)
+{
+    // Box-Muller caches one value per pair; a reseed must drop it so the
+    // stream restarts exactly, not one stale sample later.
+    Rng a(23);
+    a.gauss(); // leaves the second Box-Muller value cached
+    a.reseed(23);
+    Rng fresh(23);
+    EXPECT_EQ(a.gauss(), fresh.gauss());
+    EXPECT_EQ(a.gauss(), fresh.gauss());
+}
+
 TEST(Rng, GaussMomentsMatch)
 {
     Rng rng(9);

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -75,6 +76,74 @@ TEST(Serialize, EmptyContainersRoundtrip)
     ASSERT_TRUE(r.ok());
     EXPECT_EQ(r.getString(), "");
     EXPECT_TRUE(r.getFloats().empty());
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, EmptyContainerWritesKeepStreamGood)
+{
+    // Regression: putFloats({}) / putString("") used to pass a null data()
+    // pointer to ostream::write (UB); they must leave the stream intact.
+    const std::string path = tempPath("swordfish_empty_good.bin");
+    {
+        BinaryWriter w(path);
+        w.putFloats({});
+        ASSERT_TRUE(w.good());
+        w.putString("");
+        ASSERT_TRUE(w.good());
+        w.putU64(99);
+        ASSERT_TRUE(w.good());
+    }
+    BinaryReader r(path);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.getFloats().empty());
+    EXPECT_EQ(r.getString(), "");
+    EXPECT_EQ(r.getU64(), 99u);
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, CorruptFloatCountFailsCleanly)
+{
+    // Regression: a huge size prefix used to trigger a multi-gigabyte
+    // vector allocation; it must instead set failbit and return empty.
+    const std::string path = tempPath("swordfish_corrupt_floats.bin");
+    {
+        BinaryWriter w(path);
+        w.putU64(std::numeric_limits<std::uint64_t>::max());
+        w.putF64(1.0); // a few real bytes after the bogus count
+    }
+    BinaryReader r(path);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.getFloats().empty());
+    EXPECT_FALSE(r.ok());
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, CorruptStringLengthFailsCleanly)
+{
+    const std::string path = tempPath("swordfish_corrupt_string.bin");
+    {
+        BinaryWriter w(path);
+        w.putU64(1ULL << 60); // claims ~1 EiB of string data
+    }
+    BinaryReader r(path);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.getString().empty());
+    EXPECT_FALSE(r.ok());
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, TruncatedPayloadFailsCleanly)
+{
+    // Size prefix claims more elements than the file holds.
+    const std::string path = tempPath("swordfish_truncated.bin");
+    {
+        BinaryWriter w(path);
+        w.putU64(16); // 16 floats promised, zero provided
+    }
+    BinaryReader r(path);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.getFloats().empty());
+    EXPECT_FALSE(r.ok());
     std::remove(path.c_str());
 }
 

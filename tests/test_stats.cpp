@@ -58,6 +58,28 @@ TEST(Summary, EmptyThrows)
     EXPECT_THROW(Summary::of({}), std::invalid_argument);
 }
 
+TEST(Summary, EvenSizeMedianInterpolatesMiddles)
+{
+    // Regression: the even-size median used to return only the upper
+    // middle element; it must average the two middles.
+    const auto s = Summary::of({1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(Summary, EvenSizeMedianMatchesPercentile)
+{
+    const std::vector<double> samples = {9.0, 1.0, 4.0, 16.0, 25.0, 36.0};
+    const auto s = Summary::of(samples);
+    EXPECT_EQ(s.median, percentile(samples, 50));
+}
+
+TEST(Summary, TwoElementMedianIsMean)
+{
+    const auto s = Summary::of({10.0, 20.0});
+    EXPECT_DOUBLE_EQ(s.median, 15.0);
+    EXPECT_EQ(s.median, percentile({10.0, 20.0}, 50));
+}
+
 TEST(Percentile, EndpointsAndMedian)
 {
     const std::vector<double> v = {10.0, 20.0, 30.0, 40.0, 50.0};
@@ -76,6 +98,23 @@ TEST(Percentile, UnsortedInputHandled)
 {
     const std::vector<double> v = {50.0, 10.0, 30.0};
     EXPECT_DOUBLE_EQ(percentile(v, 100), 50.0);
+}
+
+TEST(Percentile, SingleElementIsEveryPercentile)
+{
+    const std::vector<double> v = {7.5};
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 7.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 7.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 7.5);
+}
+
+TEST(Percentile, TwoElementsInterpolateLinearly)
+{
+    const std::vector<double> v = {100.0, 0.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 50.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 75), 75.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 100.0);
 }
 
 TEST(TextTable, AlignsColumnsAndPrintsAllRows)
