@@ -4,7 +4,8 @@
  * ExperimentContext per process, paper-style number formatting, and
  * environment-tunable evaluation sizes.
  *
- * Environment knobs (also see core/context.h):
+ * Environment knobs (read once at startup into util::RuntimeConfig; also
+ * see core/context.h):
  *   SWORDFISH_FAST=1            shrink everything for a smoke run
  *   SWORDFISH_EVAL_READS=N      reads per accuracy measurement
  *   SWORDFISH_EVAL_RUNS=N       noisy instantiations per error bar
@@ -12,13 +13,16 @@
  *   SWORDFISH_ARTIFACTS=dir     artifact cache directory
  *   SWORDFISH_THREADS=N         evaluation pool workers (0 = serial;
  *                               default: hardware concurrency)
+ *   SWORDFISH_BATCH=N           reads batched per crossbar VMM (default 1)
  */
 
 #ifndef SWORDFISH_BENCH_COMMON_H
 #define SWORDFISH_BENCH_COMMON_H
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/swordfish.h"
 #include "util/env.h"
@@ -46,8 +50,72 @@ pctErr(const core::AccuracySummary& s)
 inline std::size_t
 retrainEpochs()
 {
-    return static_cast<std::size_t>(
-        envLong("SWORDFISH_RETRAIN_EPOCHS", fastMode() ? 1 : 1));
+    const long n = runtimeConfig().retrainEpochs;
+    return n >= 0 ? static_cast<std::size_t>(n) : 1;
+}
+
+/**
+ * The standard bench evaluation request over one dataset: env-sized runs
+ * and reads (optionally capped), batch capacity from SWORDFISH_BATCH.
+ * Chain further knobs onto the returned builder as needed.
+ */
+inline core::EvalOptions
+benchEval(const genomics::Dataset& ds, std::size_t runs_default = 5,
+          std::size_t reads_cap = 0)
+{
+    std::size_t reads = core::ExperimentContext::evalReads();
+    if (reads_cap > 0)
+        reads = std::min(reads, reads_cap);
+    return core::EvalOptions(ds)
+        .runs(core::ExperimentContext::evalRuns(runs_default))
+        .maxReads(reads);
+}
+
+/**
+ * Dataset-averaged non-ideal accuracy: the evaluation-loop boilerplate the
+ * figure drivers share. `proto` carries every knob except the dataset,
+ * which is overridden per iteration.
+ */
+inline double
+meanNonIdealAccuracy(nn::SequenceModel& model,
+                     const core::NonIdealSetup& setup,
+                     const std::vector<genomics::Dataset>& datasets,
+                     core::EvalRequest proto)
+{
+    double sum = 0.0;
+    for (const auto& ds : datasets) {
+        proto.dataset = &ds;
+        sum += core::evaluateNonIdealAccuracy(model, setup, proto).mean;
+    }
+    return datasets.empty()
+        ? 0.0 : sum / static_cast<double>(datasets.size());
+}
+
+/** Dataset-averaged digital fixed-point accuracy (Fig. 10 loops). */
+inline double
+meanQuantizedAccuracy(const nn::SequenceModel& model,
+                      const QuantConfig& quant,
+                      const std::vector<genomics::Dataset>& datasets,
+                      core::EvalRequest proto)
+{
+    double sum = 0.0;
+    for (const auto& ds : datasets) {
+        proto.dataset = &ds;
+        sum += core::evaluateQuantizedAccuracy(model, quant, proto);
+    }
+    return datasets.empty()
+        ? 0.0 : sum / static_cast<double>(datasets.size());
+}
+
+/** FP32 baseline accuracy averaged over the context's datasets. */
+inline double
+meanBaselineAccuracy(core::ExperimentContext& ctx)
+{
+    double sum = 0.0;
+    for (std::size_t d = 0; d < ctx.datasets().size(); ++d)
+        sum += ctx.baselineAccuracy(d);
+    return ctx.datasets().empty()
+        ? 0.0 : sum / static_cast<double>(ctx.datasets().size());
 }
 
 /**

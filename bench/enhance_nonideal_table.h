@@ -27,9 +27,8 @@ runEnhanceNonIdealTable(std::size_t crossbar_size, const char* figure)
 
     ExperimentContext ctx;
     auto student = quantizeModel(ctx.teacher(), QuantConfig::deployment());
-    const std::size_t reads = std::min<std::size_t>(
-        ExperimentContext::evalReads(), 8);
-    const std::size_t runs = ExperimentContext::evalRuns(3);
+    // Shared request proto: capped reads, 3 runs; dataset set per loop.
+    const EvalRequest proto = benchEval(ctx.datasets().front(), 3, 8);
 
     TextTable table;
     std::vector<std::string> header = {"Non-ideality", "No enh."};
@@ -44,14 +43,8 @@ runEnhanceNonIdealTable(std::size_t crossbar_size, const char* figure)
 
         std::vector<std::string> row = {nonIdealityName(kind)};
 
-        double base_sum = 0.0;
-        for (const auto& ds : ctx.datasets()) {
-            const auto s = evaluateNonIdealAccuracy(student, scenario, {},
-                                                    ds, runs, reads);
-            base_sum += s.mean;
-        }
-        row.push_back(pct(base_sum
-                          / static_cast<double>(ctx.datasets().size())));
+        row.push_back(pct(meanNonIdealAccuracy(student, scenario,
+                                               ctx.datasets(), proto)));
         std::fflush(stdout);
 
         for (auto tech : figureTenSweep()) {
@@ -60,15 +53,9 @@ runEnhanceNonIdealTable(std::size_t crossbar_size, const char* figure)
             ec.retrainEpochs = retrainEpochs();
             auto enhanced = ctx.enhanced(scenario, ec);
 
-            double sum = 0.0;
-            for (const auto& ds : ctx.datasets()) {
-                const auto s = evaluateNonIdealAccuracy(
-                    enhanced.model, enhanced.evalConfig, enhanced.remap,
-                    ds, runs, reads);
-                sum += s.mean;
-            }
-            row.push_back(pct(sum
-                / static_cast<double>(ctx.datasets().size())));
+            row.push_back(pct(meanNonIdealAccuracy(
+                enhanced.model, {enhanced.evalConfig, enhanced.remap},
+                ctx.datasets(), proto)));
             std::fflush(stdout);
         }
         table.row(row);

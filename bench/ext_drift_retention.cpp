@@ -55,7 +55,7 @@ main()
                 }
             }
             const auto s = evaluateNonIdealAccuracy(
-                aged, scenario, {}, ds, 2, reads);
+                aged, scenario, EvalOptions(ds).runs(2).maxReads(reads));
             return s.mean;
         };
 

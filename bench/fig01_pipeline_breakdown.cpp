@@ -26,7 +26,8 @@ main()
     double basecall_fraction_sum = 0.0;
     std::size_t n = 0;
     for (const auto& ds : ctx.datasets()) {
-        const auto report = basecall::runPipeline(model, ds, reads);
+        const auto report = basecall::runPipeline(
+            model, core::EvalOptions(ds).maxReads(reads));
         for (const auto& stage : report.stages) {
             table.row({ds.spec.id, stage.name,
                        TextTable::num(stage.seconds, 3),

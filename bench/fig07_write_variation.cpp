@@ -18,8 +18,6 @@ main()
 
     ExperimentContext ctx;
     auto student = quantizeModel(ctx.teacher(), QuantConfig::deployment());
-    const std::size_t reads = ExperimentContext::evalReads();
-    const std::size_t runs = ExperimentContext::evalRuns(5);
 
     TextTable table;
     std::vector<std::string> header = {"Write variation"};
@@ -31,8 +29,8 @@ main()
         std::vector<std::string> row = {pct(rate)};
         for (const auto& ds : ctx.datasets()) {
             const auto cfg = writeVariationScenario(rate);
-            const auto s = evaluateNonIdealAccuracy(student, cfg, {}, ds,
-                                                    runs, reads);
+            const auto s = evaluateNonIdealAccuracy(student, cfg,
+                                                    benchEval(ds, 5));
             row.push_back(pctErr(s));
         }
         table.row(row);

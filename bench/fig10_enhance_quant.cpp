@@ -21,7 +21,8 @@ main()
 
     ExperimentContext ctx;
     auto& teacher = ctx.teacher();
-    const std::size_t reads = ExperimentContext::evalReads();
+    // Shared request proto: env-sized reads; dataset set per loop.
+    const EvalRequest proto = benchEval(ctx.datasets().front());
 
     // Quantized-only sweep: all FPP configurations from Table 3.
     const std::vector<QuantConfig> configs = {
@@ -29,11 +30,8 @@ main()
     };
 
     // Baseline (DFP 32-32) accuracy averaged over the datasets.
-    double baseline = 0.0;
-    for (std::size_t d = 0; d < ctx.datasets().size(); ++d)
-        baseline += ctx.baselineAccuracy(d);
-    baseline /= static_cast<double>(ctx.datasets().size());
-    std::printf("Baseline (DFP 32-32): %s\n\n", pct(baseline).c_str());
+    std::printf("Baseline (DFP 32-32): %s\n\n",
+                pct(meanBaselineAccuracy(ctx)).c_str());
 
     TextTable table;
     std::vector<std::string> header = {"Quant"};
@@ -49,11 +47,8 @@ main()
 
         std::vector<std::string> row = {q.name()};
         // Un-enhanced quantized accuracy (averaged over datasets).
-        double unenh = 0.0;
-        for (const auto& ds : ctx.datasets())
-            unenh += evaluateQuantizedAccuracy(teacher, q, ds, reads);
-        unenh /= static_cast<double>(ctx.datasets().size());
-        row.push_back(pct(unenh));
+        row.push_back(pct(meanQuantizedAccuracy(teacher, q, ctx.datasets(),
+                                                proto)));
 
         for (auto tech : figureTenSweep()) {
             EnhancerConfig ec;
@@ -61,15 +56,10 @@ main()
             ec.retrainEpochs = retrainEpochs();
             auto enhanced = ctx.enhanced(scenario, ec);
 
-            double acc = 0.0;
-            for (const auto& ds : ctx.datasets()) {
-                // Digital evaluation at the target precision: the
-                // technique's retrained weights, quantization applied.
-                acc += evaluateQuantizedAccuracy(enhanced.model, q, ds,
-                                                 reads);
-            }
-            acc /= static_cast<double>(ctx.datasets().size());
-            row.push_back(pct(acc));
+            // Digital evaluation at the target precision: the technique's
+            // retrained weights, quantization applied.
+            row.push_back(pct(meanQuantizedAccuracy(
+                enhanced.model, q, ctx.datasets(), proto)));
             std::fflush(stdout);
         }
         table.row(row);

@@ -20,20 +20,16 @@ main()
     banner("Fig. 11 - enhancement vs. write variation");
 
     ExperimentContext ctx;
-    const std::size_t reads = std::min<std::size_t>(
-        ExperimentContext::evalReads(), 8);
-    const std::size_t runs = ExperimentContext::evalRuns(3);
+    // Shared request proto: capped reads, 3 runs; dataset set per loop.
+    const EvalRequest proto = benchEval(ctx.datasets().front(), 3, 8);
     const auto rates = writeVariationSweep();
     const std::vector<Technique> techs = {
         Technique::Vat, Technique::Kd, Technique::Rvw, Technique::RsaKd,
         Technique::All,
     };
 
-    double baseline = 0.0;
-    for (std::size_t d = 0; d < ctx.datasets().size(); ++d)
-        baseline += ctx.baselineAccuracy(d);
-    baseline /= static_cast<double>(ctx.datasets().size());
-    std::printf("Baseline (DFP 32-32): %s\n", pct(baseline).c_str());
+    std::printf("Baseline (DFP 32-32): %s\n",
+                pct(meanBaselineAccuracy(ctx)).c_str());
 
     // accumulators for panel (f): technique x rate -> mean over datasets
     std::map<std::pair<int, int>, double> averaged;
@@ -58,9 +54,11 @@ main()
             std::vector<std::string> row = {pct(rates[r])};
             double sum = 0.0;
             for (const auto& ds : ctx.datasets()) {
+                EvalRequest req = proto;
+                req.dataset = &ds;
                 const auto s = evaluateNonIdealAccuracy(
-                    enhanced.model, enhanced.evalConfig, enhanced.remap,
-                    ds, runs, reads);
+                    enhanced.model,
+                    {enhanced.evalConfig, enhanced.remap}, req);
                 row.push_back(pctErr(s));
                 sum += s.mean;
             }

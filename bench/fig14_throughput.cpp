@@ -53,6 +53,7 @@ main()
             wl.convStride = ExperimentContext::modelConfig().convStride;
             wl.meanReadLenBases = static_cast<double>(ds.totalBases())
                 / static_cast<double>(ds.reads.size());
+            wl.batch = runtimeConfig().batchSize();
             const auto r = estimateThroughput(v, map, timing, wl);
             row.push_back(TextTable::num(r.kbps, 1));
             sum += r.kbps;

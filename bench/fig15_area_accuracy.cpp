@@ -27,17 +27,12 @@ main(int argc, char** argv)
            + (random_cells ? " (random cell selection ablation)" : ""));
 
     ExperimentContext ctx;
-    const std::size_t reads = std::min<std::size_t>(
-        ExperimentContext::evalReads(), 8);
-    const std::size_t runs = ExperimentContext::evalRuns(3);
+    // Shared request proto: capped reads, 3 runs; dataset set per loop.
+    const EvalRequest proto = benchEval(ctx.datasets().front(), 3, 8);
     const AreaParams area_params;
 
-    double baseline = 0.0;
-    for (std::size_t d = 0; d < ctx.datasets().size(); ++d)
-        baseline += ctx.baselineAccuracy(d);
-    baseline /= static_cast<double>(ctx.datasets().size());
     std::printf("Original Bonito(Lite) accuracy (red dashed line): %s\n\n",
-                pct(baseline).c_str());
+                pct(meanBaselineAccuracy(ctx)).c_str());
 
     for (std::size_t size : {std::size_t{64}, std::size_t{256}}) {
         std::printf("Crossbar %zux%zu:\n", size, size);
@@ -58,15 +53,9 @@ main(int argc, char** argv)
             auto enhanced = ctx.enhanced(scenario, ec);
             enhanced.remap.useErrorKnowledge = !random_cells;
 
-            double sum = 0.0;
-            for (const auto& ds : ctx.datasets()) {
-                const auto s = evaluateNonIdealAccuracy(
-                    enhanced.model, enhanced.evalConfig, enhanced.remap,
-                    ds, runs, reads);
-                sum += s.mean;
-            }
-            const double acc = sum
-                / static_cast<double>(ctx.datasets().size());
+            const double acc = meanNonIdealAccuracy(
+                enhanced.model, {enhanced.evalConfig, enhanced.remap},
+                ctx.datasets(), proto);
             const auto area = computeArea(map, area_params, frac);
             table.row({pct(frac), pct(acc),
                        TextTable::num(area.totalMm2, 3),

@@ -243,15 +243,15 @@ main()
     }
 
     // Full pipeline (basecall/map/polish spans, ctc + align underneath).
-    basecall::runPipeline(model, dataset, 2);
+    basecall::runPipeline(model, EvalOptions(dataset).maxReads(2));
 
     // One Monte-Carlo evaluation run (mc_run, vmm, program spans).
     NonIdealityConfig scenario;
     scenario.kind = NonIdealityKind::Combined;
     scenario.crossbar.size = 64;
-    evaluateNonIdealAccuracy(model, scenario, SramRemapConfig{}, dataset,
-                             /*runs=*/1, /*max_reads=*/2,
-                             /*seed_base=*/42);
+    evaluateNonIdealAccuracy(
+        model, scenario,
+        EvalOptions(dataset).runs(1).maxReads(2).seedBase(42));
 
     // Export through the same env-var path production runs use.
     const std::string path =
@@ -273,7 +273,7 @@ main()
 
     for (const char* section :
          {"\"counters\":{", "\"gauges\":{", "\"histograms\":{",
-          "\"spans\":{"})
+          "\"spans\":{", "\"config\":{"})
         check(json.find(section) != std::string::npos,
               std::string("section missing: ") + section);
 

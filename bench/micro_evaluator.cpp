@@ -1,16 +1,22 @@
 /**
  * @file
- * Micro-benchmark for the parallel Monte-Carlo evaluation engine: wall
- * time of evaluateNonIdealAccuracy with the global pool disabled vs.
- * pooled, reported as reads/s and emitted as one JSON object so future
- * PRs can track the trajectory.
+ * Micro-benchmark for the parallel, batched Monte-Carlo evaluation engine:
+ * wall time of evaluateNonIdealAccuracy with the global pool disabled vs.
+ * pooled, and with the crossbar batch at 1 vs. --batch N, reported as
+ * reads/s and emitted as one JSON object so future PRs can track the
+ * trajectory.
+ *
+ * Usage: micro_evaluator [--batch N]   (default N = 8)
  *
  * Knobs: SWORDFISH_THREADS (pooled worker count; default hardware
  * concurrency), SWORDFISH_EVAL_RUNS / SWORDFISH_EVAL_READS (work size),
  * SWORDFISH_FAST=1 (smoke-run sizes).
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
 
 #include "basecall/bonito_lite.h"
@@ -27,20 +33,26 @@ using namespace swordfish;
 using namespace swordfish::core;
 
 int
-main()
+main(int argc, char** argv)
 {
-    const bool fast = fastMode();
-    const std::size_t runs = static_cast<std::size_t>(
-        envLong("SWORDFISH_EVAL_RUNS", fast ? 2 : 4));
-    const std::size_t reads = static_cast<std::size_t>(
-        envLong("SWORDFISH_EVAL_READS", fast ? 2 : 6));
+    std::size_t batch_n = 8;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc)
+            batch_n = static_cast<std::size_t>(std::atol(argv[++i]));
+    }
+    if (batch_n == 0)
+        batch_n = 1;
+
+    const RuntimeConfig& env = runtimeConfig();
+    const bool fast = env.fast;
+    const std::size_t runs = env.evalRuns > 0
+        ? static_cast<std::size_t>(env.evalRuns) : (fast ? 2 : 4);
+    const std::size_t reads = env.evalReads >= 0
+        ? static_cast<std::size_t>(env.evalReads) : (fast ? 2 : 6);
     const std::size_t hw = std::thread::hardware_concurrency() > 0
         ? std::thread::hardware_concurrency() : 1;
-    const long env_threads = envLong("SWORDFISH_THREADS",
-                                     static_cast<long>(hw));
-    // Negative values mean "unset" (as in thread_pool.cpp), not SIZE_MAX.
-    const std::size_t pooled_threads = env_threads >= 0
-        ? static_cast<std::size_t>(env_threads) : hw;
+    const std::size_t pooled_threads = env.threads >= 0
+        ? static_cast<std::size_t>(env.threads) : hw;
 
     basecall::BonitoLiteConfig cfg;
     cfg.convChannels = fast ? 8 : 16;
@@ -48,42 +60,60 @@ main()
     cfg.lstmLayers = fast ? 1 : 2;
     nn::SequenceModel model = basecall::buildBonitoLite(cfg);
 
+    // The batch sweep needs at least batch_n reads to fill one group.
+    const std::size_t batch_reads = std::max(reads, batch_n);
     const genomics::PoreModel pore;
     const genomics::Dataset dataset =
-        genomics::makeDataset(genomics::specById("D1"), pore, reads);
+        genomics::makeDataset(genomics::specById("D1"), pore, batch_reads);
 
     NonIdealityConfig scenario;
     scenario.kind = NonIdealityKind::Combined;
     scenario.crossbar.size = 64;
-    const SramRemapConfig remap;
 
     // Reads/s of one full Monte-Carlo evaluation at the given pool size
-    // (0 = fully serial). The first call warms allocators and code paths.
-    auto measure = [&](std::size_t threads) {
+    // (0 = fully serial) and batch capacity. The first call warms
+    // allocators and code paths.
+    auto measure = [&](std::size_t threads, std::size_t batch,
+                       std::size_t n_reads) {
         setGlobalPoolThreads(threads);
-        evaluateNonIdealAccuracy(model, scenario, remap, dataset,
-                                 /*runs=*/1, reads, /*seed_base=*/42);
+        evaluateNonIdealAccuracy(model, scenario,
+                                 EvalOptions(dataset).runs(1)
+                                     .maxReads(n_reads).seedBase(42)
+                                     .batch(batch));
         Stopwatch watch;
-        evaluateNonIdealAccuracy(model, scenario, remap, dataset, runs,
-                                 reads, /*seed_base=*/42);
+        evaluateNonIdealAccuracy(model, scenario,
+                                 EvalOptions(dataset).runs(runs)
+                                     .maxReads(n_reads).seedBase(42)
+                                     .batch(batch));
         const double secs = watch.seconds();
         return secs > 0.0
-            ? static_cast<double>(runs * reads) / secs : 0.0;
+            ? static_cast<double>(runs * n_reads) / secs : 0.0;
     };
 
-    const double serial = measure(0);
-    const double pooled = measure(pooled_threads);
+    const double serial = measure(0, 1, reads);
+    const double pooled = measure(pooled_threads, 1, reads);
     const double speedup = serial > 0.0 ? pooled / serial : 0.0;
 
-    // Per-stage counters/spans accumulated over both measurements (the
+    // Batch sweep at the pooled thread count: serial-vs-batched crossbar
+    // execution over the same reads.
+    const double batch1 = measure(pooled_threads, 1, batch_reads);
+    const double batched = measure(pooled_threads, batch_n, batch_reads);
+    const double batch_speedup = batch1 > 0.0 ? batched / batch1 : 0.0;
+
+    // Per-stage counters/spans accumulated over all measurements (the
     // instrumentation is observe-only, so it cannot perturb the results).
     const std::string metrics_json = metrics().snapshot().toJson();
     std::printf("{\"bench\":\"micro_evaluator\",\"runs\":%zu,"
                 "\"reads\":%zu,\"pooled_threads\":%zu,"
                 "\"serial_reads_per_s\":%.3f,"
                 "\"pooled_reads_per_s\":%.3f,\"speedup\":%.3f,"
+                "\"batch\":%zu,\"batch_reads\":%zu,"
+                "\"batch1_reads_per_s\":%.3f,"
+                "\"batch%zu_reads_per_s\":%.3f,"
+                "\"batch_speedup\":%.3f,"
                 "\"metrics\":%s}\n",
                 runs, reads, pooled_threads, serial, pooled, speedup,
-                metrics_json.c_str());
+                batch_n, batch_reads, batch1, batch_n, batched,
+                batch_speedup, metrics_json.c_str());
     return 0;
 }

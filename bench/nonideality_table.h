@@ -24,8 +24,6 @@ runNonIdealityTable(std::size_t crossbar_size, const char* figure)
     core::ExperimentContext ctx;
     auto student = core::quantizeModel(ctx.teacher(),
                                        QuantConfig::deployment());
-    const std::size_t reads = core::ExperimentContext::evalReads();
-    const std::size_t runs = core::ExperimentContext::evalRuns(5);
 
     TextTable table;
     std::vector<std::string> header = {"Dataset"};
@@ -40,7 +38,7 @@ runNonIdealityTable(std::size_t crossbar_size, const char* figure)
             cfg.kind = kind;
             cfg.crossbar.size = crossbar_size;
             const auto s = core::evaluateNonIdealAccuracy(
-                student, cfg, {}, ds, runs, reads);
+                student, cfg, benchEval(ds, 5));
             row.push_back(pctErr(s));
         }
         table.row(row);

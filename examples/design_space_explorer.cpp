@@ -47,7 +47,7 @@ main(int argc, char** argv)
             scenario.crossbar.adc.bits = adc_bits;
 
             const auto acc = evaluateNonIdealAccuracy(
-                student, scenario, {}, ds, 2, 6);
+                student, scenario, EvalOptions(ds).runs(2).maxReads(6));
 
             auto map = arch::buildPartitionMap(student, size);
             const auto thr = arch::estimateThroughput(

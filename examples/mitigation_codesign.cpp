@@ -70,7 +70,8 @@ main(int argc, char** argv)
         ec.retrainEpochs = 1;
         auto enhanced = ctx.enhanced(scenario, ec);
         const auto acc = evaluateNonIdealAccuracy(
-            enhanced.model, enhanced.evalConfig, enhanced.remap, ds, 2, 6);
+            enhanced.model, {enhanced.evalConfig, enhanced.remap},
+            EvalOptions(ds).runs(2).maxReads(6));
         const auto thr = arch::estimateThroughput(
             variantFor(tech), map, timing, workload);
         const bool meets = acc.mean * 100.0 >= target_pct;

@@ -40,7 +40,7 @@ main()
     // 4. Accuracy with all analytical non-idealities, no mitigation.
     NonIdealityConfig scenario; // defaults: Combined, 64x64, 10% write var
     const auto unmitigated = evaluateNonIdealAccuracy(
-        student, scenario, {}, d1, /*runs=*/3, /*max_reads=*/8);
+        student, scenario, EvalOptions(d1).runs(3).maxReads(8));
     std::printf("Unmitigated on non-ideal crossbars: %.2f%% (+-%.2f%%)\n",
                 100.0 * unmitigated.mean, 100.0 * unmitigated.stddev);
 
@@ -50,7 +50,8 @@ main()
     enh.retrainEpochs = 1;
     auto enhanced = ctx.enhanced(scenario, enh);
     const auto mitigated = evaluateNonIdealAccuracy(
-        enhanced.model, enhanced.evalConfig, enhanced.remap, d1, 3, 8);
+        enhanced.model, {enhanced.evalConfig, enhanced.remap},
+        EvalOptions(d1).runs(3).maxReads(8));
     std::printf("With RSA+KD mitigation:            %.2f%% (+-%.2f%%)\n",
                 100.0 * mitigated.mean, 100.0 * mitigated.stddev);
 

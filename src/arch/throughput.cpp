@@ -5,13 +5,18 @@
 namespace swordfish::arch {
 
 double
-pipelineStepNs(const PartitionMap& map, const TimingParams& timing)
+pipelineStepNs(const PartitionMap& map, const TimingParams& timing,
+               std::size_t batch)
 {
-    // ADC serialization: the tile's columns share adcsPerTile converters.
+    // ADC serialization: the tile's columns share adcsPerTile converters,
+    // and every batched lane needs its own conversion pass.
     const double adc_serial = static_cast<double>(map.crossbarSize)
         / static_cast<double>(timing.adcsPerTile) * timing.adcConvNs;
-    return timing.vmmSettleNs + timing.dacNs + adc_serial
-        + timing.digitalNs;
+    const double lanes = batch > 0 ? static_cast<double>(batch) : 1.0;
+    // Settle, DAC drive, and digital post-processing happen once per
+    // batched VMM and amortize across the lanes.
+    return (timing.vmmSettleNs + timing.dacNs + timing.digitalNs) / lanes
+        + adc_serial;
 }
 
 double
@@ -44,7 +49,8 @@ estimateThroughput(Variant variant, const PartitionMap& map,
         return res;
     }
 
-    double per_base = steps_per_base * pipelineStepNs(map, timing)
+    double per_base = steps_per_base
+        * pipelineStepNs(map, timing, workload.batch)
         + io_ns + per_read_ns;
 
     switch (variant) {

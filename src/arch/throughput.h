@@ -49,6 +49,7 @@ struct WorkloadProfile
     double samplesPerBase = 6.0;   ///< dataset dwell mean
     std::size_t convStride = 2;    ///< network downsampling factor
     double meanReadLenBases = 420; ///< amortizes per-read overhead
+    std::size_t batch = 1;         ///< reads batched per pipeline step
 };
 
 /** Throughput estimation result. */
@@ -60,9 +61,15 @@ struct ThroughputResult
 
 /**
  * Per-network-timestep latency of the mapped pipeline's bounding stage
- * (recurrent VMM + conversion + digital post-processing).
+ * (recurrent VMM + conversion + digital post-processing), per read.
+ *
+ * Batching `batch` reads' timesteps into one multi-column VMM amortizes the
+ * crossbar settle, DAC drive, and digital post-processing across the lanes;
+ * the per-lane ADC conversions still serialize through the tile's shared
+ * converters. batch = 1 reproduces the unbatched latency exactly.
  */
-double pipelineStepNs(const PartitionMap& map, const TimingParams& timing);
+double pipelineStepNs(const PartitionMap& map, const TimingParams& timing,
+                      std::size_t batch = 1);
 
 /** FLOPs executed per network timestep (2 x mapped MACs). */
 double flopsPerStep(const PartitionMap& map);

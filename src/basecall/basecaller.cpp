@@ -1,6 +1,7 @@
 #include "basecaller.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "basecall/chunker.h"
 #include "nn/ctc.h"
@@ -8,6 +9,15 @@
 #include "util/trace.h"
 
 namespace swordfish::basecall {
+
+void
+applyRequestThreads(const EvalRequest& req)
+{
+    if (req.threads == kInheritThreads || ThreadPool::inWorker())
+        return;
+    if (globalPool().threadCount() != req.threads)
+        setGlobalPoolThreads(req.threads);
+}
 
 genomics::Sequence
 basecallRead(nn::SequenceModel& model, const genomics::Read& read,
@@ -24,6 +34,41 @@ basecallRead(nn::SequenceModel& model, const genomics::Read& read,
         ? nn::ctcGreedyDecode(logits)
         : nn::ctcBeamDecode(logits, beam_width);
     return genomics::fromCtcLabels(labels);
+}
+
+std::vector<genomics::Sequence>
+basecallBatch(nn::SequenceModel& model, const genomics::Dataset& dataset,
+              const std::vector<std::size_t>& reads, Decoder decoder,
+              std::size_t beam_width)
+{
+    static const SpanStat kCtcSpan = metrics().span("ctc");
+    static const Counter kCtcDecodes = metrics().counter("ctc.decodes");
+
+    std::vector<genomics::Sequence> out;
+    out.reserve(reads.size());
+    if (reads.empty())
+        return out;
+    if (reads.size() == 1) {
+        // A group of one takes the serial path verbatim.
+        model.beginRead(reads[0]);
+        out.push_back(basecallRead(model, dataset.reads[reads[0]], decoder,
+                                   beam_width));
+        return out;
+    }
+
+    nn::SequenceBatch batch =
+        gatherSignalBatch(dataset, reads.data(), reads.size());
+    model.forwardBatch(batch);
+    for (std::size_t l = 0; l < batch.laneCount(); ++l) {
+        const Matrix logits = batch.laneMatrix(l);
+        TraceSpan trace(kCtcSpan);
+        kCtcDecodes.add();
+        const std::vector<int> labels = decoder == Decoder::Greedy
+            ? nn::ctcGreedyDecode(logits)
+            : nn::ctcBeamDecode(logits, beam_width);
+        out.push_back(genomics::fromCtcLabels(labels));
+    }
+    return out;
 }
 
 std::vector<nn::SequenceModel>
@@ -88,6 +133,81 @@ evaluateAccuracy(nn::SequenceModel& model, const genomics::Dataset& dataset,
                                                                  s);
                 for (std::size_t i = begin; i < end; ++i)
                     eval_one(replicas[s], i);
+            });
+        }
+        pool.runTasks(std::move(tasks));
+    }
+
+    double identity_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        identity_sum += identity[i];
+        res.minIdentity = std::min(res.minIdentity, identity[i]);
+        res.basesCalled += bases[i];
+        ++res.readsEvaluated;
+    }
+    res.meanIdentity = res.readsEvaluated > 0
+        ? identity_sum / static_cast<double>(res.readsEvaluated) : 0.0;
+    return res;
+}
+
+AccuracyResult
+evaluateAccuracy(nn::SequenceModel& model, const EvalRequest& req)
+{
+    static const Counter kEvalReads = metrics().counter("eval.reads");
+    static const Histogram kIdentityHist = metrics().histogram(
+        "read.identity",
+        {0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95, 0.99});
+
+    if (req.dataset == nullptr)
+        panic("evaluateAccuracy: EvalRequest has no dataset");
+    const genomics::Dataset& dataset = *req.dataset;
+    applyRequestThreads(req);
+
+    AccuracyResult res;
+    const std::size_t n = req.maxReads == 0
+        ? dataset.reads.size()
+        : std::min(dataset.reads.size(), req.maxReads);
+    const std::size_t batch = resolvedBatch(req);
+    const std::size_t groups = n == 0 ? 0 : (n + batch - 1) / batch;
+
+    // Per-read slots, reduced in index order: results are bitwise
+    // identical no matter how groups are sized or sharded across workers.
+    std::vector<double> identity(n, 0.0);
+    std::vector<std::size_t> bases(n, 0);
+    auto record = [&](std::size_t i, const genomics::Sequence& called) {
+        const genomics::AlignmentResult aln =
+            genomics::alignGlobal(called, dataset.reads[i].bases);
+        identity[i] = aln.identity();
+        bases[i] = called.size();
+        kEvalReads.add();
+        kIdentityHist.observe(identity[i]);
+    };
+    auto eval_group = [&](nn::SequenceModel& m, std::size_t g) {
+        const std::size_t begin = g * batch;
+        const std::size_t end = std::min(n, begin + batch);
+        std::vector<std::size_t> idx(end - begin);
+        std::iota(idx.begin(), idx.end(), begin);
+        const auto calls =
+            basecallBatch(m, dataset, idx, req.decoder, req.beamWidth);
+        for (std::size_t k = 0; k < calls.size(); ++k)
+            record(begin + k, calls[k]);
+    };
+
+    ThreadPool& pool = globalPool();
+    const std::size_t shards = pool.shardCount(groups);
+    if (shards <= 1) {
+        for (std::size_t g = 0; g < groups; ++g)
+            eval_group(model, g);
+    } else {
+        auto replicas = makeWorkerReplicas(model, shards);
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(shards);
+        for (std::size_t s = 0; s < shards; ++s) {
+            tasks.push_back([&, s] {
+                const auto [begin, end] =
+                    ThreadPool::shardRange(groups, shards, s);
+                for (std::size_t g = begin; g < end; ++g)
+                    eval_group(replicas[s], g);
             });
         }
         pool.runTasks(std::move(tasks));

@@ -10,20 +10,29 @@
 #include <string>
 #include <vector>
 
+#include "basecall/eval_request.h"
 #include "genomics/align.h"
 #include "genomics/dataset.h"
 #include "nn/model.h"
 
 namespace swordfish::basecall {
 
-/** Decoder selection for turning logits into bases. */
-enum class Decoder { Greedy, Beam };
-
 /** Basecall one read: whole-signal forward pass + CTC decode. */
 genomics::Sequence basecallRead(nn::SequenceModel& model,
                                 const genomics::Read& read,
                                 Decoder decoder = Decoder::Greedy,
                                 std::size_t beam_width = 8);
+
+/**
+ * Basecall a group of reads through the batched forward path: the reads'
+ * signals stack into one SequenceBatch (noise streams keyed by read index)
+ * and every layer processes the whole group per backend call. Per-read
+ * results are bitwise-identical to beginRead(i) + basecallRead() per read.
+ */
+std::vector<genomics::Sequence>
+basecallBatch(nn::SequenceModel& model, const genomics::Dataset& dataset,
+              const std::vector<std::size_t>& reads,
+              Decoder decoder = Decoder::Greedy, std::size_t beam_width = 8);
 
 /**
  * Deep-copy `count` worker replicas of a model, each wired to the
@@ -52,6 +61,17 @@ AccuracyResult evaluateAccuracy(nn::SequenceModel& model,
                                 const genomics::Dataset& dataset,
                                 std::size_t max_reads = 0,
                                 Decoder decoder = Decoder::Greedy);
+
+/**
+ * Request-driven accuracy evaluation: reads are gathered into groups of
+ * req.batch (ragged final group allowed) and each group runs through the
+ * batched forward path; groups shard across the thread pool. Results are
+ * bitwise-identical to the serial per-read loop for any batch size and
+ * thread count. req.runs is ignored here — Monte-Carlo repetition lives in
+ * core::evaluateNonIdealAccuracy.
+ */
+AccuracyResult evaluateAccuracy(nn::SequenceModel& model,
+                                const EvalRequest& req);
 
 } // namespace swordfish::basecall
 

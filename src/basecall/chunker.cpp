@@ -85,4 +85,22 @@ chunkDataset(const genomics::Dataset& dataset, std::size_t chunk_len)
     return chunks;
 }
 
+nn::SequenceBatch
+gatherSignalBatch(const genomics::Dataset& dataset,
+                  const std::size_t* indices, std::size_t count)
+{
+    std::vector<Matrix> lanes;
+    std::vector<std::uint64_t> streams;
+    lanes.reserve(count);
+    streams.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t read = indices[i];
+        if (read >= dataset.reads.size())
+            panic("gatherSignalBatch: read index ", read, " out of range");
+        lanes.push_back(normalizeSignal(dataset.reads[read].signal));
+        streams.push_back(read);
+    }
+    return nn::SequenceBatch::fromLanes(lanes, std::move(streams));
+}
+
 } // namespace swordfish::basecall

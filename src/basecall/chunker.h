@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "genomics/dataset.h"
+#include "nn/batch.h"
 #include "tensor/matrix.h"
 
 namespace swordfish::basecall {
@@ -48,6 +49,16 @@ void chunkRead(const genomics::Read& read, std::size_t chunk_len,
 /** Chunk every read of a dataset. */
 std::vector<TrainChunk> chunkDataset(const genomics::Dataset& dataset,
                                      std::size_t chunk_len);
+
+/**
+ * Gather several reads' normalized signals into one SequenceBatch: lane i
+ * holds normalizeSignal(reads[indices[i]]) and carries indices[i] as its
+ * noise-stream id, so a batched forward pass reproduces exactly what
+ * beginRead(indices[i]) + forward() would produce per read.
+ */
+nn::SequenceBatch gatherSignalBatch(const genomics::Dataset& dataset,
+                                    const std::size_t* indices,
+                                    std::size_t count);
 
 } // namespace swordfish::basecall
 

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The consolidated evaluation request: one value object carrying every knob
+ * an accuracy-evaluation entry point needs (dataset, Monte-Carlo runs, read
+ * budget, seeding, batch capacity, thread count, decoder), plus the fluent
+ * EvalOptions builder that call sites use instead of long positional
+ * argument lists.
+ *
+ * Lives in basecall/ because the evaluation loops it parameterizes live
+ * here; core/evaluator.h re-exports the types under swordfish::core.
+ */
+
+#ifndef SWORDFISH_BASECALL_EVAL_REQUEST_H
+#define SWORDFISH_BASECALL_EVAL_REQUEST_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/env.h"
+
+namespace swordfish::genomics {
+struct Dataset;
+}
+
+namespace swordfish::basecall {
+
+/** Decoder selection for turning logits into bases. */
+enum class Decoder { Greedy, Beam };
+
+/** Sentinel: keep whatever global thread-pool width is already in effect. */
+inline constexpr std::size_t kInheritThreads = static_cast<std::size_t>(-1);
+
+/**
+ * Everything an evaluation entry point needs, in one value object.
+ * Build it with EvalOptions; entry points take it as the last argument so
+ * no call site needs more than three positional arguments.
+ */
+struct EvalRequest
+{
+    const genomics::Dataset* dataset = nullptr; ///< required
+    std::size_t runs = 1;        ///< Monte-Carlo repetitions
+    std::size_t maxReads = 0;    ///< 0 = every read in the dataset
+    std::uint64_t seedBase = 1;  ///< run r uses seed seedBase + r
+    std::size_t batch = 0;       ///< chunk batch capacity; 0 = env default
+    std::size_t threads = kInheritThreads; ///< pool width for this call
+    Decoder decoder = Decoder::Greedy;
+    std::size_t beamWidth = 8;   ///< only used with Decoder::Beam
+};
+
+/** The effective batch capacity of a request (>= 1). */
+inline std::size_t
+resolvedBatch(const EvalRequest& req)
+{
+    return req.batch > 0 ? req.batch : runtimeConfig().batchSize();
+}
+
+/**
+ * Resize the global thread pool to req.threads when the request pins a
+ * width and the caller is a top-level thread (no-op inside pool workers,
+ * where nested constructs run inline anyway).
+ */
+void applyRequestThreads(const EvalRequest& req);
+
+/**
+ * Fluent builder for EvalRequest:
+ *
+ *   evaluateNonIdealAccuracy(model, scenario,
+ *                            EvalOptions(dataset).runs(5).maxReads(16)
+ *                                .batch(8));
+ *
+ * Converts implicitly to const EvalRequest& so entry points only declare
+ * the request type.
+ */
+class EvalOptions
+{
+  public:
+    EvalOptions() = default;
+
+    explicit EvalOptions(const genomics::Dataset& dataset)
+    {
+        req_.dataset = &dataset;
+    }
+
+    EvalOptions&
+    dataset(const genomics::Dataset& ds)
+    {
+        req_.dataset = &ds;
+        return *this;
+    }
+
+    EvalOptions&
+    runs(std::size_t n)
+    {
+        req_.runs = n;
+        return *this;
+    }
+
+    EvalOptions&
+    maxReads(std::size_t n)
+    {
+        req_.maxReads = n;
+        return *this;
+    }
+
+    EvalOptions&
+    seedBase(std::uint64_t seed)
+    {
+        req_.seedBase = seed;
+        return *this;
+    }
+
+    EvalOptions&
+    batch(std::size_t capacity)
+    {
+        req_.batch = capacity;
+        return *this;
+    }
+
+    EvalOptions&
+    threads(std::size_t n)
+    {
+        req_.threads = n;
+        return *this;
+    }
+
+    EvalOptions&
+    decoder(Decoder d)
+    {
+        req_.decoder = d;
+        return *this;
+    }
+
+    EvalOptions&
+    beamWidth(std::size_t w)
+    {
+        req_.beamWidth = w;
+        return *this;
+    }
+
+    operator const EvalRequest&() const { return req_; }
+
+    const EvalRequest& request() const { return req_; }
+
+  private:
+    EvalRequest req_;
+};
+
+} // namespace swordfish::basecall
+
+#endif // SWORDFISH_BASECALL_EVAL_REQUEST_H

@@ -1,6 +1,7 @@
 #include "pipeline.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "genomics/mapper.h"
 #include "util/thread_pool.h"
@@ -10,8 +11,7 @@
 namespace swordfish::basecall {
 
 PipelineReport
-runPipeline(nn::SequenceModel& model, const genomics::Dataset& dataset,
-            std::size_t max_reads)
+runPipeline(nn::SequenceModel& model, const EvalRequest& req)
 {
     static const SpanStat kBasecallSpan =
         metrics().span("pipeline.basecall");
@@ -19,27 +19,43 @@ runPipeline(nn::SequenceModel& model, const genomics::Dataset& dataset,
     static const SpanStat kPolishSpan = metrics().span("pipeline.polish");
     static const Counter kReads = metrics().counter("pipeline.reads");
 
+    if (req.dataset == nullptr)
+        panic("runPipeline: EvalRequest has no dataset");
+    const genomics::Dataset& dataset = *req.dataset;
+    applyRequestThreads(req);
+
     PipelineReport report;
-    const std::size_t n = max_reads == 0
+    const std::size_t n = req.maxReads == 0
         ? dataset.reads.size()
-        : std::min(dataset.reads.size(), max_reads);
+        : std::min(dataset.reads.size(), req.maxReads);
     kReads.add(n);
 
     ThreadPool& pool = globalPool();
 
-    // Stage 1: basecalling — reads shard across workers, each worker
+    // Stage 1: basecalling — reads gather into groups of the requested
+    // batch capacity and the groups shard across workers, each worker
     // basecalling through its own model replica (per-read noise streams
-    // keep the calls independent of the sharding).
+    // keep the calls independent of grouping and sharding).
     Stopwatch watch;
     std::vector<genomics::Sequence> calls(n);
+    const std::size_t batch = resolvedBatch(req);
+    const std::size_t groups = n == 0 ? 0 : (n + batch - 1) / batch;
+    auto call_group = [&](nn::SequenceModel& m, std::size_t g) {
+        const std::size_t begin = g * batch;
+        const std::size_t end = std::min(n, begin + batch);
+        std::vector<std::size_t> idx(end - begin);
+        std::iota(idx.begin(), idx.end(), begin);
+        auto group_calls =
+            basecallBatch(m, dataset, idx, req.decoder, req.beamWidth);
+        for (std::size_t k = 0; k < group_calls.size(); ++k)
+            calls[begin + k] = std::move(group_calls[k]);
+    };
     {
         TraceSpan trace(kBasecallSpan);
-        const std::size_t shards = pool.shardCount(n);
+        const std::size_t shards = pool.shardCount(groups);
         if (shards <= 1) {
-            for (std::size_t i = 0; i < n; ++i) {
-                model.beginRead(i);
-                calls[i] = basecallRead(model, dataset.reads[i]);
-            }
+            for (std::size_t g = 0; g < groups; ++g)
+                call_group(model, g);
         } else {
             auto replicas = makeWorkerReplicas(model, shards);
             std::vector<std::function<void()>> tasks;
@@ -47,12 +63,9 @@ runPipeline(nn::SequenceModel& model, const genomics::Dataset& dataset,
             for (std::size_t s = 0; s < shards; ++s) {
                 tasks.push_back([&, s] {
                     const auto [begin, end] =
-                        ThreadPool::shardRange(n, shards, s);
-                    for (std::size_t i = begin; i < end; ++i) {
-                        replicas[s].beginRead(i);
-                        calls[i] = basecallRead(replicas[s],
-                                                dataset.reads[i]);
-                    }
+                        ThreadPool::shardRange(groups, shards, s);
+                    for (std::size_t g = begin; g < end; ++g)
+                        call_group(replicas[s], g);
                 });
             }
             pool.runTasks(std::move(tasks));

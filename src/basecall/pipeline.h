@@ -37,15 +37,28 @@ struct PipelineReport
 
 /**
  * Run basecalling, mapping, and consensus over a dataset, timing each
- * stage.
+ * stage. The basecalling stage gathers reads into groups of
+ * resolvedBatch(req) and runs each group through the batched forward path;
+ * calls are bitwise-identical to the serial per-read loop for any batch
+ * size and thread count.
  *
- * @param model     trained basecaller
- * @param dataset   reads + reference
- * @param max_reads optional read cap (0 = all)
+ * @param model trained basecaller
+ * @param req   dataset + read budget + batch/thread/decoder knobs
+ *              (req.runs is moot here)
  */
-PipelineReport runPipeline(nn::SequenceModel& model,
-                           const genomics::Dataset& dataset,
-                           std::size_t max_reads = 0);
+PipelineReport runPipeline(nn::SequenceModel& model, const EvalRequest& req);
+
+/**
+ * @deprecated Positional-argument form; use
+ * runPipeline(model, EvalOptions(dataset).maxReads(n)) instead.
+ */
+[[deprecated("use runPipeline(model, EvalRequest)")]]
+inline PipelineReport
+runPipeline(nn::SequenceModel& model, const genomics::Dataset& dataset,
+            std::size_t max_reads = 0)
+{
+    return runPipeline(model, EvalOptions(dataset).maxReads(max_reads));
+}
 
 } // namespace swordfish::basecall
 

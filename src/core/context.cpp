@@ -17,8 +17,8 @@ namespace {
 std::string
 defaultArtifactDir()
 {
-    const char* env = std::getenv("SWORDFISH_ARTIFACTS");
-    return env != nullptr ? std::string(env) : std::string("artifacts");
+    const std::string& dir = runtimeConfig().artifacts;
+    return dir.empty() ? std::string("artifacts") : dir;
 }
 
 } // namespace
@@ -58,17 +58,19 @@ ExperimentContext::teacherTrainConfig()
 std::size_t
 ExperimentContext::evalReads()
 {
-    return static_cast<std::size_t>(
-        envLong("SWORDFISH_EVAL_READS", fastMode() ? 4 : 10));
+    const RuntimeConfig& cfg = runtimeConfig();
+    if (cfg.evalReads >= 0)
+        return static_cast<std::size_t>(cfg.evalReads);
+    return cfg.fast ? 4 : 10;
 }
 
 std::size_t
 ExperimentContext::evalRuns(std::size_t dflt)
 {
-    const long env = envLong("SWORDFISH_EVAL_RUNS", -1);
-    if (env > 0)
-        return static_cast<std::size_t>(env);
-    return fastMode() ? std::max<std::size_t>(1, dflt / 2) : dflt;
+    const RuntimeConfig& cfg = runtimeConfig();
+    if (cfg.evalRuns > 0)
+        return static_cast<std::size_t>(cfg.evalRuns);
+    return cfg.fast ? std::max<std::size_t>(1, dflt / 2) : dflt;
 }
 
 const genomics::PoreModel&

@@ -67,6 +67,13 @@ class QuantOnlyBackend : public nn::VmmBackend
         actQuant_.apply(activations);
     }
 
+    void
+    onActivationsRows(Matrix& m, std::size_t row_begin,
+                      std::size_t row_end) override
+    {
+        actQuant_.applyRows(m, row_begin, row_end);
+    }
+
   private:
     Quantizer actQuant_;
 };

@@ -7,14 +7,10 @@
 namespace swordfish::core {
 
 AccuracySummary
-evaluateNonIdealAccuracy(nn::SequenceModel& model,
-                         const NonIdealityConfig& scenario,
-                         const SramRemapConfig& remap,
-                         const genomics::Dataset& dataset,
-                         std::size_t runs, std::size_t max_reads,
-                         std::uint64_t seed_base)
+evaluateNonIdealAccuracy(nn::SequenceModel& model, const NonIdealSetup& setup,
+                         const EvalRequest& req)
 {
-    // One Monte-Carlo run = program a fresh backend (seed_base + r) and
+    // One Monte-Carlo run = program a fresh backend (req.seedBase + r) and
     // basecall the dataset through it. Runs are independent, so they fan
     // out across the pool, each worker owning a model replica and backend;
     // per-run accuracies land in indexed slots and reduce in run order, so
@@ -22,15 +18,24 @@ evaluateNonIdealAccuracy(nn::SequenceModel& model,
     static const SpanStat kMcRunSpan = metrics().span("mc_run");
     static const Counter kMcRuns = metrics().counter("mc.runs");
 
+    if (req.dataset == nullptr)
+        panic("evaluateNonIdealAccuracy: EvalRequest has no dataset");
+    basecall::applyRequestThreads(req);
+    const std::size_t runs = req.runs;
+
+    // The per-run evaluation inherits everything except the thread width
+    // (already applied above; re-applying inside a worker is a no-op).
+    EvalRequest per_run = req;
+    per_run.runs = 1;
+
     std::vector<double> run_mean(runs, 0.0);
     auto run_one = [&](nn::SequenceModel& m, std::size_t r) {
         TraceSpan trace(kMcRunSpan);
         kMcRuns.add();
-        CrossbarVmmBackend backend(scenario, seed_base + r);
-        backend.setSramRemap(remap);
+        CrossbarVmmBackend backend(setup.scenario, req.seedBase + r);
+        backend.setSramRemap(setup.remap);
         m.setBackend(&backend);
-        run_mean[r] = basecall::evaluateAccuracy(m, dataset,
-                                                 max_reads).meanIdentity;
+        run_mean[r] = basecall::evaluateAccuracy(m, per_run).meanIdentity;
         m.setBackend(nullptr);
     };
 
@@ -38,7 +43,7 @@ evaluateNonIdealAccuracy(nn::SequenceModel& model,
     const std::size_t shards = pool.shardCount(runs);
     if (shards <= 1) {
         // Serial over runs; within each run, evaluateAccuracy still shards
-        // reads across any idle workers.
+        // read groups across any idle workers.
         for (std::size_t r = 0; r < runs; ++r)
             run_one(model, r);
     } else {
@@ -72,15 +77,14 @@ evaluateNonIdealAccuracy(nn::SequenceModel& model,
 
 double
 evaluateQuantizedAccuracy(const nn::SequenceModel& model,
-                          const QuantConfig& quant,
-                          const genomics::Dataset& dataset,
-                          std::size_t max_reads)
+                          const QuantConfig& quant, const EvalRequest& req)
 {
+    if (req.dataset == nullptr)
+        panic("evaluateQuantizedAccuracy: EvalRequest has no dataset");
     nn::SequenceModel deployed = quantizeModel(model, quant);
     QuantOnlyBackend backend(quant);
     deployed.setBackend(&backend);
-    const auto acc = basecall::evaluateAccuracy(deployed, dataset,
-                                                max_reads);
+    const auto acc = basecall::evaluateAccuracy(deployed, req);
     return acc.meanIdentity;
 }
 

@@ -4,6 +4,11 @@
  * basecalling accuracy under a non-ideality scenario (with error bars over
  * repeated noisy instantiations), basecalling throughput in Kbp/s, and
  * accelerator area.
+ *
+ * Entry points take at most three positional arguments: the model, what to
+ * run it on (scenario / quantization), and one core::EvalRequest carrying
+ * every remaining knob (dataset, runs, read budget, seeds, batch capacity,
+ * thread count, decoder). Build requests with core::EvalOptions.
  */
 
 #ifndef SWORDFISH_CORE_EVALUATOR_H
@@ -20,6 +25,14 @@
 
 namespace swordfish::core {
 
+// The consolidated request types live in basecall/ next to the evaluation
+// loops they parameterize; re-export them so evaluator call sites only
+// reason about swordfish::core.
+using basecall::Decoder;
+using basecall::EvalOptions;
+using basecall::EvalRequest;
+using basecall::kInheritThreads;
+
 /** Accuracy distribution over repeated noisy runs (figure error bars). */
 struct AccuracySummary
 {
@@ -31,38 +44,86 @@ struct AccuracySummary
 };
 
 /**
+ * What to deploy onto the crossbars: the non-ideality scenario plus the
+ * (optional) RSA SRAM remap applied while programming. Converts implicitly
+ * from a bare NonIdealityConfig so plain-scenario call sites stay terse:
+ *
+ *   evaluateNonIdealAccuracy(model, scenario, EvalOptions(ds).runs(5));
+ *   evaluateNonIdealAccuracy(model, {scenario, remap}, opts);
+ */
+struct NonIdealSetup
+{
+    NonIdealityConfig scenario;
+    SramRemapConfig remap;
+
+    NonIdealSetup(const NonIdealityConfig& s,
+                  const SramRemapConfig& r = SramRemapConfig{})
+        : scenario(s), remap(r)
+    {}
+};
+
+/**
  * Evaluate basecalling accuracy of a model executed on non-ideal crossbars.
  *
  * Each run programs a fresh set of tiles (new programming noise, die
- * profiles, and library draws) and basecalls `max_reads` reads of the
- * dataset — mirroring the paper's methodology of 1000 model instantiations
- * per configuration (scaled down via `runs`).
+ * profiles, and library draws) with seed req.seedBase + r and basecalls
+ * req.maxReads reads of req.dataset through the batched inference path —
+ * mirroring the paper's methodology of 1000 model instantiations per
+ * configuration (scaled down via req.runs). Results are bitwise identical
+ * for any batch size and worker count.
  *
- * @param model     deployed (quantized) model; restored to the ideal
- *                  backend before returning
- * @param scenario  non-ideality configuration
- * @param remap     RSA SRAM remap to apply while programming
- * @param dataset   evaluation dataset
- * @param runs      noisy instantiations
- * @param max_reads reads per run (0 = all)
- * @param seed_base run r uses seed_base + r
+ * @param model deployed (quantized) model; restored to the ideal backend
+ *              before returning
+ * @param setup scenario (+ optional SRAM remap) to program
+ * @param req   everything else — see core::EvalOptions
  */
 AccuracySummary evaluateNonIdealAccuracy(nn::SequenceModel& model,
-                                         const NonIdealityConfig& scenario,
-                                         const SramRemapConfig& remap,
-                                         const genomics::Dataset& dataset,
-                                         std::size_t runs,
-                                         std::size_t max_reads,
-                                         std::uint64_t seed_base = 1);
+                                         const NonIdealSetup& setup,
+                                         const EvalRequest& req);
 
 /**
  * Digital fixed-point accuracy (quantization only, no crossbar) — the
- * Table 3 evaluation path.
+ * Table 3 evaluation path. Honors req.maxReads / req.batch / req.threads;
+ * req.runs is moot (the path is noise-free).
  */
 double evaluateQuantizedAccuracy(const nn::SequenceModel& model,
                                  const QuantConfig& quant,
-                                 const genomics::Dataset& dataset,
-                                 std::size_t max_reads);
+                                 const EvalRequest& req);
+
+/**
+ * @deprecated Positional-argument form; use
+ * evaluateNonIdealAccuracy(model, {scenario, remap}, EvalOptions(dataset)
+ * .runs(n).maxReads(m).seedBase(s)) instead.
+ */
+[[deprecated("use evaluateNonIdealAccuracy(model, setup, EvalRequest)")]]
+inline AccuracySummary
+evaluateNonIdealAccuracy(nn::SequenceModel& model,
+                         const NonIdealityConfig& scenario,
+                         const SramRemapConfig& remap,
+                         const genomics::Dataset& dataset, std::size_t runs,
+                         std::size_t max_reads, std::uint64_t seed_base = 1)
+{
+    return evaluateNonIdealAccuracy(
+        model, NonIdealSetup(scenario, remap),
+        EvalOptions(dataset).runs(runs).maxReads(max_reads)
+            .seedBase(seed_base));
+}
+
+/**
+ * @deprecated Positional-argument form; use
+ * evaluateQuantizedAccuracy(model, quant, EvalOptions(dataset)
+ * .maxReads(m)) instead.
+ */
+[[deprecated("use evaluateQuantizedAccuracy(model, quant, EvalRequest)")]]
+inline double
+evaluateQuantizedAccuracy(const nn::SequenceModel& model,
+                          const QuantConfig& quant,
+                          const genomics::Dataset& dataset,
+                          std::size_t max_reads)
+{
+    return evaluateQuantizedAccuracy(
+        model, quant, EvalOptions(dataset).maxReads(max_reads));
+}
 
 } // namespace swordfish::core
 

@@ -21,8 +21,9 @@
  *   core::EnhancerConfig enh{core::Technique::RsaKd};
  *   auto enhanced = ctx.enhanced(scenario, enh);
  *   auto acc = core::evaluateNonIdealAccuracy(
- *       enhanced.model, enhanced.evalConfig, enhanced.remap,
- *       ctx.dataset("D1"), 5, 10);
+ *       enhanced.model, {enhanced.evalConfig, enhanced.remap},
+ *       core::EvalOptions(ctx.dataset("D1"))
+ *           .runs(5).maxReads(10).batch(8));       // 8 reads per VMM
  * @endcode
  */
 

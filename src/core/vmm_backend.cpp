@@ -1,6 +1,7 @@
 #include "vmm_backend.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "util/logging.h"
@@ -36,6 +37,20 @@ struct TlsMatmulScratch
 };
 thread_local TlsMatmulScratch tls_scratch;
 
+/**
+ * Per-(thread, backend) batched-pass state: one conversion stream per lane
+ * of the open batch, each seeded the way beginRead() seeds a serial read.
+ * activeLane routes serial matmul() calls (the generic per-lane layer
+ * fallback) to the right lane stream.
+ */
+struct TlsBatchState
+{
+    std::uint64_t owner = 0; ///< backend instanceId_ the streams belong to
+    std::vector<Rng> laneRngs;
+    std::size_t activeLane = kNoLane;
+};
+thread_local TlsBatchState tls_batch;
+
 constexpr std::uint64_t kConversionTag = 0xc0417e27ULL;
 
 } // namespace
@@ -63,6 +78,11 @@ CrossbarVmmBackend::beginRead(std::uint64_t read_stream)
 Rng&
 CrossbarVmmBackend::conversionRng() const
 {
+    // Inside an open batch with a lane selected, serial calls draw from
+    // that lane's stream (the generic per-lane forwardBatch fallback).
+    if (tls_batch.owner == instanceId_ && tls_batch.activeLane != kNoLane
+        && tls_batch.activeLane < tls_batch.laneRngs.size())
+        return tls_batch.laneRngs[tls_batch.activeLane];
     // Threads that never saw beginRead() (direct matmul callers, e.g.
     // training-time noise injection) run on the read-0 stream.
     if (tls_stream.owner != instanceId_) {
@@ -73,9 +93,43 @@ CrossbarVmmBackend::conversionRng() const
 }
 
 void
+CrossbarVmmBackend::beginBatch(const std::vector<std::uint64_t>& streams)
+{
+    tls_batch.owner = instanceId_;
+    tls_batch.laneRngs.resize(streams.size());
+    for (std::size_t i = 0; i < streams.size(); ++i)
+        tls_batch.laneRngs[i].reseed(
+            hashSeed({runSeed_, streams[i], kConversionTag}));
+    tls_batch.activeLane = kNoLane;
+}
+
+void
+CrossbarVmmBackend::endBatch()
+{
+    tls_batch.owner = 0;
+    tls_batch.laneRngs.clear();
+    tls_batch.activeLane = kNoLane;
+}
+
+void
+CrossbarVmmBackend::selectBatchLane(std::size_t lane)
+{
+    tls_batch.activeLane = lane;
+}
+
+void
 CrossbarVmmBackend::onActivations(Matrix& activations)
 {
     activationQuant_.apply(activations);
+}
+
+void
+CrossbarVmmBackend::onActivationsRows(Matrix& m, std::size_t row_begin,
+                                      std::size_t row_end)
+{
+    // Per-lane quantization scale: identical to onActivations() on the
+    // lane's standalone matrix.
+    activationQuant_.applyRows(m, row_begin, row_end);
 }
 
 const CrossbarVmmBackend::MappedWeight&
@@ -367,6 +421,100 @@ CrossbarVmmBackend::matmul(const std::string& name, const Matrix& w,
             dac_elems += x_sub.size();
             adc_elems += part.size();
             // Digital accumulation of partial sums across column tiles.
+            for (std::size_t t = 0; t < part.rows(); ++t)
+                for (std::size_t r = 0; r < part.cols(); ++r)
+                    y(t, r0 + r) += part(t, r);
+        }
+    }
+    kTileVmms.add(tile_vmms);
+    kDacConversions.add(dac_elems);
+    kAdcConversions.add(adc_elems);
+}
+
+void
+CrossbarVmmBackend::matmulBatched(const std::string& name, const Matrix& w,
+                                  const Matrix& x, Matrix& y,
+                                  const BatchLayout& layout)
+{
+    // Without an open batch there are no lane streams to draw from; the
+    // serial path (whole-operand scaling, calling thread's stream) is the
+    // defined behaviour.
+    if (tls_batch.owner != instanceId_ || layout.empty()) {
+        matmul(name, w, x, y);
+        return;
+    }
+
+    static const SpanStat kVmmSpan = metrics().span("vmm");
+    static const Counter kVmmCalls = metrics().counter("vmm.calls");
+    static const Counter kTileVmms = metrics().counter("vmm.tile_vmms");
+    static const Counter kDacConversions =
+        metrics().counter("vmm.dac_conversions");
+    static const Counter kAdcConversions =
+        metrics().counter("vmm.adc_conversions");
+    TraceSpan trace(kVmmSpan);
+    kVmmCalls.add();
+
+    const MappedWeight& mw = mapped(name, w);
+
+    if (config_.usesLibrary()) {
+        y.resize(x.rows(), mw.rows);
+        gemmBT(x, mw.measuredWeights, y, /*accumulate=*/true);
+        // One gain/offset fold over the whole batch, but with each lane's
+        // own input absmax — bitwise what the serial fold does per lane.
+        std::size_t row = 0;
+        for (const LaneSpan& span : layout) {
+            const std::size_t count = span.rows * x.cols();
+            const float* src = x.raw().data() + row * x.cols();
+            float x_max = 0.0f;
+            for (std::size_t i = 0; i < count; ++i)
+                x_max = std::max(x_max, std::fabs(src[i]));
+            if (x_max <= 0.0f)
+                x_max = 1.0f;
+            for (std::size_t t = row; t < row + span.rows; ++t) {
+                float* out = y.rowPtr(t);
+                for (std::size_t o = 0; o < y.cols(); ++o)
+                    out[o] = out[o] * mw.measuredGain[o]
+                        + mw.measuredOffset[o] * mw.absMax * x_max;
+            }
+            row += span.rows;
+        }
+        kDacConversions.add(x.size());
+        kAdcConversions.add(y.size());
+        return;
+    }
+
+    const std::size_t s = config_.crossbar.size;
+    const std::size_t col_tiles = (mw.cols + s - 1) / s;
+    y.resize(x.rows(), mw.rows);
+
+    // Per-span stream pointers: layout lanes index the open batch's rngs.
+    std::vector<Rng*> rngs(layout.size());
+    for (std::size_t i = 0; i < layout.size(); ++i) {
+        if (layout[i].lane >= tls_batch.laneRngs.size())
+            panic("CrossbarVmmBackend::matmulBatched: lane ",
+                  layout[i].lane, " outside the open batch of ",
+                  tls_batch.laneRngs.size());
+        rngs[i] = &tls_batch.laneRngs[layout[i].lane];
+    }
+
+    Matrix& x_sub = tls_scratch.xSub;
+    std::uint64_t tile_vmms = 0, dac_elems = 0, adc_elems = 0;
+    for (std::size_t ct = 0; ct < col_tiles; ++ct) {
+        const std::size_t c0 = ct * s;
+        const std::size_t c1 = std::min(mw.cols, c0 + s);
+        x_sub.resize(x.rows(), c1 - c0);
+        for (std::size_t t = 0; t < x.rows(); ++t)
+            for (std::size_t c = c0; c < c1; ++c)
+                x_sub(t, c - c0) = x(t, c);
+
+        for (std::size_t rt = 0; rt < mw.tiles.size(); ++rt) {
+            mw.tiles[rt][ct].vmmFastLanes(x_sub, layout, rngs.data(),
+                                          tls_scratch.tile);
+            const Matrix& part = tls_scratch.tile.y;
+            const std::size_t r0 = rt * s;
+            ++tile_vmms;
+            dac_elems += x_sub.size();
+            adc_elems += part.size();
             for (std::size_t t = 0; t < part.rows(); ++t)
                 for (std::size_t r = 0; r < part.cols(); ++r)
                     y(t, r0 + r) += part(t, r);

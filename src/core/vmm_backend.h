@@ -81,6 +81,32 @@ class CrossbarVmmBackend : public nn::VmmBackend
     void beginRead(std::uint64_t read_stream) override;
 
     /**
+     * Open a batched pass on the calling thread: one conversion stream per
+     * lane, seeded exactly like beginRead(stream) would seed a serial
+     * read's stream. Batched matmuls then interleave draws from the lane
+     * streams so each lane reproduces its serial noise sequence bitwise.
+     */
+    void beginBatch(const std::vector<std::uint64_t>& streams) override;
+
+    void endBatch() override;
+
+    /** Route serial matmul()/onActivations() calls to one lane's stream. */
+    void selectBatchLane(std::size_t lane) override;
+
+    /**
+     * Batched tiled VMM: executes the stacked operand as one multi-column
+     * pass per tile — one trace span, one conversion pass, and one
+     * gain/offset fold per batch — while normalizing inputs and drawing
+     * conversion noise per lane.
+     */
+    void matmulBatched(const std::string& name, const Matrix& w,
+                       const Matrix& x, Matrix& y,
+                       const BatchLayout& layout) override;
+
+    void onActivationsRows(Matrix& m, std::size_t row_begin,
+                           std::size_t row_end) override;
+
+    /**
      * Per-parameter SRAM masks recorded while programming (1 = weight is
      * SRAM-resident). Used by RSA online retraining to restrict updates.
      */

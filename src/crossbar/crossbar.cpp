@@ -180,6 +180,75 @@ CrossbarTile::vmmFast(const Matrix& x, Rng& rng, VmmScratch& scratch) const
         v *= x_scale;
 }
 
+void
+CrossbarTile::vmmFastLanes(const Matrix& x, const BatchLayout& layout,
+                           Rng* const* lane_rngs, VmmScratch& scratch) const
+{
+    if (x.cols() != ideal_.cols())
+        panic("CrossbarTile::vmmFastLanes: input width ", x.cols(),
+              " != tile fan-in ", ideal_.cols());
+    if (layoutRows(layout) != x.rows())
+        panic("CrossbarTile::vmmFastLanes: layout rows ",
+              layoutRows(layout), " != input rows ", x.rows());
+
+    // Per-lane dynamic input scaling: each lane is normalized by its own
+    // absmax, exactly as vmmFast() would scale that lane in isolation.
+    std::vector<float> scales(layout.size(), 1.0f);
+    Matrix& xn = scratch.xn;
+    xn.resize(x.rows(), x.cols());
+    std::size_t row = 0;
+    for (std::size_t l = 0; l < layout.size(); ++l) {
+        const std::size_t count = layout[l].rows * x.cols();
+        const float* src = x.raw().data() + row * x.cols();
+        float x_scale = 0.0f;
+        for (std::size_t i = 0; i < count; ++i)
+            x_scale = std::max(x_scale, std::fabs(src[i]));
+        if (x_scale <= 0.0f)
+            x_scale = 1.0f;
+        scales[l] = x_scale;
+        const float inv = 1.0f / x_scale;
+        float* dst = xn.raw().data() + row * x.cols();
+        for (std::size_t i = 0; i < count; ++i)
+            dst[i] = src[i] * inv;
+        row += layout[l].rows;
+    }
+    if (!dac_->isIdeal()) {
+        for (float& v : xn.raw())
+            v = dac_->convert(v);
+    }
+
+    Matrix& y = scratch.y;
+    y.resize(x.rows(), effective_.rows());
+    gemmBT(xn, effective_, y, /*accumulate=*/true);
+
+    const bool sneak = !colSneak_.empty()
+        && std::any_of(colSneak_.begin(), colSneak_.end(),
+                       [](float v) { return v != 0.0f; });
+    row = 0;
+    for (std::size_t l = 0; l < layout.size(); ++l) {
+        Rng& rng = *lane_rngs[l];
+        for (std::size_t t = row; t < row + layout[l].rows; ++t) {
+            float* yrow = y.rowPtr(t);
+            if (sneak) {
+                const float* xrow = xn.rowPtr(t);
+                float mean_abs = 0.0f;
+                for (std::size_t i = 0; i < xn.cols(); ++i)
+                    mean_abs += std::fabs(xrow[i]);
+                mean_abs /= static_cast<float>(xn.cols());
+                for (std::size_t o = 0; o < y.cols(); ++o)
+                    yrow[o] += colSneak_[o] * mean_abs;
+            }
+            if (!adc_->isIdeal()) {
+                for (std::size_t o = 0; o < y.cols(); ++o)
+                    yrow[o] = adc_->convert(yrow[o], rng);
+            }
+            for (std::size_t o = 0; o < y.cols(); ++o)
+                yrow[o] *= scales[l];
+        }
+        row += layout[l].rows;
+    }
+}
+
 std::vector<float>
 CrossbarTile::vmmCircuit(const std::vector<float>& x, Rng& rng) const
 {

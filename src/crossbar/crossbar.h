@@ -25,6 +25,7 @@
 #include "crossbar/converters.h"
 #include "crossbar/device.h"
 #include "crossbar/mapping.h"
+#include "tensor/lanes.h"
 #include "tensor/matrix.h"
 #include "util/rng.h"
 
@@ -131,6 +132,16 @@ class CrossbarTile
      * and the result live in caller-owned scratch (result in scratch.y).
      */
     void vmmFast(const Matrix& x, Rng& rng, VmmScratch& scratch) const;
+
+    /**
+     * Batched fast path: x stacks the rows of several independent lanes
+     * (layout gives the stacking order); each lane gets its own input
+     * normalization scale and draws ADC noise from its own stream, so
+     * every lane's output rows are bitwise-identical to a vmmFast() call
+     * on that lane alone. lane_rngs[i] is the stream for layout[i].
+     */
+    void vmmFastLanes(const Matrix& x, const BatchLayout& layout,
+                      Rng* const* lane_rngs, VmmScratch& scratch) const;
 
     /** Reference path: explicit per-cell current summation (one vector). */
     std::vector<float> vmmCircuit(const std::vector<float>& x,

@@ -70,6 +70,17 @@ class SiLU : public Module
         return y;
     }
 
+    void
+    forwardBatch(SequenceBatch& batch) override
+    {
+        for (float& v : batch.data.raw())
+            v = siluf(v);
+        for (std::size_t l = 0; l < batch.laneCount(); ++l)
+            backend().onActivationsRows(batch.data, batch.laneOffset(l),
+                                        batch.laneOffset(l)
+                                            + batch.laneRows(l));
+    }
+
     Matrix
     backward(const Matrix& dy) override
     {
@@ -110,6 +121,17 @@ class Tanh : public Module
         Matrix y = output_;
         backend().onActivations(y);
         return y;
+    }
+
+    void
+    forwardBatch(SequenceBatch& batch) override
+    {
+        for (float& v : batch.data.raw())
+            v = std::tanh(v);
+        for (std::size_t l = 0; l < batch.laneCount(); ++l)
+            backend().onActivationsRows(batch.data, batch.laneOffset(l),
+                                        batch.laneOffset(l)
+                                            + batch.laneRows(l));
     }
 
     Matrix

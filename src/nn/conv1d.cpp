@@ -51,6 +51,49 @@ Conv1d::forward(const Matrix& x)
     return y;
 }
 
+void
+Conv1d::forwardBatch(SequenceBatch& batch)
+{
+    if (batch.data.cols() != inChannels_)
+        panic("Conv1d::forwardBatch: expected ", inChannels_,
+              " channels, got ", batch.data.cols());
+
+    // Per-lane im2col into one stacked lowered matrix, then a single
+    // batched VMM over all lanes (the windows never straddle lanes).
+    const std::size_t lanes = batch.laneCount();
+    std::vector<std::size_t> out_offsets(lanes + 1, 0);
+    for (std::size_t l = 0; l < lanes; ++l) {
+        const std::size_t t_out = outSteps(batch.laneRows(l));
+        if (t_out == 0)
+            panic("Conv1d::forwardBatch: lane ", l, " too short (",
+                  batch.laneRows(l), " < ", kernel_, ")");
+        out_offsets[l + 1] = out_offsets[l] + t_out;
+    }
+
+    Matrix col(out_offsets[lanes], kernel_ * inChannels_);
+    BatchLayout layout;
+    layout.reserve(lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+        const std::size_t t_out = out_offsets[l + 1] - out_offsets[l];
+        layout.push_back({l, t_out});
+        for (std::size_t t = 0; t < t_out; ++t) {
+            float* dst = col.rowPtr(out_offsets[l] + t);
+            const std::size_t start = batch.laneOffset(l) + t * stride_;
+            for (std::size_t k = 0; k < kernel_; ++k) {
+                const float* src = batch.data.rowPtr(start + k);
+                for (std::size_t c = 0; c < inChannels_; ++c)
+                    dst[k * inChannels_ + c] = src[c];
+            }
+        }
+    }
+
+    Matrix y;
+    backend().matmulBatched(weight_.name, weight_.value, col, y, layout);
+    addRowBias(y, bias_.value.raw());
+    batch.data = std::move(y);
+    batch.offsets = std::move(out_offsets);
+}
+
 Matrix
 Conv1d::backward(const Matrix& dy)
 {

@@ -31,6 +31,7 @@ class Conv1d : public Module
 
     Matrix forward(const Matrix& x) override;
     Matrix backward(const Matrix& dy) override;
+    void forwardBatch(SequenceBatch& batch) override;
 
     std::vector<Parameter*>
     parameters() override

@@ -20,6 +20,18 @@ Linear::forward(const Matrix& x)
     return y;
 }
 
+void
+Linear::forwardBatch(SequenceBatch& batch)
+{
+    // Row-parallel layer: one batched VMM over the stacked lanes; the
+    // layout only matters for per-lane input scaling and noise streams.
+    Matrix y;
+    backend().matmulBatched(weight_.name, weight_.value, batch.data, y,
+                            batch.layout());
+    addRowBias(y, bias_.value.raw());
+    batch.data = std::move(y);
+}
+
 Matrix
 Linear::backward(const Matrix& dy)
 {

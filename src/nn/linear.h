@@ -26,6 +26,7 @@ class Linear : public Module
 
     Matrix forward(const Matrix& x) override;
     Matrix backward(const Matrix& dy) override;
+    void forwardBatch(SequenceBatch& batch) override;
 
     std::vector<Parameter*>
     parameters() override

@@ -91,6 +91,123 @@ Lstm::forward(const Matrix& x)
     return y;
 }
 
+void
+Lstm::forwardBatch(SequenceBatch& batch)
+{
+    if (batch.data.cols() != in_)
+        panic("Lstm::forwardBatch: expected ", in_, " channels, got ",
+              batch.data.cols());
+
+    const std::size_t lanes = batch.laneCount();
+    const std::size_t h4 = 4 * hidden_;
+
+    // Per-lane time reversal: orientation is a per-sequence property.
+    Matrix input = batch.data;
+    if (reverse_) {
+        for (std::size_t l = 0; l < lanes; ++l) {
+            const std::size_t off = batch.laneOffset(l);
+            const std::size_t t_len = batch.laneRows(l);
+            for (std::size_t t = 0; t < t_len; ++t) {
+                const float* src = batch.data.rowPtr(off + t_len - 1 - t);
+                float* dst = input.rowPtr(off + t);
+                for (std::size_t c = 0; c < in_; ++c)
+                    dst[c] = src[c];
+            }
+        }
+    }
+
+    // Input projection for every lane and timestep in one stacked VMM.
+    Matrix z_in;
+    backend().matmulBatched(wih_.name, wih_.value, input, z_in,
+                            batch.layout());
+
+    Matrix out(batch.data.rows(), hidden_);
+    Matrix h_prev(lanes, hidden_); // zero-initialized, one row per lane
+    std::vector<std::vector<float>> c_prev(
+        lanes, std::vector<float>(hidden_, 0.0f));
+    std::size_t t_max = 0;
+    for (std::size_t l = 0; l < lanes; ++l)
+        t_max = std::max(t_max, batch.laneRows(l));
+
+    // One recurrent VMM per timestep over the still-active lanes: gather
+    // their previous hidden states, run the batched projection, scatter
+    // the gate math back per lane. Each lane draws conversion noise from
+    // its own stream for exactly its first T_l steps, reproducing the
+    // serial per-lane sequence bitwise.
+    Matrix h_act, z_rec;
+    std::vector<std::size_t> active;
+    BatchLayout step_layout;
+    const float* b = bias_.value.rowPtr(0);
+    for (std::size_t t = 0; t < t_max; ++t) {
+        active.clear();
+        step_layout.clear();
+        for (std::size_t l = 0; l < lanes; ++l) {
+            if (batch.laneRows(l) > t) {
+                active.push_back(l);
+                step_layout.push_back({l, 1});
+            }
+        }
+        h_act.resize(active.size(), hidden_);
+        for (std::size_t i = 0; i < active.size(); ++i) {
+            const float* src = h_prev.rowPtr(active[i]);
+            float* dst = h_act.rowPtr(i);
+            for (std::size_t j = 0; j < hidden_; ++j)
+                dst[j] = src[j];
+        }
+        backend().matmulBatched(whh_.name, whh_.value, h_act, z_rec,
+                                step_layout);
+
+        for (std::size_t i = 0; i < active.size(); ++i) {
+            const std::size_t l = active[i];
+            const float* zi = z_in.rowPtr(batch.laneOffset(l) + t);
+            const float* zr = z_rec.rowPtr(i);
+            float* h = out.rowPtr(batch.laneOffset(l) + t);
+            float* hp = h_prev.rowPtr(l);
+            std::vector<float>& cp = c_prev[l];
+            for (std::size_t j = 0; j < hidden_; ++j) {
+                const float ig = sigmoidf(zi[j] + zr[j] + b[j]);
+                const float fg = sigmoidf(zi[hidden_ + j]
+                                          + zr[hidden_ + j]
+                                          + b[hidden_ + j]);
+                const float gg = std::tanh(zi[2 * hidden_ + j]
+                                           + zr[2 * hidden_ + j]
+                                           + b[2 * hidden_ + j]);
+                const float og = sigmoidf(zi[3 * hidden_ + j]
+                                          + zr[3 * hidden_ + j]
+                                          + b[3 * hidden_ + j]);
+                const float c = fg * cp[j] + ig * gg;
+                const float tc = std::tanh(c);
+                h[j] = og * tc;
+                cp[j] = c;
+                hp[j] = h[j];
+            }
+        }
+    }
+    (void)h4;
+
+    if (reverse_) {
+        // Un-reverse each lane in place (swap rows around the midpoint).
+        std::vector<float> tmp(hidden_);
+        for (std::size_t l = 0; l < lanes; ++l) {
+            const std::size_t off = batch.laneOffset(l);
+            const std::size_t t_len = batch.laneRows(l);
+            for (std::size_t t = 0; t < t_len / 2; ++t) {
+                float* a = out.rowPtr(off + t);
+                float* z = out.rowPtr(off + t_len - 1 - t);
+                std::copy(a, a + hidden_, tmp.begin());
+                std::copy(z, z + hidden_, a);
+                std::copy(tmp.begin(), tmp.end(), z);
+            }
+        }
+    }
+
+    batch.data = std::move(out);
+    for (std::size_t l = 0; l < lanes; ++l)
+        backend().onActivationsRows(batch.data, batch.laneOffset(l),
+                                    batch.laneOffset(l)
+                                        + batch.laneRows(l));
+}
+
 Matrix
 Lstm::backward(const Matrix& dy_in)
 {

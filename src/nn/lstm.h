@@ -36,6 +36,15 @@ class Lstm : public Module
     Matrix forward(const Matrix& x) override;
     Matrix backward(const Matrix& dy) override;
 
+    /**
+     * Batched inference: the input projection runs as one stacked VMM and
+     * each timestep's recurrent projection gathers the still-active lanes'
+     * hidden states into a single [B x H] operand — one backend call per
+     * step for the whole group instead of one per lane. Lanes retire as
+     * their sequences end; no backward caches are written.
+     */
+    void forwardBatch(SequenceBatch& batch) override;
+
     std::vector<Parameter*>
     parameters() override
     {

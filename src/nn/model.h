@@ -66,6 +66,21 @@ class SequenceModel
         return h;
     }
 
+    /**
+     * Batched forward pass over a group of stacked lanes (inference only).
+     * Opens one noise stream per lane on the backend, runs every layer's
+     * batched path, and closes the streams; per-lane outputs are
+     * bitwise-identical to beginRead(stream) + forward(lane) per lane.
+     */
+    void
+    forwardBatch(SequenceBatch& batch)
+    {
+        backend().beginBatch(batch.streams);
+        for (auto& layer : layers_)
+            layer->forwardBatch(batch);
+        backend().endBatch();
+    }
+
     /** Run the full backward pass from the output gradient. */
     Matrix
     backward(const Matrix& dy)

@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "nn/batch.h"
+#include "tensor/lanes.h"
 #include "tensor/matrix.h"
 #include "util/rng.h"
 
@@ -87,6 +89,56 @@ class VmmBackend
      * Default: stateless backends ignore it.
      */
     virtual void beginRead(std::uint64_t /*read_stream*/) {}
+
+    /**
+     * Open a batched pass: one noise stream per lane, keyed the same way
+     * beginRead() keys a serial read. Backends that consume randomness keep
+     * one stream per lane so batched results stay bitwise-identical to
+     * running the lanes serially. Default: stateless backends ignore it.
+     */
+    virtual void beginBatch(const std::vector<std::uint64_t>& /*streams*/) {}
+
+    /** Close the batched pass opened by beginBatch(). */
+    virtual void endBatch() {}
+
+    /**
+     * Route subsequent *serial* matmul()/onActivations() calls to the given
+     * lane's noise stream (kNoLane deselects). Used by the generic per-lane
+     * forwardBatch() fallback so layers without a native batched path still
+     * draw from the right stream.
+     */
+    virtual void selectBatchLane(std::size_t /*lane*/) {}
+
+    /**
+     * Batched Y = X * W^T where x stacks several lanes row-wise as
+     * described by layout. Per-lane input state (normalization scale,
+     * conversion noise) must match what per-lane matmul() calls would
+     * produce. Default: backends without lane-dependent state execute the
+     * stacked operand as one plain matmul.
+     */
+    virtual void
+    matmulBatched(const std::string& name, const Matrix& w, const Matrix& x,
+                  Matrix& y, const BatchLayout& layout)
+    {
+        (void)layout;
+        matmul(name, w, x, y);
+    }
+
+    /**
+     * onActivations() restricted to rows [row_begin, row_end) of a stacked
+     * operand — one lane's slice. Default: copy out, apply, copy back.
+     */
+    virtual void
+    onActivationsRows(Matrix& m, std::size_t row_begin, std::size_t row_end)
+    {
+        if (row_begin >= row_end)
+            return;
+        Matrix slice(row_end - row_begin, m.cols());
+        float* base = m.raw().data() + row_begin * m.cols();
+        std::copy(base, base + slice.size(), slice.raw().begin());
+        onActivations(slice);
+        std::copy(slice.raw().begin(), slice.raw().end(), base);
+    }
 };
 
 /** Exact float GEMM backend (the digital / training path). */
@@ -122,6 +174,26 @@ class Module
 
     /** Backward pass: dLoss/dOutput to dLoss/dInput; accumulates grads. */
     virtual Matrix backward(const Matrix& dy) = 0;
+
+    /**
+     * Batched forward pass over a group of stacked lanes (inference only —
+     * no backward caches are maintained). The generic fallback runs each
+     * lane through forward() with the backend pointed at that lane's noise
+     * stream; layers whose work amortizes across lanes override this with
+     * a native stacked implementation. Either way the per-lane results are
+     * bitwise-identical to serial forward() calls.
+     */
+    virtual void
+    forwardBatch(SequenceBatch& batch)
+    {
+        std::vector<Matrix> outs(batch.laneCount());
+        for (std::size_t lane = 0; lane < batch.laneCount(); ++lane) {
+            backend().selectBatchLane(lane);
+            outs[lane] = forward(batch.laneMatrix(lane));
+        }
+        backend().selectBatchLane(kNoLane);
+        batch.assignLanes(outs);
+    }
 
     /** All trainable parameters of this layer (may be empty). */
     virtual std::vector<Parameter*> parameters() { return {}; }

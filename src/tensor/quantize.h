@@ -12,6 +12,7 @@
 #ifndef SWORDFISH_TENSOR_QUANTIZE_H
 #define SWORDFISH_TENSOR_QUANTIZE_H
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 #include <vector>
@@ -70,6 +71,27 @@ class Quantizer
         const float scale = scaleFor(m.absMax());
         for (float& v : m.raw())
             v = apply(v, scale);
+    }
+
+    /**
+     * Quantize rows [row_begin, row_end) in place with a scale derived
+     * from those rows only. On a stacked multi-lane operand this
+     * reproduces, bitwise, what apply(Matrix&) would do to the lane's
+     * standalone matrix.
+     */
+    void
+    applyRows(Matrix& m, std::size_t row_begin, std::size_t row_end) const
+    {
+        if (isIdentity() || m.empty() || row_begin >= row_end)
+            return;
+        float* data = m.raw().data() + row_begin * m.cols();
+        const std::size_t count = (row_end - row_begin) * m.cols();
+        float abs_max = 0.0f;
+        for (std::size_t i = 0; i < count; ++i)
+            abs_max = std::max(abs_max, std::fabs(data[i]));
+        const float scale = scaleFor(abs_max);
+        for (std::size_t i = 0; i < count; ++i)
+            data[i] = apply(data[i], scale);
     }
 
     /** Quantize a vector in place with a per-tensor scale. */

@@ -1,0 +1,77 @@
+#include "env.h"
+
+#include <sstream>
+#include <thread>
+
+namespace swordfish {
+
+namespace {
+
+std::string
+envString(const char* name)
+{
+    const char* v = std::getenv(name);
+    return v == nullptr ? std::string() : std::string(v);
+}
+
+/** Escape the two characters that can break a JSON string literal. */
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+std::size_t
+RuntimeConfig::poolThreads() const
+{
+    if (threads >= 0)
+        return static_cast<std::size_t>(threads);
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+std::string
+RuntimeConfig::toJson() const
+{
+    std::ostringstream out;
+    out << "{\"threads\":" << threads << ",\"batch\":" << batch
+        << ",\"fast\":" << (fast ? "true" : "false")
+        << ",\"eval_reads\":" << evalReads << ",\"eval_runs\":" << evalRuns
+        << ",\"retrain_epochs\":" << retrainEpochs << ",\"metrics_out\":\""
+        << jsonEscape(metricsOut) << "\",\"artifacts\":\""
+        << jsonEscape(artifacts) << "\"}";
+    return out.str();
+}
+
+RuntimeConfig
+RuntimeConfig::fromEnvironment()
+{
+    RuntimeConfig cfg;
+    cfg.threads = envLong("SWORDFISH_THREADS", -1);
+    cfg.batch = envLong("SWORDFISH_BATCH", -1);
+    cfg.fast = envFlag("SWORDFISH_FAST");
+    cfg.evalReads = envLong("SWORDFISH_EVAL_READS", -1);
+    cfg.evalRuns = envLong("SWORDFISH_EVAL_RUNS", -1);
+    cfg.retrainEpochs = envLong("SWORDFISH_RETRAIN_EPOCHS", -1);
+    cfg.metricsOut = envString("SWORDFISH_METRICS_OUT");
+    cfg.artifacts = envString("SWORDFISH_ARTIFACTS");
+    return cfg;
+}
+
+const RuntimeConfig&
+runtimeConfig()
+{
+    static const RuntimeConfig cfg = RuntimeConfig::fromEnvironment();
+    return cfg;
+}
+
+} // namespace swordfish

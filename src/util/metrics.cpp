@@ -1,5 +1,7 @@
 #include "metrics.h"
 
+#include "env.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -510,7 +512,10 @@ MetricsSnapshot::toJson() const
         appendJsonDouble(out, s.maxSeconds);
         out += '}';
     }
-    out += "}}";
+    // Record the runtime knobs that produced this snapshot so every
+    // exported artifact is self-describing.
+    out += "},\"config\":" + runtimeConfig().toJson();
+    out += '}';
     return out;
 }
 
@@ -527,8 +532,11 @@ MetricsRegistry::writeJsonFile(const std::string& path) const
 bool
 writeMetricsIfConfigured()
 {
-    const char* path = std::getenv(kMetricsOutEnv);
-    if (path == nullptr || *path == '\0')
+    // A live getenv() first: tests and tools may point the exporter at a
+    // file after startup, which the read-once RuntimeConfig cannot see.
+    const char* live = std::getenv(kMetricsOutEnv);
+    std::string path = (live != nullptr) ? live : runtimeConfig().metricsOut;
+    if (path.empty())
         return false;
     return metrics().writeJsonFile(path);
 }

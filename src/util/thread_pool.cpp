@@ -143,11 +143,7 @@ namespace {
 std::size_t
 defaultPoolThreads()
 {
-    const long env = envLong("SWORDFISH_THREADS", -1);
-    if (env >= 0)
-        return static_cast<std::size_t>(env);
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? hw : 1;
+    return runtimeConfig().poolThreads();
 }
 
 std::unique_ptr<ThreadPool>&

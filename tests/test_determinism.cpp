@@ -8,6 +8,8 @@
 
 #include <cstdint>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "basecall/basecaller.h"
 #include "basecall/bonito_lite.h"
@@ -41,7 +43,7 @@ expectBitwiseEqual(const AccuracySummary& a, const AccuracySummary& b)
     EXPECT_EQ(a.runs, b.runs);
 }
 
-/** Small untrained model + dataset (accuracy values are irrelevant here;
+/** Small untrained model + datasets (accuracy values are irrelevant here;
  *  only their exact reproducibility matters). */
 struct Fixture
 {
@@ -54,6 +56,7 @@ struct Fixture
 
     nn::SequenceModel model;
     genomics::Dataset dataset;
+    genomics::Dataset dataset5; ///< 5 reads, for ragged batch grids
 
   private:
     Fixture()
@@ -65,6 +68,7 @@ struct Fixture
         model = basecall::buildBonitoLite(cfg);
         const genomics::PoreModel pore;
         dataset = genomics::makeDataset(genomics::specById("D1"), pore, 3);
+        dataset5 = genomics::makeDataset(genomics::specById("D2"), pore, 5);
     }
 };
 
@@ -78,9 +82,25 @@ evalWithThreads(std::size_t threads, NonIdealityKind kind)
     scenario.crossbar.size = 64;
     SramRemapConfig remap;
     remap.fraction = 0.05;
-    return evaluateNonIdealAccuracy(f.model, scenario, remap, f.dataset,
-                                    /*runs=*/3, /*max_reads=*/3,
-                                    /*seed_base=*/7);
+    return evaluateNonIdealAccuracy(
+        f.model, {scenario, remap},
+        EvalOptions(f.dataset).runs(3).maxReads(3).seedBase(7));
+}
+
+/** Full-request evaluation over the 5-read dataset: batch x threads. */
+AccuracySummary
+evalBatched(std::size_t threads, std::size_t batch, NonIdealityKind kind)
+{
+    Fixture& f = Fixture::get();
+    NonIdealityConfig scenario;
+    scenario.kind = kind;
+    scenario.crossbar.size = 64;
+    SramRemapConfig remap;
+    remap.fraction = 0.05;
+    return evaluateNonIdealAccuracy(
+        f.model, {scenario, remap},
+        EvalOptions(f.dataset5).runs(2).maxReads(5).seedBase(7)
+            .batch(batch).threads(threads));
 }
 
 } // namespace
@@ -138,4 +158,96 @@ TEST(Determinism, ReadShardingIndependentOfThreadCount)
     EXPECT_EQ(bits(serial.minIdentity), bits(pooled.minIdentity));
     EXPECT_EQ(serial.basesCalled, pooled.basesCalled);
     EXPECT_EQ(serial.readsEvaluated, pooled.readsEvaluated);
+}
+
+TEST(Determinism, BatchedEvalBitwiseIdenticalAcrossBatchAndThreadGrid)
+{
+    // The tentpole invariant: chunk-level batching must not change a
+    // single bit of the result for ANY batch size x thread count, because
+    // each batch lane draws from its own read-indexed noise stream.
+    // batch=3 over 5 reads exercises a ragged final group ({3, 2});
+    // batch=8 exceeds the read count (one 5-lane group).
+    const AccuracySummary ref =
+        evalBatched(1, 1, NonIdealityKind::Combined);
+    EXPECT_EQ(ref.runs, 2u);
+    for (std::size_t batch : {std::size_t{1}, std::size_t{3},
+                              std::size_t{8}}) {
+        for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+            SCOPED_TRACE("batch=" + std::to_string(batch)
+                         + " threads=" + std::to_string(threads));
+            expectBitwiseEqual(
+                ref, evalBatched(threads, batch,
+                                 NonIdealityKind::Combined));
+        }
+    }
+}
+
+TEST(Determinism, MeasuredScenarioBatchedMatchesSerial)
+{
+    // The measured-library path folds per-output gain/offset with a
+    // per-lane x_max; batching must reproduce the per-read folds exactly.
+    const AccuracySummary ref =
+        evalBatched(1, 1, NonIdealityKind::Measured);
+    expectBitwiseEqual(ref,
+                       evalBatched(2, 3, NonIdealityKind::Measured));
+    expectBitwiseEqual(ref,
+                       evalBatched(4, 8, NonIdealityKind::Measured));
+}
+
+TEST(Determinism, BatchedBasecallsIdenticalToSerial)
+{
+    // Per-call check under a non-ideal backend: basecallBatch must emit
+    // the exact base sequences the serial beginRead + basecallRead loop
+    // produces, for both a full group and a ragged split.
+    Fixture& f = Fixture::get();
+    setGlobalPoolThreads(0);
+    NonIdealityConfig scenario;
+    scenario.kind = NonIdealityKind::Combined;
+    scenario.crossbar.size = 64;
+    CrossbarVmmBackend backend(scenario, 13);
+    f.model.setBackend(&backend);
+
+    std::vector<genomics::Sequence> serial;
+    for (std::size_t i = 0; i < 5; ++i) {
+        f.model.beginRead(i);
+        serial.push_back(
+            basecall::basecallRead(f.model, f.dataset5.reads[i]));
+    }
+
+    const auto whole =
+        basecall::basecallBatch(f.model, f.dataset5, {0, 1, 2, 3, 4});
+    ASSERT_EQ(whole.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(whole[i], serial[i]) << "read " << i;
+
+    const auto head =
+        basecall::basecallBatch(f.model, f.dataset5, {0, 1, 2});
+    const auto tail = basecall::basecallBatch(f.model, f.dataset5, {3, 4});
+    ASSERT_EQ(head.size(), 3u);
+    ASSERT_EQ(tail.size(), 2u);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(head[i], serial[i]) << "read " << i;
+    for (std::size_t i = 0; i < 2; ++i)
+        EXPECT_EQ(tail[i], serial[3 + i]) << "read " << (3 + i);
+
+    f.model.setBackend(nullptr);
+}
+
+TEST(Determinism, QuantizedBatchedMatchesSerial)
+{
+    // The digital fixed-point path quantizes activations per lane, so the
+    // batched result must also be bitwise stable across batch sizes.
+    Fixture& f = Fixture::get();
+    const QuantConfig quant{8, 8};
+    auto eval_q = [&](std::size_t threads, std::size_t batch) {
+        return evaluateQuantizedAccuracy(
+            f.model, quant,
+            EvalOptions(f.dataset5).maxReads(5).batch(batch)
+                .threads(threads));
+    };
+    const double ref = eval_q(1, 1);
+    EXPECT_EQ(bits(ref), bits(eval_q(1, 3)));
+    EXPECT_EQ(bits(ref), bits(eval_q(2, 8)));
+    EXPECT_EQ(bits(ref), bits(eval_q(4, 2)));
 }

@@ -168,7 +168,8 @@ TEST(Evaluator, QuantAccuracyAtFullPrecisionMatchesPlainEval)
     const double plain = evaluateAccuracy(f.teacher, f.dataset, 2)
         .meanIdentity;
     const double quant = evaluateQuantizedAccuracy(
-        f.teacher, QuantConfig{32, 32}, f.dataset, 2);
+        f.teacher, QuantConfig{32, 32},
+        EvalOptions(f.dataset).maxReads(2));
     EXPECT_NEAR(plain, quant, 1e-9);
 }
 
@@ -179,8 +180,8 @@ TEST(Evaluator, NonIdealSummaryShape)
     NonIdealityConfig scenario;
     scenario.kind = NonIdealityKind::Combined;
     scenario.crossbar.size = 16;
-    const auto s = evaluateNonIdealAccuracy(deployed, scenario, {},
-                                            f.dataset, 3, 2);
+    const auto s = evaluateNonIdealAccuracy(
+        deployed, scenario, EvalOptions(f.dataset).runs(3).maxReads(2));
     EXPECT_EQ(s.runs, 3u);
     EXPECT_GE(s.min, 0.0);
     EXPECT_LE(s.max, 1.0);
@@ -195,9 +196,10 @@ TEST(Evaluator, IdealScenarioMatchesDigitalQuantEval)
     NonIdealityConfig scenario;
     scenario.kind = NonIdealityKind::None;
     scenario.quant = QuantConfig::deployment();
-    const auto s = evaluateNonIdealAccuracy(deployed, scenario, {},
-                                            f.dataset, 1, 2);
+    const auto s = evaluateNonIdealAccuracy(
+        deployed, scenario, EvalOptions(f.dataset).runs(1).maxReads(2));
     const double digital = evaluateQuantizedAccuracy(
-        f.teacher, QuantConfig::deployment(), f.dataset, 2);
+        f.teacher, QuantConfig::deployment(),
+        EvalOptions(f.dataset).maxReads(2));
     EXPECT_NEAR(s.mean, digital, 0.02);
 }

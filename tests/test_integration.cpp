@@ -69,7 +69,8 @@ TEST(Integration, SixteenBitDeploymentIsLossless)
 {
     World& w = World::get();
     const double q16 = evaluateQuantizedAccuracy(
-        w.model, QuantConfig::deployment(), w.dataset, 4);
+        w.model, QuantConfig::deployment(),
+        EvalOptions(w.dataset).maxReads(4));
     EXPECT_NEAR(q16, w.idealAccuracy, 0.01);
 }
 
@@ -77,7 +78,7 @@ TEST(Integration, ExtremeQuantizationHurts)
 {
     World& w = World::get();
     const double q2 = evaluateQuantizedAccuracy(
-        w.model, QuantConfig{4, 2}, w.dataset, 4);
+        w.model, QuantConfig{4, 2}, EvalOptions(w.dataset).maxReads(4));
     EXPECT_LT(q2, w.idealAccuracy - 0.02);
 }
 
@@ -88,8 +89,8 @@ TEST(Integration, CombinedNonIdealitiesDegradeAccuracy)
     NonIdealityConfig scenario;
     scenario.kind = NonIdealityKind::Combined;
     scenario.crossbar.size = 64;
-    const auto s = evaluateNonIdealAccuracy(student, scenario, {},
-                                            w.dataset, 2, 4);
+    const auto s = evaluateNonIdealAccuracy(
+        student, scenario, EvalOptions(w.dataset).runs(2).maxReads(4));
     EXPECT_LT(s.mean, w.idealAccuracy - 0.03);
 }
 
@@ -104,10 +105,10 @@ TEST(Integration, WriteVerifyProgrammingRecoversAccuracy)
     NonIdealityConfig wrv = pulse;
     wrv.crossbar.scheme = crossbar::WriteScheme::WriteReadVerify;
 
-    const auto noisy = evaluateNonIdealAccuracy(student, pulse, {},
-                                                w.dataset, 3, 4);
-    const auto verified = evaluateNonIdealAccuracy(student, wrv, {},
-                                                   w.dataset, 3, 4);
+    const auto noisy = evaluateNonIdealAccuracy(
+        student, pulse, EvalOptions(w.dataset).runs(3).maxReads(4));
+    const auto verified = evaluateNonIdealAccuracy(
+        student, wrv, EvalOptions(w.dataset).runs(3).maxReads(4));
     EXPECT_GT(verified.mean, noisy.mean);
 }
 
@@ -120,12 +121,13 @@ TEST(Integration, RsaRemapRecoversAccuracy)
     scenario.crossbar.size = 64;
     scenario.library.cellSigma = 0.3; // strong, so the remap is visible
 
-    const auto base = evaluateNonIdealAccuracy(student, scenario, {},
-                                               w.dataset, 3, 4);
+    const auto base = evaluateNonIdealAccuracy(
+        student, scenario, EvalOptions(w.dataset).runs(3).maxReads(4));
     SramRemapConfig remap;
     remap.fraction = 0.10;
-    const auto fixed = evaluateNonIdealAccuracy(student, scenario, remap,
-                                                w.dataset, 3, 4);
+    const auto fixed = evaluateNonIdealAccuracy(
+        student, {scenario, remap},
+        EvalOptions(w.dataset).runs(3).maxReads(4));
     EXPECT_GT(fixed.mean, base.mean);
 }
 
@@ -144,10 +146,12 @@ TEST(Integration, ErrorAwareRemapBeatsRandomRemap)
     SramRemapConfig random = aware;
     random.useErrorKnowledge = false;
 
-    const auto a = evaluateNonIdealAccuracy(student, scenario, aware,
-                                            w.dataset, 4, 4);
-    const auto r = evaluateNonIdealAccuracy(student, scenario, random,
-                                            w.dataset, 4, 4);
+    const auto a = evaluateNonIdealAccuracy(
+        student, {scenario, aware},
+        EvalOptions(w.dataset).runs(4).maxReads(4));
+    const auto r = evaluateNonIdealAccuracy(
+        student, {scenario, random},
+        EvalOptions(w.dataset).runs(4).maxReads(4));
     // Paper Section 3.4.4: profile knowledge beats random choice.
     EXPECT_GT(a.mean, r.mean - 0.01);
 }
@@ -155,7 +159,8 @@ TEST(Integration, ErrorAwareRemapBeatsRandomRemap)
 TEST(Integration, PipelineRunsAndBasecallingDominates)
 {
     World& w = World::get();
-    const auto report = runPipeline(w.model, w.dataset, 3);
+    const auto report = runPipeline(
+        w.model, EvalOptions(w.dataset).maxReads(3));
     ASSERT_EQ(report.stages.size(), 3u);
     EXPECT_GT(report.totalSeconds, 0.0);
     double fraction_sum = 0.0;
