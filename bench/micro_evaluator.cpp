@@ -25,6 +25,7 @@
 #include "core/vmm_backend.h"
 #include "genomics/dataset.h"
 #include "util/env.h"
+#include "util/fault.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -72,7 +73,10 @@ main(int argc, char** argv)
 
     // Reads/s of one full Monte-Carlo evaluation at the given pool size
     // (0 = fully serial) and batch capacity. The first call warms
-    // allocators and code paths.
+    // allocators and code paths. `degraded` keeps the per-read outcome
+    // breakdown of the last measured evaluation, so fault sweeps driven by
+    // SWORDFISH_FAULTS land in the JSON output below.
+    DegradedResult degraded;
     auto measure = [&](std::size_t threads, std::size_t batch,
                        std::size_t n_reads) {
         setGlobalPoolThreads(threads);
@@ -81,11 +85,12 @@ main(int argc, char** argv)
                                      .maxReads(n_reads).seedBase(42)
                                      .batch(batch));
         Stopwatch watch;
-        evaluateNonIdealAccuracy(model, scenario,
-                                 EvalOptions(dataset).runs(runs)
-                                     .maxReads(n_reads).seedBase(42)
-                                     .batch(batch));
+        const AccuracySummary summary = evaluateNonIdealAccuracy(
+            model, scenario,
+            EvalOptions(dataset).runs(runs).maxReads(n_reads).seedBase(42)
+                .batch(batch));
         const double secs = watch.seconds();
+        degraded = summary.degraded;
         return secs > 0.0
             ? static_cast<double>(runs * n_reads) / secs : 0.0;
     };
@@ -100,6 +105,21 @@ main(int argc, char** argv)
     const double batched = measure(pooled_threads, batch_n, batch_reads);
     const double batch_speedup = batch1 > 0.0 ? batched / batch1 : 0.0;
 
+    // Active fault-injection config (from SWORDFISH_FAULTS) and the
+    // outcome breakdown of the last measured evaluation, so a fault sweep
+    // can parse accuracy degradation straight from this output.
+    const FaultInjector& inj = faultInjector();
+    const std::string faults_json =
+        inj.enabled() ? inj.config().toJson() : "null";
+    char degraded_json[256];
+    std::snprintf(degraded_json, sizeof(degraded_json),
+                  "{\"ok\":%zu,\"retried\":%zu,\"decode_errors\":%zu,"
+                  "\"nan_outputs\":%zu,\"vmm_faults\":%zu,"
+                  "\"skipped\":%zu}",
+                  degraded.okReads, degraded.retriedReads,
+                  degraded.decodeErrors, degraded.nanOutputs,
+                  degraded.vmmFaults, degraded.skippedReads());
+
     // Per-stage counters/spans accumulated over all measurements (the
     // instrumentation is observe-only, so it cannot perturb the results).
     const std::string metrics_json = metrics().snapshot().toJson();
@@ -111,9 +131,11 @@ main(int argc, char** argv)
                 "\"batch1_reads_per_s\":%.3f,"
                 "\"batch%zu_reads_per_s\":%.3f,"
                 "\"batch_speedup\":%.3f,"
+                "\"faults\":%s,\"degraded\":%s,"
                 "\"metrics\":%s}\n",
                 runs, reads, pooled_threads, serial, pooled, speedup,
                 batch_n, batch_reads, batch1, batch_n, batched,
-                batch_speedup, metrics_json.c_str());
+                batch_speedup, faults_json.c_str(), degraded_json,
+                metrics_json.c_str());
     return 0;
 }

@@ -1,14 +1,190 @@
 #include "basecaller.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "basecall/chunker.h"
 #include "nn/ctc.h"
+#include "util/fault.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
 
 namespace swordfish::basecall {
+
+namespace {
+
+/** CTC-decode one lane of logits (shared tail of every basecall path). */
+genomics::Sequence
+decodeLogits(const Matrix& logits, Decoder decoder, std::size_t beam_width)
+{
+    static const SpanStat kCtcSpan = metrics().span("ctc");
+    static const Counter kCtcDecodes = metrics().counter("ctc.decodes");
+    TraceSpan trace(kCtcSpan);
+    kCtcDecodes.add();
+    const std::vector<int> labels = decoder == Decoder::Greedy
+        ? nn::ctcGreedyDecode(logits)
+        : nn::ctcBeamDecode(logits, beam_width);
+    return genomics::fromCtcLabels(labels);
+}
+
+bool
+allFinite(const Matrix& m)
+{
+    for (const float v : m.raw()) {
+        if (!std::isfinite(v))
+            return false;
+    }
+    return true;
+}
+
+/**
+ * basecallRead with poisoned-output detection: when fault injection is
+ * active and the model emits non-finite logits, skips the decode and
+ * reports finite=false (the caller records the read as degraded). With
+ * injection off the scan is skipped entirely and behavior matches
+ * basecallRead.
+ */
+genomics::Sequence
+basecallReadChecked(nn::SequenceModel& model, const genomics::Read& read,
+                    Decoder decoder, std::size_t beam_width, bool& finite)
+{
+    const Matrix signal = normalizeSignal(read.signal);
+    const Matrix logits = model.forward(signal);
+    finite = !faultInjector().enabled() || allFinite(logits);
+    if (!finite)
+        return {};
+    return decodeLogits(logits, decoder, beam_width);
+}
+
+/** Batched counterpart: finite[k] mirrors reads[k]. */
+std::vector<genomics::Sequence>
+basecallBatchChecked(nn::SequenceModel& model,
+                     const genomics::Dataset& dataset,
+                     const std::vector<std::size_t>& reads, Decoder decoder,
+                     std::size_t beam_width, std::vector<bool>& finite)
+{
+    finite.assign(reads.size(), true);
+    std::vector<genomics::Sequence> out;
+    out.reserve(reads.size());
+    if (reads.empty())
+        return out;
+    if (reads.size() == 1) {
+        // A group of one takes the serial path verbatim.
+        model.beginRead(reads[0]);
+        bool ok = true;
+        out.push_back(basecallReadChecked(model, dataset.reads[reads[0]],
+                                          decoder, beam_width, ok));
+        finite[0] = ok;
+        return out;
+    }
+
+    const bool check = faultInjector().enabled();
+    nn::SequenceBatch batch =
+        gatherSignalBatch(dataset, reads.data(), reads.size());
+    model.forwardBatch(batch);
+    for (std::size_t l = 0; l < batch.laneCount(); ++l) {
+        const Matrix logits = batch.laneMatrix(l);
+        if (check && !allFinite(logits)) {
+            finite[l] = false;
+            out.emplace_back();
+            continue;
+        }
+        out.push_back(decodeLogits(logits, decoder, beam_width));
+    }
+    return out;
+}
+
+} // namespace
+
+void
+basecallGroupDegraded(nn::SequenceModel& model,
+                      const genomics::Dataset& dataset, std::size_t begin,
+                      std::size_t end, Decoder decoder,
+                      std::size_t beam_width, ReadOutcome* outcomes,
+                      genomics::Sequence* calls)
+{
+    static const Counter kRetryAttempts =
+        metrics().counter("fault.retry.attempts");
+    static const Counter kRetryExhausted =
+        metrics().counter("fault.retry.exhausted");
+
+    const FaultInjector& inj = faultInjector();
+    const bool faults = inj.enabled();
+    for (std::size_t k = 0; k < end - begin; ++k) {
+        outcomes[k] = ReadOutcome::Ok;
+        calls[k] = {};
+    }
+
+    // A poisoned output is an injected VMM fault when the NaN site fired
+    // on this noise stream; anything else is an unattributed NaN.
+    auto classify_nan = [&](std::uint64_t stream) {
+        return inj.fires(FaultSite::VmmNan, stream)
+            ? ReadOutcome::VmmFault
+            : ReadOutcome::NanOutput;
+    };
+
+    // Classification keys on the read index (= its noise stream), so the
+    // partition into {skipped, transient, batched} is a pure function of
+    // the fault seed — independent of grouping and sharding.
+    std::vector<std::size_t> idx;
+    idx.reserve(end - begin);
+    std::vector<std::size_t> transient;
+    for (std::size_t i = begin; i < end; ++i) {
+        if (faults
+            && (inj.fires(FaultSite::ReadDecode, i)
+                || inj.fires(FaultSite::Chunk, i))) {
+            outcomes[i - begin] = ReadOutcome::DecodeError;
+            continue;
+        }
+        if (faults && inj.fires(FaultSite::WorkerTask, i)) {
+            transient.push_back(i);
+            continue;
+        }
+        idx.push_back(i);
+    }
+
+    std::vector<bool> finite;
+    auto group_calls = basecallBatchChecked(model, dataset, idx, decoder,
+                                            beam_width, finite);
+    for (std::size_t k = 0; k < group_calls.size(); ++k) {
+        const std::size_t slot = idx[k] - begin;
+        if (!finite[k]) {
+            outcomes[slot] = classify_nan(idx[k]);
+            continue;
+        }
+        calls[slot] = std::move(group_calls[k]);
+    }
+
+    // Bounded serial retries: attempt k >= 1 reruns the read on a fresh
+    // conversion-noise stream; the attempt itself may hit another
+    // transient fault (keyed on the retry stream) or come back poisoned.
+    for (const std::size_t i : transient) {
+        ReadOutcome outcome = ReadOutcome::VmmFault;
+        bool exhausted = true;
+        for (std::size_t k = 1; k <= inj.maxRetries(); ++k) {
+            kRetryAttempts.add();
+            const std::uint64_t stream = FaultInjector::retryStream(i, k);
+            if (inj.fires(FaultSite::WorkerTask, stream))
+                continue;
+            exhausted = false;
+            model.beginRead(stream);
+            bool ok = true;
+            genomics::Sequence called = basecallReadChecked(
+                model, dataset.reads[i], decoder, beam_width, ok);
+            if (ok) {
+                outcome = ReadOutcome::Retried;
+                calls[i - begin] = std::move(called);
+            } else {
+                outcome = classify_nan(stream);
+            }
+            break;
+        }
+        if (exhausted)
+            kRetryExhausted.add();
+        outcomes[i - begin] = outcome;
+    }
+}
 
 void
 applyRequestThreads(const EvalRequest& req)
@@ -23,17 +199,9 @@ genomics::Sequence
 basecallRead(nn::SequenceModel& model, const genomics::Read& read,
              Decoder decoder, std::size_t beam_width)
 {
-    static const SpanStat kCtcSpan = metrics().span("ctc");
-    static const Counter kCtcDecodes = metrics().counter("ctc.decodes");
-
     const Matrix signal = normalizeSignal(read.signal);
     const Matrix logits = model.forward(signal);
-    TraceSpan trace(kCtcSpan);
-    kCtcDecodes.add();
-    const std::vector<int> labels = decoder == Decoder::Greedy
-        ? nn::ctcGreedyDecode(logits)
-        : nn::ctcBeamDecode(logits, beam_width);
-    return genomics::fromCtcLabels(labels);
+    return decodeLogits(logits, decoder, beam_width);
 }
 
 std::vector<genomics::Sequence>
@@ -41,9 +209,6 @@ basecallBatch(nn::SequenceModel& model, const genomics::Dataset& dataset,
               const std::vector<std::size_t>& reads, Decoder decoder,
               std::size_t beam_width)
 {
-    static const SpanStat kCtcSpan = metrics().span("ctc");
-    static const Counter kCtcDecodes = metrics().counter("ctc.decodes");
-
     std::vector<genomics::Sequence> out;
     out.reserve(reads.size());
     if (reads.empty())
@@ -59,15 +224,9 @@ basecallBatch(nn::SequenceModel& model, const genomics::Dataset& dataset,
     nn::SequenceBatch batch =
         gatherSignalBatch(dataset, reads.data(), reads.size());
     model.forwardBatch(batch);
-    for (std::size_t l = 0; l < batch.laneCount(); ++l) {
-        const Matrix logits = batch.laneMatrix(l);
-        TraceSpan trace(kCtcSpan);
-        kCtcDecodes.add();
-        const std::vector<int> labels = decoder == Decoder::Greedy
-            ? nn::ctcGreedyDecode(logits)
-            : nn::ctcBeamDecode(logits, beam_width);
-        out.push_back(genomics::fromCtcLabels(labels));
-    }
+    for (std::size_t l = 0; l < batch.laneCount(); ++l)
+        out.push_back(decodeLogits(batch.laneMatrix(l), decoder,
+                                   beam_width));
     return out;
 }
 
@@ -90,64 +249,13 @@ AccuracyResult
 evaluateAccuracy(nn::SequenceModel& model, const genomics::Dataset& dataset,
                  std::size_t max_reads, Decoder decoder)
 {
-    static const Counter kEvalReads = metrics().counter("eval.reads");
-    static const Histogram kIdentityHist = metrics().histogram(
-        "read.identity",
-        {0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95, 0.99});
-
-    AccuracyResult res;
-    const std::size_t n = max_reads == 0
-        ? dataset.reads.size()
-        : std::min(dataset.reads.size(), max_reads);
-
-    // Per-read slots, reduced in index order below: results are bitwise
-    // identical no matter how reads are sharded across workers.
-    std::vector<double> identity(n, 0.0);
-    std::vector<std::size_t> bases(n, 0);
-    auto eval_one = [&](nn::SequenceModel& m, std::size_t i) {
-        m.beginRead(i); // read-indexed conversion-noise stream
-        const genomics::Sequence called =
-            basecallRead(m, dataset.reads[i], decoder);
-        const genomics::AlignmentResult aln =
-            genomics::alignGlobal(called, dataset.reads[i].bases);
-        identity[i] = aln.identity();
-        bases[i] = called.size();
-        kEvalReads.add();
-        kIdentityHist.observe(identity[i]);
-    };
-
-    ThreadPool& pool = globalPool();
-    const std::size_t shards = pool.shardCount(n);
-    if (shards <= 1) {
-        for (std::size_t i = 0; i < n; ++i)
-            eval_one(model, i);
-    } else {
-        // The model's forward pass caches activations per layer, so each
-        // shard basecalls through its own replica.
-        auto replicas = makeWorkerReplicas(model, shards);
-        std::vector<std::function<void()>> tasks;
-        tasks.reserve(shards);
-        for (std::size_t s = 0; s < shards; ++s) {
-            tasks.push_back([&, s] {
-                const auto [begin, end] = ThreadPool::shardRange(n, shards,
-                                                                 s);
-                for (std::size_t i = begin; i < end; ++i)
-                    eval_one(replicas[s], i);
-            });
-        }
-        pool.runTasks(std::move(tasks));
-    }
-
-    double identity_sum = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-        identity_sum += identity[i];
-        res.minIdentity = std::min(res.minIdentity, identity[i]);
-        res.basesCalled += bases[i];
-        ++res.readsEvaluated;
-    }
-    res.meanIdentity = res.readsEvaluated > 0
-        ? identity_sum / static_cast<double>(res.readsEvaluated) : 0.0;
-    return res;
+    // batch(1) routes every group through the serial beginRead(i) +
+    // basecallRead path, so this stays bitwise identical to the historic
+    // per-read loop while sharing the degraded-evaluation machinery.
+    return evaluateAccuracy(model, EvalOptions(dataset)
+                                       .maxReads(max_reads)
+                                       .decoder(decoder)
+                                       .batch(1));
 }
 
 AccuracyResult
@@ -157,6 +265,14 @@ evaluateAccuracy(nn::SequenceModel& model, const EvalRequest& req)
     static const Histogram kIdentityHist = metrics().histogram(
         "read.identity",
         {0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95, 0.99});
+    static const Counter kOutcomeDecode =
+        metrics().counter("fault.outcome.decode_error");
+    static const Counter kOutcomeNan =
+        metrics().counter("fault.outcome.nan_output");
+    static const Counter kOutcomeVmm =
+        metrics().counter("fault.outcome.vmm_fault");
+    static const Counter kOutcomeRetried =
+        metrics().counter("fault.outcome.retried");
 
     if (req.dataset == nullptr)
         panic("evaluateAccuracy: EvalRequest has no dataset");
@@ -170,10 +286,16 @@ evaluateAccuracy(nn::SequenceModel& model, const EvalRequest& req)
     const std::size_t batch = resolvedBatch(req);
     const std::size_t groups = n == 0 ? 0 : (n + batch - 1) / batch;
 
+    const FaultInjector& inj = faultInjector();
+    const bool faults = inj.enabled();
+
     // Per-read slots, reduced in index order: results are bitwise
     // identical no matter how groups are sized or sharded across workers.
+    // Fault classification keys on the read index (= its noise stream), so
+    // the outcome taxonomy inherits the same grid-independence.
     std::vector<double> identity(n, 0.0);
     std::vector<std::size_t> bases(n, 0);
+    std::vector<ReadOutcome> outcomes(n, ReadOutcome::Ok);
     auto record = [&](std::size_t i, const genomics::Sequence& called) {
         const genomics::AlignmentResult aln =
             genomics::alignGlobal(called, dataset.reads[i].bases);
@@ -182,15 +304,18 @@ evaluateAccuracy(nn::SequenceModel& model, const EvalRequest& req)
         kEvalReads.add();
         kIdentityHist.observe(identity[i]);
     };
+
     auto eval_group = [&](nn::SequenceModel& m, std::size_t g) {
         const std::size_t begin = g * batch;
         const std::size_t end = std::min(n, begin + batch);
-        std::vector<std::size_t> idx(end - begin);
-        std::iota(idx.begin(), idx.end(), begin);
-        const auto calls =
-            basecallBatch(m, dataset, idx, req.decoder, req.beamWidth);
-        for (std::size_t k = 0; k < calls.size(); ++k)
-            record(begin + k, calls[k]);
+        std::vector<genomics::Sequence> calls(end - begin);
+        basecallGroupDegraded(m, dataset, begin, end, req.decoder,
+                              req.beamWidth, outcomes.data() + begin,
+                              calls.data());
+        for (std::size_t k = 0; k < calls.size(); ++k) {
+            if (survives(outcomes[begin + k]))
+                record(begin + k, calls[k]);
+        }
     };
 
     ThreadPool& pool = globalPool();
@@ -215,6 +340,9 @@ evaluateAccuracy(nn::SequenceModel& model, const EvalRequest& req)
 
     double identity_sum = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
+        res.degraded.record(outcomes[i]);
+        if (!survives(outcomes[i]))
+            continue;
         identity_sum += identity[i];
         res.minIdentity = std::min(res.minIdentity, identity[i]);
         res.basesCalled += bases[i];
@@ -222,6 +350,12 @@ evaluateAccuracy(nn::SequenceModel& model, const EvalRequest& req)
     }
     res.meanIdentity = res.readsEvaluated > 0
         ? identity_sum / static_cast<double>(res.readsEvaluated) : 0.0;
+    if (faults) {
+        kOutcomeDecode.add(res.degraded.decodeErrors);
+        kOutcomeNan.add(res.degraded.nanOutputs);
+        kOutcomeVmm.add(res.degraded.vmmFaults);
+        kOutcomeRetried.add(res.degraded.retriedReads);
+    }
     return res;
 }
 

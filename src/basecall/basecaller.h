@@ -35,6 +35,27 @@ basecallBatch(nn::SequenceModel& model, const genomics::Dataset& dataset,
               Decoder decoder = Decoder::Greedy, std::size_t beam_width = 8);
 
 /**
+ * Basecall the read group [begin, end) with fault classification — the
+ * shared stage-1 primitive of evaluateAccuracy and runPipeline. Reads
+ * whose decode/chunk fault fires are skipped; transient worker-task
+ * faults retry serially on fresh noise streams (bounded by the injector's
+ * retry budget); poisoned (non-finite) outputs are detected and skipped.
+ * Surviving reads flow through the batched forward path together.
+ *
+ * outcomes/calls address the group's local slots: outcomes[i - begin] and
+ * calls[i - begin] are written for every read i in [begin, end); calls
+ * stay empty for non-surviving reads. With fault injection off every
+ * outcome is Ok and the calls are bitwise-identical to basecallBatch over
+ * the whole group.
+ */
+void basecallGroupDegraded(nn::SequenceModel& model,
+                           const genomics::Dataset& dataset,
+                           std::size_t begin, std::size_t end,
+                           Decoder decoder, std::size_t beam_width,
+                           ReadOutcome* outcomes,
+                           genomics::Sequence* calls);
+
+/**
  * Deep-copy `count` worker replicas of a model, each wired to the
  * original's VMM backend. Forward passes cache per-layer state, so every
  * read-sharding worker basecalls through its own replica while sharing the
@@ -47,15 +68,17 @@ std::vector<nn::SequenceModel> makeWorkerReplicas(nn::SequenceModel& model,
 /** Accuracy evaluation result over a dataset. */
 struct AccuracyResult
 {
-    double meanIdentity = 0.0;    ///< mean per-read identity (the metric)
+    double meanIdentity = 0.0;    ///< mean identity over surviving reads
     double minIdentity = 1.0;
-    std::size_t readsEvaluated = 0;
+    std::size_t readsEvaluated = 0; ///< surviving reads only
     std::size_t basesCalled = 0;  ///< total bases emitted by the decoder
+    DegradedResult degraded;      ///< per-class failure breakdown; with
+                                  ///< fault injection off every read is Ok
 };
 
 /**
  * Basecall up to max_reads reads of a dataset and align each call against
- * its ground-truth bases.
+ * its ground-truth bases. Equivalent to the request form with batch(1).
  */
 AccuracyResult evaluateAccuracy(nn::SequenceModel& model,
                                 const genomics::Dataset& dataset,
@@ -69,6 +92,14 @@ AccuracyResult evaluateAccuracy(nn::SequenceModel& model,
  * bitwise-identical to the serial per-read loop for any batch size and
  * thread count. req.runs is ignored here — Monte-Carlo repetition lives in
  * core::evaluateNonIdealAccuracy.
+ *
+ * When fault injection is active (SWORDFISH_FAULTS) the evaluation
+ * degrades gracefully instead of aborting: decode/chunk faults skip the
+ * read, transient worker faults retry it (bounded, fresh noise stream),
+ * poisoned VMM outputs are detected and skipped, and accuracy is computed
+ * over the survivors. The per-class breakdown lands in result.degraded and
+ * is bitwise reproducible for a fixed fault seed on any thread x batch
+ * grid.
  */
 AccuracyResult evaluateAccuracy(nn::SequenceModel& model,
                                 const EvalRequest& req);

@@ -27,6 +27,77 @@ namespace swordfish::basecall {
 /** Decoder selection for turning logits into bases. */
 enum class Decoder { Greedy, Beam };
 
+/**
+ * Per-read failure taxonomy of the degraded evaluation path. A read ends
+ * in exactly one outcome; Ok and Retried reads survive and contribute to
+ * accuracy, the rest are skipped and recorded.
+ */
+enum class ReadOutcome {
+    Ok,          ///< basecalled normally
+    DecodeError, ///< read decode / chunking failed; skipped
+    NanOutput,   ///< non-finite model output of unknown origin; skipped
+    VmmFault,    ///< VMM-level fault (poisoned output or exhausted
+                 ///< transient retries); skipped
+    Retried,     ///< transient failure recovered by a bounded retry with a
+                 ///< fresh noise stream; survives
+};
+
+/** True when a read with this outcome contributes to accuracy. */
+inline bool
+survives(ReadOutcome outcome)
+{
+    return outcome == ReadOutcome::Ok || outcome == ReadOutcome::Retried;
+}
+
+/**
+ * Per-class failure breakdown of one evaluation (the DegradedResult
+ * section of accuracy results, pipeline reports, and Monte-Carlo
+ * summaries). All counters are exact: with a fixed fault seed the
+ * breakdown is bitwise reproducible for any thread x batch grid.
+ */
+struct DegradedResult
+{
+    std::size_t okReads = 0;      ///< basecalled on the first attempt
+    std::size_t retriedReads = 0; ///< survived via retry (fresh noise)
+    std::size_t decodeErrors = 0; ///< skipped: decode/chunk fault
+    std::size_t nanOutputs = 0;   ///< skipped: unattributed NaN/Inf output
+    std::size_t vmmFaults = 0;    ///< skipped: VMM fault or retries exhausted
+
+    /** Reads excluded from accuracy. */
+    std::size_t
+    skippedReads() const
+    {
+        return decodeErrors + nanOutputs + vmmFaults;
+    }
+
+    /** Reads that contribute to accuracy. */
+    std::size_t survivors() const { return okReads + retriedReads; }
+
+    /** Tally one read's outcome. */
+    void
+    record(ReadOutcome outcome)
+    {
+        switch (outcome) {
+          case ReadOutcome::Ok: ++okReads; break;
+          case ReadOutcome::Retried: ++retriedReads; break;
+          case ReadOutcome::DecodeError: ++decodeErrors; break;
+          case ReadOutcome::NanOutput: ++nanOutputs; break;
+          case ReadOutcome::VmmFault: ++vmmFaults; break;
+        }
+    }
+
+    /** Fold another breakdown in (e.g. across Monte-Carlo runs). */
+    void
+    merge(const DegradedResult& other)
+    {
+        okReads += other.okReads;
+        retriedReads += other.retriedReads;
+        decodeErrors += other.decodeErrors;
+        nanOutputs += other.nanOutputs;
+        vmmFaults += other.vmmFaults;
+    }
+};
+
 /** Sentinel: keep whatever global thread-pool width is already in effect. */
 inline constexpr std::size_t kInheritThreads = static_cast<std::size_t>(-1);
 

@@ -1,7 +1,6 @@
 #include "pipeline.h"
 
 #include <algorithm>
-#include <numeric>
 
 #include "genomics/mapper.h"
 #include "util/thread_pool.h"
@@ -18,6 +17,8 @@ runPipeline(nn::SequenceModel& model, const EvalRequest& req)
     static const SpanStat kMapSpan = metrics().span("pipeline.map");
     static const SpanStat kPolishSpan = metrics().span("pipeline.polish");
     static const Counter kReads = metrics().counter("pipeline.reads");
+    static const Counter kSkippedReads =
+        metrics().counter("pipeline.skipped_reads");
 
     if (req.dataset == nullptr)
         panic("runPipeline: EvalRequest has no dataset");
@@ -38,17 +39,15 @@ runPipeline(nn::SequenceModel& model, const EvalRequest& req)
     // keep the calls independent of grouping and sharding).
     Stopwatch watch;
     std::vector<genomics::Sequence> calls(n);
+    std::vector<ReadOutcome> outcomes(n, ReadOutcome::Ok);
     const std::size_t batch = resolvedBatch(req);
     const std::size_t groups = n == 0 ? 0 : (n + batch - 1) / batch;
     auto call_group = [&](nn::SequenceModel& m, std::size_t g) {
         const std::size_t begin = g * batch;
         const std::size_t end = std::min(n, begin + batch);
-        std::vector<std::size_t> idx(end - begin);
-        std::iota(idx.begin(), idx.end(), begin);
-        auto group_calls =
-            basecallBatch(m, dataset, idx, req.decoder, req.beamWidth);
-        for (std::size_t k = 0; k < group_calls.size(); ++k)
-            calls[begin + k] = std::move(group_calls[k]);
+        basecallGroupDegraded(m, dataset, begin, end, req.decoder,
+                              req.beamWidth, outcomes.data() + begin,
+                              calls.data() + begin);
     };
     {
         TraceSpan trace(kBasecallSpan);
@@ -73,6 +72,12 @@ runPipeline(nn::SequenceModel& model, const EvalRequest& req)
     }
     report.stages.push_back({"Basecalling", watch.seconds(), 0.0});
 
+    // Reads stage 1 skipped bypass the rest of the pipeline.
+    for (std::size_t i = 0; i < n; ++i)
+        report.degraded.record(outcomes[i]);
+    kSkippedReads.add(report.degraded.skippedReads());
+    const std::size_t survivors = report.degraded.survivors();
+
     // Stage 2: read mapping (index construction counts as mapping work,
     // as it does in minimap2). The index builds once; queries are const
     // and shard freely.
@@ -82,7 +87,8 @@ runPipeline(nn::SequenceModel& model, const EvalRequest& req)
     {
         TraceSpan trace(kMapSpan);
         pool.parallelFor(n, [&](std::size_t i) {
-            mappings[i] = mapper.map(calls[i]);
+            if (survives(outcomes[i]))
+                mappings[i] = mapper.map(calls[i]);
         });
     }
     double identity_sum = 0.0;
@@ -129,8 +135,9 @@ runPipeline(nn::SequenceModel& model, const EvalRequest& req)
         s.fractionOfTotal = report.totalSeconds > 0.0
             ? s.seconds / report.totalSeconds : 0.0;
 
-    report.mappedFraction = n > 0
-        ? static_cast<double>(mapped) / static_cast<double>(n) : 0.0;
+    report.mappedFraction = survivors > 0
+        ? static_cast<double>(mapped) / static_cast<double>(survivors)
+        : 0.0;
     report.meanMapIdentity = mapped > 0
         ? identity_sum / static_cast<double>(mapped) : 0.0;
     return report;

@@ -31,8 +31,10 @@ struct PipelineReport
 {
     std::vector<StageReport> stages;
     double totalSeconds = 0.0;
-    double mappedFraction = 0.0;   ///< reads the mapper placed
+    double mappedFraction = 0.0;   ///< surviving reads the mapper placed
     double meanMapIdentity = 0.0;  ///< identity at mapped locations
+    DegradedResult degraded;       ///< stage-1 failure breakdown; reads it
+                                   ///< skips bypass mapping and polishing
 };
 
 /**
@@ -42,23 +44,17 @@ struct PipelineReport
  * calls are bitwise-identical to the serial per-read loop for any batch
  * size and thread count.
  *
+ * Under fault injection (SWORDFISH_FAULTS) stage 1 degrades gracefully:
+ * faulted reads are skipped or retried per the injector's policy, the
+ * breakdown lands in report.degraded, and skipped reads are excluded from
+ * the mapping and polishing stages (and from mappedFraction's
+ * denominator).
+ *
  * @param model trained basecaller
  * @param req   dataset + read budget + batch/thread/decoder knobs
  *              (req.runs is moot here)
  */
 PipelineReport runPipeline(nn::SequenceModel& model, const EvalRequest& req);
-
-/**
- * @deprecated Positional-argument form; use
- * runPipeline(model, EvalOptions(dataset).maxReads(n)) instead.
- */
-[[deprecated("use runPipeline(model, EvalRequest)")]]
-inline PipelineReport
-runPipeline(nn::SequenceModel& model, const genomics::Dataset& dataset,
-            std::size_t max_reads = 0)
-{
-    return runPipeline(model, EvalOptions(dataset).maxReads(max_reads));
-}
 
 } // namespace swordfish::basecall
 

@@ -29,13 +29,16 @@ evaluateNonIdealAccuracy(nn::SequenceModel& model, const NonIdealSetup& setup,
     per_run.runs = 1;
 
     std::vector<double> run_mean(runs, 0.0);
+    std::vector<DegradedResult> run_degraded(runs);
     auto run_one = [&](nn::SequenceModel& m, std::size_t r) {
         TraceSpan trace(kMcRunSpan);
         kMcRuns.add();
         CrossbarVmmBackend backend(setup.scenario, req.seedBase + r);
         backend.setSramRemap(setup.remap);
         m.setBackend(&backend);
-        run_mean[r] = basecall::evaluateAccuracy(m, per_run).meanIdentity;
+        const auto acc = basecall::evaluateAccuracy(m, per_run);
+        run_mean[r] = acc.meanIdentity;
+        run_degraded[r] = acc.degraded;
         m.setBackend(nullptr);
     };
 
@@ -63,10 +66,12 @@ evaluateNonIdealAccuracy(nn::SequenceModel& model, const NonIdealSetup& setup,
     model.setBackend(nullptr);
 
     RunningStat stat;
-    for (std::size_t r = 0; r < runs; ++r)
-        stat.add(run_mean[r]);
-
     AccuracySummary summary;
+    for (std::size_t r = 0; r < runs; ++r) {
+        stat.add(run_mean[r]);
+        summary.degraded.merge(run_degraded[r]);
+    }
+
     summary.mean = stat.mean();
     summary.stddev = stat.stddev();
     summary.min = stat.min();

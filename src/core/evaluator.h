@@ -29,9 +29,11 @@ namespace swordfish::core {
 // loops they parameterize; re-export them so evaluator call sites only
 // reason about swordfish::core.
 using basecall::Decoder;
+using basecall::DegradedResult;
 using basecall::EvalOptions;
 using basecall::EvalRequest;
 using basecall::kInheritThreads;
+using basecall::ReadOutcome;
 
 /** Accuracy distribution over repeated noisy runs (figure error bars). */
 struct AccuracySummary
@@ -41,6 +43,9 @@ struct AccuracySummary
     double min = 0.0;
     double max = 0.0;
     std::size_t runs = 0;
+    DegradedResult degraded; ///< fault breakdown folded over all runs
+                             ///< (in run order); all-Ok when injection is
+                             ///< off
 };
 
 /**
@@ -89,41 +94,6 @@ AccuracySummary evaluateNonIdealAccuracy(nn::SequenceModel& model,
 double evaluateQuantizedAccuracy(const nn::SequenceModel& model,
                                  const QuantConfig& quant,
                                  const EvalRequest& req);
-
-/**
- * @deprecated Positional-argument form; use
- * evaluateNonIdealAccuracy(model, {scenario, remap}, EvalOptions(dataset)
- * .runs(n).maxReads(m).seedBase(s)) instead.
- */
-[[deprecated("use evaluateNonIdealAccuracy(model, setup, EvalRequest)")]]
-inline AccuracySummary
-evaluateNonIdealAccuracy(nn::SequenceModel& model,
-                         const NonIdealityConfig& scenario,
-                         const SramRemapConfig& remap,
-                         const genomics::Dataset& dataset, std::size_t runs,
-                         std::size_t max_reads, std::uint64_t seed_base = 1)
-{
-    return evaluateNonIdealAccuracy(
-        model, NonIdealSetup(scenario, remap),
-        EvalOptions(dataset).runs(runs).maxReads(max_reads)
-            .seedBase(seed_base));
-}
-
-/**
- * @deprecated Positional-argument form; use
- * evaluateQuantizedAccuracy(model, quant, EvalOptions(dataset)
- * .maxReads(m)) instead.
- */
-[[deprecated("use evaluateQuantizedAccuracy(model, quant, EvalRequest)")]]
-inline double
-evaluateQuantizedAccuracy(const nn::SequenceModel& model,
-                          const QuantConfig& quant,
-                          const genomics::Dataset& dataset,
-                          std::size_t max_reads)
-{
-    return evaluateQuantizedAccuracy(
-        model, quant, EvalOptions(dataset).maxReads(max_reads));
-}
 
 } // namespace swordfish::core
 

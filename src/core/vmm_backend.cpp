@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
@@ -25,6 +27,7 @@ std::atomic<std::uint64_t> next_instance_id{1};
 struct TlsConversionStream
 {
     std::uint64_t owner = 0; ///< backend instanceId_ the rng is seeded for
+    std::uint64_t streamKey = 0; ///< read-stream id (fault-site key)
     Rng rng;
 };
 thread_local TlsConversionStream tls_stream;
@@ -47,11 +50,68 @@ struct TlsBatchState
 {
     std::uint64_t owner = 0; ///< backend instanceId_ the streams belong to
     std::vector<Rng> laneRngs;
+    std::vector<std::uint64_t> laneStreams; ///< stream ids (fault keys)
     std::size_t activeLane = kNoLane;
 };
 thread_local TlsBatchState tls_batch;
 
 constexpr std::uint64_t kConversionTag = 0xc0417e27ULL;
+
+/**
+ * Fault-injection hook for VMM execution: poisons (VmmNan) or zeroes one
+ * output column of (VmmStuck) rows [row_begin, row_end) of y — one lane's
+ * slice. Firing is keyed by the lane's read-stream id alone, so the same
+ * read degrades identically for any thread x batch grid. No-op (single
+ * relaxed load) when injection is disabled.
+ */
+void
+applyExecutionFaults(Matrix& y, std::size_t row_begin, std::size_t row_end,
+                     std::uint64_t stream_key)
+{
+    const FaultInjector& inj = faultInjector();
+    if (!inj.enabled() || y.cols() == 0 || row_begin >= row_end)
+        return;
+    if (inj.fires(FaultSite::VmmNan, stream_key)) {
+        // Alternate NaN / Inf poisoning deterministically per read.
+        const float poison = inj.draw(FaultSite::VmmNan, stream_key, 2) == 0
+            ? std::numeric_limits<float>::quiet_NaN()
+            : std::numeric_limits<float>::infinity();
+        for (std::size_t t = row_begin; t < row_end; ++t) {
+            float* row = y.rowPtr(t);
+            for (std::size_t o = 0; o < y.cols(); ++o)
+                row[o] = poison;
+        }
+        return;
+    }
+    if (inj.fires(FaultSite::VmmStuck, stream_key)) {
+        const std::size_t col = static_cast<std::size_t>(
+            inj.draw(FaultSite::VmmStuck, stream_key, y.cols()));
+        for (std::size_t t = row_begin; t < row_end; ++t)
+            y.rowPtr(t)[col] = 0.0f;
+    }
+}
+
+/** Pure per-tile fault key, shared by the analytical and measured modes. */
+std::uint64_t
+tileFaultKey(const std::string& name, std::size_t rt, std::size_t ct)
+{
+    return hashSeed({std::hash<std::string>{}(name), rt, ct});
+}
+
+/**
+ * The read-stream id serial matmul calls on this thread execute under: the
+ * selected batch lane's stream inside an open batch, the beginRead() stream
+ * otherwise, and 0 for threads that never announced a read (mirroring
+ * conversionRng()'s fallback).
+ */
+std::uint64_t
+currentStreamKey(std::uint64_t instance_id)
+{
+    if (tls_batch.owner == instance_id && tls_batch.activeLane != kNoLane
+        && tls_batch.activeLane < tls_batch.laneStreams.size())
+        return tls_batch.laneStreams[tls_batch.activeLane];
+    return tls_stream.owner == instance_id ? tls_stream.streamKey : 0;
+}
 
 } // namespace
 
@@ -71,6 +131,7 @@ void
 CrossbarVmmBackend::beginRead(std::uint64_t read_stream)
 {
     tls_stream.owner = instanceId_;
+    tls_stream.streamKey = read_stream;
     tls_stream.rng.reseed(hashSeed({runSeed_, read_stream,
                                     kConversionTag}));
 }
@@ -87,6 +148,7 @@ CrossbarVmmBackend::conversionRng() const
     // training-time noise injection) run on the read-0 stream.
     if (tls_stream.owner != instanceId_) {
         tls_stream.owner = instanceId_;
+        tls_stream.streamKey = 0;
         tls_stream.rng.reseed(hashSeed({runSeed_, 0, kConversionTag}));
     }
     return tls_stream.rng;
@@ -100,6 +162,7 @@ CrossbarVmmBackend::beginBatch(const std::vector<std::uint64_t>& streams)
     for (std::size_t i = 0; i < streams.size(); ++i)
         tls_batch.laneRngs[i].reseed(
             hashSeed({runSeed_, streams[i], kConversionTag}));
+    tls_batch.laneStreams = streams;
     tls_batch.activeLane = kNoLane;
 }
 
@@ -108,6 +171,7 @@ CrossbarVmmBackend::endBatch()
 {
     tls_batch.owner = 0;
     tls_batch.laneRngs.clear();
+    tls_batch.laneStreams.clear();
     tls_batch.activeLane = kNoLane;
 }
 
@@ -207,6 +271,8 @@ CrossbarVmmBackend::programAnalytical(MappedWeight& mw,
     static const SpanStat kProgramSpan = metrics().span("program");
     static const Counter kProgramTiles =
         metrics().counter("program.tiles");
+    static const Counter kProgramFaultTiles =
+        metrics().counter("fault.injected.program_tiles");
     TraceSpan trace(kProgramSpan);
 
     const std::size_t s = config_.crossbar.size;
@@ -233,6 +299,16 @@ CrossbarVmmBackend::programAnalytical(MappedWeight& mw,
         for (std::size_t r = r0; r < r1; ++r)
             for (std::size_t c = c0; c < c1; ++c)
                 sub(r - r0, c - c0) = w(r, c);
+
+        // A failed tile programming leaves the tile dead (all-zero target
+        // weights) instead of aborting the run; the key is pure in
+        // (name, tile), so the same tiles die for any build schedule.
+        const FaultInjector& inj = faultInjector();
+        if (inj.enabled()
+            && inj.fires(FaultSite::TileProgram, tileFaultKey(name, rt, ct))) {
+            sub.zero();
+            kProgramFaultTiles.add();
+        }
 
         const std::uint64_t tile_seed = hashSeed(
             {runSeed_, std::hash<std::string>{}(name), rt, ct});
@@ -269,6 +345,8 @@ CrossbarVmmBackend::programMeasured(MappedWeight& mw,
     static const SpanStat kProgramSpan = metrics().span("program");
     static const Counter kProgramTiles =
         metrics().counter("program.tiles");
+    static const Counter kProgramFaultTiles =
+        metrics().counter("fault.injected.program_tiles");
     TraceSpan trace(kProgramSpan);
 
     const std::size_t s = config_.crossbar.size;
@@ -334,6 +412,15 @@ CrossbarVmmBackend::programMeasured(MappedWeight& mw,
             }
         }
 
+        // Dead tile on a failed programming, as in the analytical mode
+        // (same pure key, so both modes kill the same tiles).
+        const FaultInjector& inj = faultInjector();
+        if (inj.enabled()
+            && inj.fires(FaultSite::TileProgram, tileFaultKey(name, rt, ct))) {
+            eff.zero();
+            kProgramFaultTiles.add();
+        }
+
         for (std::size_t r = 0; r < tr; ++r) {
             for (std::size_t c = 0; c < tc; ++c) {
                 mw.measuredWeights(r0 + r, c0 + c) = eff(r, c);
@@ -395,6 +482,7 @@ CrossbarVmmBackend::matmul(const std::string& name, const Matrix& w,
         }
         kDacConversions.add(x.size());
         kAdcConversions.add(y.size());
+        applyExecutionFaults(y, 0, y.rows(), currentStreamKey(instanceId_));
         return;
     }
 
@@ -429,6 +517,7 @@ CrossbarVmmBackend::matmul(const std::string& name, const Matrix& w,
     kTileVmms.add(tile_vmms);
     kDacConversions.add(dac_elems);
     kAdcConversions.add(adc_elems);
+    applyExecutionFaults(y, 0, y.rows(), currentStreamKey(instanceId_));
 }
 
 void
@@ -476,6 +565,8 @@ CrossbarVmmBackend::matmulBatched(const std::string& name, const Matrix& w,
                     out[o] = out[o] * mw.measuredGain[o]
                         + mw.measuredOffset[o] * mw.absMax * x_max;
             }
+            applyExecutionFaults(y, row, row + span.rows,
+                                 tls_batch.laneStreams[span.lane]);
             row += span.rows;
         }
         kDacConversions.add(x.size());
@@ -523,6 +614,14 @@ CrossbarVmmBackend::matmulBatched(const std::string& name, const Matrix& w,
     kTileVmms.add(tile_vmms);
     kDacConversions.add(dac_elems);
     kAdcConversions.add(adc_elems);
+    {
+        std::size_t row = 0;
+        for (const LaneSpan& span : layout) {
+            applyExecutionFaults(y, row, row + span.rows,
+                                 tls_batch.laneStreams[span.lane]);
+            row += span.rows;
+        }
+    }
 }
 
 } // namespace swordfish::core

@@ -24,6 +24,37 @@ stripCr(std::string& line)
         line.pop_back();
 }
 
+ParseResult
+parseFail(std::size_t line, std::string message)
+{
+    ParseResult res;
+    res.ok = false;
+    res.error = std::move(message);
+    res.line = line;
+    return res;
+}
+
+/** Printable rendering of an input byte for error messages. */
+std::string
+charRepr(char c)
+{
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u >= 0x20 && u < 0x7f)
+        return std::string(1, c);
+    static const char* kHex = "0123456789abcdef";
+    std::string out = "\\x00";
+    out[2] = kHex[u >> 4];
+    out[3] = kHex[u & 0xf];
+    return out;
+}
+
+/** Phred+33 qualities must stay in the printable '!'..'~' band. */
+bool
+validQuality(char c)
+{
+    return c >= '!' && c <= '~';
+}
+
 } // namespace
 
 void
@@ -49,12 +80,15 @@ writeFastaFile(const std::string& path,
         fatal("writeFastaFile: write failed for ", path);
 }
 
-std::vector<SeqRecord>
-readFasta(std::istream& is)
+ParseResult
+tryReadFasta(std::istream& is, std::vector<SeqRecord>& out)
 {
+    out.clear();
     std::vector<SeqRecord> records;
     std::string line;
+    std::size_t lineno = 0;
     while (std::getline(is, line)) {
+        ++lineno;
         stripCr(line);
         if (line.empty())
             continue;
@@ -64,11 +98,31 @@ readFasta(std::istream& is)
             records.push_back(std::move(rec));
         } else {
             if (records.empty())
-                fatal("readFasta: sequence data before any header");
-            for (char c : line)
-                records.back().seq.push_back(charToBase(c));
+                return parseFail(lineno,
+                                 "sequence data before any header");
+            for (char c : line) {
+                std::uint8_t base = 0;
+                if (!tryCharToBase(c, base))
+                    return parseFail(lineno,
+                                     "invalid base character '"
+                                         + charRepr(c) + "'");
+                records.back().seq.push_back(base);
+            }
         }
     }
+    if (is.bad())
+        return parseFail(lineno, "stream read error");
+    out = std::move(records);
+    return {};
+}
+
+std::vector<SeqRecord>
+readFasta(std::istream& is)
+{
+    std::vector<SeqRecord> records;
+    const ParseResult res = tryReadFasta(is, records);
+    if (!res)
+        fatal("readFasta: line ", res.line, ": ", res.error);
     return records;
 }
 
@@ -94,34 +148,68 @@ writeFastq(std::ostream& os, const std::vector<SeqRecord>& records)
     }
 }
 
-std::vector<SeqRecord>
-readFastq(std::istream& is)
+ParseResult
+tryReadFastq(std::istream& is, std::vector<SeqRecord>& out)
 {
+    out.clear();
     std::vector<SeqRecord> records;
     std::string header, bases, plus, quals;
+    std::size_t lineno = 0;
     while (std::getline(is, header)) {
+        ++lineno;
         stripCr(header);
         if (header.empty())
             continue;
         if (header[0] != '@')
-            fatal("readFastq: expected '@' header, got: ", header);
+            return parseFail(lineno,
+                             "expected '@' header, got: " + header);
         if (!std::getline(is, bases) || !std::getline(is, plus)
             || !std::getline(is, quals)) {
-            fatal("readFastq: truncated record for ", header);
+            return parseFail(lineno, "truncated record for " + header);
         }
         stripCr(bases);
         stripCr(plus);
         stripCr(quals);
         if (plus.empty() || plus[0] != '+')
-            fatal("readFastq: expected '+' separator for ", header);
+            return parseFail(lineno + 2,
+                             "expected '+' separator for " + header);
         if (bases.size() != quals.size())
-            fatal("readFastq: quality length mismatch for ", header);
+            return parseFail(lineno + 3,
+                             "quality length mismatch for " + header);
         SeqRecord rec;
         rec.name = header.substr(1);
-        rec.seq = fromString(bases);
+        rec.seq.reserve(bases.size());
+        for (char c : bases) {
+            std::uint8_t base = 0;
+            if (!tryCharToBase(c, base))
+                return parseFail(lineno + 1,
+                                 "invalid base character '" + charRepr(c)
+                                     + "' in " + header);
+            rec.seq.push_back(base);
+        }
+        for (char c : quals) {
+            if (!validQuality(c))
+                return parseFail(lineno + 3,
+                                 "invalid quality character '"
+                                     + charRepr(c) + "' in " + header);
+        }
         rec.qualities = quals;
         records.push_back(std::move(rec));
+        lineno += 3;
     }
+    if (is.bad())
+        return parseFail(lineno, "stream read error");
+    out = std::move(records);
+    return {};
+}
+
+std::vector<SeqRecord>
+readFastq(std::istream& is)
+{
+    std::vector<SeqRecord> records;
+    const ParseResult res = tryReadFastq(is, records);
+    if (!res)
+        fatal("readFastq: line ", res.line, ": ", res.error);
     return records;
 }
 

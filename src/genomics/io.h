@@ -24,6 +24,29 @@ struct SeqRecord
     std::string qualities; ///< phred+33; empty for FASTA records
 };
 
+/**
+ * Outcome of a non-fatal parse. Converts to bool (true = success) so call
+ * sites read `if (!tryReadFasta(is, recs)) ...`.
+ */
+struct ParseResult
+{
+    bool ok = true;
+    std::string error;    ///< empty on success
+    std::size_t line = 0; ///< 1-based input line of the failure (0 = n/a)
+
+    explicit operator bool() const { return ok; }
+};
+
+/**
+ * Parse FASTA with typed errors instead of fatal(): on failure returns
+ * ok=false with the offending line, and `out` is cleared — malformed input
+ * never leaks a partially-parsed record set.
+ */
+ParseResult tryReadFasta(std::istream& is, std::vector<SeqRecord>& out);
+
+/** FASTQ counterpart of tryReadFasta (four-line records). */
+ParseResult tryReadFastq(std::istream& is, std::vector<SeqRecord>& out);
+
 /** Write records as FASTA (wrapped at 70 columns). */
 void writeFasta(std::ostream& os, const std::vector<SeqRecord>& records);
 
@@ -33,7 +56,7 @@ void writeFastaFile(const std::string& path,
 
 /**
  * Parse FASTA. Accepts multi-line sequences; fatal() on malformed input
- * or non-ACGT characters.
+ * or non-ACGT characters. Thin wrapper over tryReadFasta.
  */
 std::vector<SeqRecord> readFasta(std::istream& is);
 

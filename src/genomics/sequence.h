@@ -28,18 +28,31 @@ baseToChar(std::uint8_t b)
     return b < 4 ? kBases[b] : 'N';
 }
 
+/**
+ * Character to base code without aborting: returns false (and leaves
+ * `base` untouched) on non-ACGT input — the building block of the typed
+ * parser error paths.
+ */
+inline bool
+tryCharToBase(char c, std::uint8_t& base)
+{
+    switch (c) {
+      case 'A': case 'a': base = 0; return true;
+      case 'C': case 'c': base = 1; return true;
+      case 'G': case 'g': base = 2; return true;
+      case 'T': case 't': base = 3; return true;
+      default: return false;
+    }
+}
+
 /** Character to base code; fatal on non-ACGT input. */
 inline std::uint8_t
 charToBase(char c)
 {
-    switch (c) {
-      case 'A': case 'a': return 0;
-      case 'C': case 'c': return 1;
-      case 'G': case 'g': return 2;
-      case 'T': case 't': return 3;
-      default:
+    std::uint8_t base = 0;
+    if (!tryCharToBase(c, base))
         fatal("charToBase: invalid base character '", c, "'");
-    }
+    return base;
 }
 
 /** Render a Sequence as an ACGT string. */

@@ -1,6 +1,8 @@
 #include "model.h"
 
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "util/logging.h"
 #include "util/serialize.h"
@@ -37,6 +39,10 @@ SequenceModel::load(const std::string& path)
     const std::uint64_t count = reader.getU64();
     if (!reader.ok() || count != by_name.size())
         return false;
+    // Stage everything, commit only after the whole file validates: a
+    // corrupt artifact must not leave the model half-loaded.
+    std::vector<std::pair<Parameter*, std::vector<float>>> staged;
+    staged.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
         const std::string name = reader.getString();
         const std::uint64_t rows = reader.getU64();
@@ -55,8 +61,10 @@ SequenceModel::load(const std::string& path)
             warn("SequenceModel::load: shape mismatch for ", name);
             return false;
         }
-        p.value.raw() = std::move(data);
+        staged.emplace_back(&p, std::move(data));
     }
+    for (auto& [param, data] : staged)
+        param->value.raw() = std::move(data);
     return true;
 }
 

@@ -48,7 +48,8 @@ RuntimeConfig::toJson() const
         << ",\"eval_reads\":" << evalReads << ",\"eval_runs\":" << evalRuns
         << ",\"retrain_epochs\":" << retrainEpochs << ",\"metrics_out\":\""
         << jsonEscape(metricsOut) << "\",\"artifacts\":\""
-        << jsonEscape(artifacts) << "\"}";
+        << jsonEscape(artifacts) << "\",\"faults\":\""
+        << jsonEscape(faults) << "\"}";
     return out.str();
 }
 
@@ -64,6 +65,7 @@ RuntimeConfig::fromEnvironment()
     cfg.retrainEpochs = envLong("SWORDFISH_RETRAIN_EPOCHS", -1);
     cfg.metricsOut = envString("SWORDFISH_METRICS_OUT");
     cfg.artifacts = envString("SWORDFISH_ARTIFACTS");
+    cfg.faults = envString("SWORDFISH_FAULTS");
     return cfg;
 }
 

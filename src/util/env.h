@@ -57,6 +57,7 @@ struct RuntimeConfig
     long retrainEpochs = -1; ///< SWORDFISH_RETRAIN_EPOCHS; -1 = caller default
     std::string metricsOut;  ///< SWORDFISH_METRICS_OUT; empty = no dump
     std::string artifacts;   ///< SWORDFISH_ARTIFACTS; empty = caller default
+    std::string faults;      ///< SWORDFISH_FAULTS; empty = no injection
 
     /** Pool width: the env override, else hardware concurrency (min 1). */
     std::size_t poolThreads() const;

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Deterministic, seed-driven fault injection for the evaluation stack.
+ *
+ * Swordfish evaluates *non-ideal* hardware, and PUMA-style accelerators
+ * treat per-tile failure as an expected operating condition — so the
+ * framework degrades gracefully instead of aborting a whole Monte-Carlo
+ * campaign on the first bad read or poisoned VMM. The FaultInjector is the
+ * single registry every fault site consults.
+ *
+ * Design rules (mirroring the per-read noise streams of the parallel
+ * evaluator):
+ *  - Pure firing schedule: whether a fault fires at (site, key) is a pure
+ *    function of (fault seed, site, key) — never of call order, thread
+ *    interleaving, or batch grouping. With a fixed fault seed, outcomes are
+ *    bitwise identical across any thread x batch grid.
+ *  - Zero overhead when disabled: every site checks one relaxed atomic and
+ *    bails, so with SWORDFISH_FAULTS unset the binary behaves exactly as a
+ *    build without this layer.
+ *  - Off the noise streams: fault decisions hash their own tag and never
+ *    draw from the conversion-noise RNGs, so enabling a site with
+ *    probability 0 is also bitwise-invisible.
+ *
+ * Sites (env spec name in parentheses):
+ *  - ReadDecode (decode): read fails to decode; skipped, ReadOutcome::DecodeError.
+ *  - Chunk (chunk): signal chunking/normalization fails; same handling.
+ *  - TileProgram (program): a crossbar tile fails to program; the tile comes
+ *    up dead (all-zero weights) and execution continues.
+ *  - VmmNan (vmm.nan): the VMM output of a read is NaN/Inf-poisoned; the
+ *    read is skipped as ReadOutcome::VmmFault.
+ *  - VmmStuck (vmm.stuck): one output column of every VMM of a read sticks
+ *    at zero; silent accuracy degradation, the read still counts.
+ *  - WorkerTask (task): transient worker failure; the attempt is discarded
+ *    and retried (bounded) with a fresh noise stream.
+ *
+ * Configure via SWORDFISH_FAULTS, e.g.
+ *   SWORDFISH_FAULTS="seed=42,retries=2,decode=0.05,vmm.nan=0.1,task=0.2"
+ * or programmatically (tests) via FaultInjector::configure / ScopedFaultConfig.
+ */
+
+#ifndef SWORDFISH_UTIL_FAULT_H
+#define SWORDFISH_UTIL_FAULT_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/rng.h"
+
+namespace swordfish {
+
+/** Named fault sites; values index FaultConfig::probability. */
+enum class FaultSite : std::size_t {
+    ReadDecode = 0,
+    Chunk,
+    TileProgram,
+    VmmNan,
+    VmmStuck,
+    WorkerTask,
+};
+
+inline constexpr std::size_t kFaultSiteCount = 6;
+
+/** The env-spec name of a site ("decode", "vmm.nan", ...). */
+const char* faultSiteName(FaultSite site);
+
+/** One injection campaign: seed, retry budget, per-site probabilities. */
+struct FaultConfig
+{
+    std::uint64_t seed = 1;   ///< firing-schedule seed
+    std::size_t maxRetries = 2; ///< retry budget for transient faults
+    std::array<double, kFaultSiteCount> probability{}; ///< all 0 = off
+
+    double
+    p(FaultSite site) const
+    {
+        return probability[static_cast<std::size_t>(site)];
+    }
+
+    void
+    setP(FaultSite site, double prob)
+    {
+        probability[static_cast<std::size_t>(site)] = prob;
+    }
+
+    /** True when any site can fire. */
+    bool anyEnabled() const;
+
+    /**
+     * Parse a "seed=42,decode=0.1,vmm.nan=0.05,retries=1" spec (commas,
+     * semicolons, or spaces separate tokens). On failure returns false and
+     * sets `error`; `out` is left untouched.
+     */
+    static bool parse(const std::string& spec, FaultConfig& out,
+                      std::string& error);
+
+    /** One-line JSON dump (embedded in bench output / metrics context). */
+    std::string toJson() const;
+};
+
+/**
+ * Process-wide fault registry. First use captures SWORDFISH_FAULTS; tests
+ * reconfigure via configure() (between evaluations — not thread-safe
+ * against in-flight ones, by design).
+ */
+class FaultInjector
+{
+  public:
+    static FaultInjector& instance();
+
+    /** Replace the active configuration (tests / drivers). */
+    void configure(const FaultConfig& cfg);
+
+    /** Snapshot of the active configuration. */
+    FaultConfig config() const;
+
+    /** True when at least one site has a nonzero probability. */
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    std::size_t maxRetries() const;
+
+    /**
+     * Whether the fault at (site, key) fires: a pure function of
+     * (seed, site, key). p=0 never fires, p=1 always fires.
+     */
+    bool fires(FaultSite site, std::uint64_t key) const;
+
+    /**
+     * Deterministic pick in [0, n) for a fired fault (e.g. which output
+     * column sticks). Pure function of (seed, site, key). n must be > 0.
+     */
+    std::uint64_t draw(FaultSite site, std::uint64_t key,
+                       std::uint64_t n) const;
+
+    /**
+     * Key for retry attempt `attempt` (>= 1) of a transient fault on
+     * `read_stream`; also used as the fresh conversion-noise stream of the
+     * retried attempt, so a retry re-executes with new noise.
+     */
+    static std::uint64_t retryStream(std::uint64_t read_stream,
+                                     std::size_t attempt);
+
+    FaultInjector(const FaultInjector&) = delete;
+    FaultInjector& operator=(const FaultInjector&) = delete;
+
+  private:
+    FaultInjector();
+
+    // The config is written only by configure() (between evaluations) and
+    // read through an immutable snapshot pointer; swap + acquire/release
+    // keeps readers tear-free without a lock in the fires() hot path.
+    std::atomic<const FaultConfig*> cfg_;
+    std::atomic<bool> enabled_{false};
+};
+
+/** Shorthand for FaultInjector::instance(). */
+FaultInjector& faultInjector();
+
+/** RAII config swap for tests: restores the previous config on scope exit. */
+class ScopedFaultConfig
+{
+  public:
+    explicit ScopedFaultConfig(const FaultConfig& cfg)
+        : prev_(faultInjector().config())
+    {
+        faultInjector().configure(cfg);
+    }
+
+    ~ScopedFaultConfig() { faultInjector().configure(prev_); }
+
+    ScopedFaultConfig(const ScopedFaultConfig&) = delete;
+    ScopedFaultConfig& operator=(const ScopedFaultConfig&) = delete;
+
+  private:
+    FaultConfig prev_;
+};
+
+/** Env var naming the fault spec ("" / unset disables injection). */
+inline constexpr const char* kFaultsEnv = "SWORDFISH_FAULTS";
+
+} // namespace swordfish
+
+#endif // SWORDFISH_UTIL_FAULT_H

@@ -1,6 +1,7 @@
 #include "metrics.h"
 
 #include "env.h"
+#include "sanitize.h"
 
 #include <algorithm>
 #include <atomic>
@@ -189,6 +190,7 @@ MetricsRegistry::instance()
     // dump below must be able to reach it at any point of shutdown.
     static MetricsRegistry* reg = [] {
         auto* r = new MetricsRegistry();
+        leakIntentionally(r);
         std::atexit([] { writeMetricsIfConfigured(); });
         return r;
     }();

@@ -1,0 +1,31 @@
+/** @file Sanitizer interop helpers.
+ *
+ *  A few process-lifetime singletons (metrics registry, fault injector and
+ *  its config snapshots) are intentionally leaked so worker threads and
+ *  atexit hooks can always reach them. LeakSanitizer would report each one;
+ *  `leakIntentionally` annotates the allocation as a root so ASan builds
+ *  stay clean without a suppressions file. Memory reachable only through an
+ *  ignored object is suppressed transitively, so annotating the owning
+ *  pointer is enough.
+ */
+
+#pragma once
+
+#if defined(__SANITIZE_ADDRESS__)
+#include <sanitizer/lsan_interface.h>
+#endif
+
+namespace swordfish {
+
+/** Mark a deliberately-leaked heap object so LeakSanitizer ignores it. */
+inline void
+leakIntentionally(const void* object)
+{
+#if defined(__SANITIZE_ADDRESS__)
+    __lsan_ignore_object(object);
+#else
+    (void)object;
+#endif
+}
+
+} // namespace swordfish

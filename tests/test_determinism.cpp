@@ -17,6 +17,7 @@
 #include "core/nonideality.h"
 #include "core/vmm_backend.h"
 #include "genomics/dataset.h"
+#include "util/fault.h"
 #include "util/thread_pool.h"
 
 using namespace swordfish;
@@ -41,6 +42,11 @@ expectBitwiseEqual(const AccuracySummary& a, const AccuracySummary& b)
     EXPECT_EQ(bits(a.min), bits(b.min));
     EXPECT_EQ(bits(a.max), bits(b.max));
     EXPECT_EQ(a.runs, b.runs);
+    EXPECT_EQ(a.degraded.okReads, b.degraded.okReads);
+    EXPECT_EQ(a.degraded.retriedReads, b.degraded.retriedReads);
+    EXPECT_EQ(a.degraded.decodeErrors, b.degraded.decodeErrors);
+    EXPECT_EQ(a.degraded.nanOutputs, b.degraded.nanOutputs);
+    EXPECT_EQ(a.degraded.vmmFaults, b.degraded.vmmFaults);
 }
 
 /** Small untrained model + datasets (accuracy values are irrelevant here;
@@ -232,6 +238,50 @@ TEST(Determinism, BatchedBasecallsIdenticalToSerial)
         EXPECT_EQ(tail[i], serial[3 + i]) << "read " << (3 + i);
 
     f.model.setBackend(nullptr);
+}
+
+TEST(Determinism, FaultScheduleBitwiseIdenticalAcrossThreadBatchGrid)
+{
+    // With a fixed fault seed, the whole degraded evaluation — accuracy
+    // over the survivors AND the per-class outcome breakdown — must be
+    // bitwise identical for any thread x batch combination, because fault
+    // firing keys on (seed, site, read index), never on the grid.
+    FaultConfig faults;
+    faults.seed = 21;
+    faults.maxRetries = 2;
+    faults.setP(FaultSite::ReadDecode, 0.2);
+    faults.setP(FaultSite::TileProgram, 0.1);
+    faults.setP(FaultSite::VmmStuck, 0.3);
+    faults.setP(FaultSite::WorkerTask, 0.3);
+    ScopedFaultConfig scoped(faults);
+
+    const AccuracySummary ref =
+        evalBatched(1, 1, NonIdealityKind::Combined);
+    EXPECT_EQ(ref.degraded.okReads + ref.degraded.retriedReads
+                  + ref.degraded.skippedReads(),
+              2u * 5u); // every read of both runs is accounted for
+    for (std::size_t batch : {std::size_t{1}, std::size_t{4}}) {
+        for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+            SCOPED_TRACE("batch=" + std::to_string(batch)
+                         + " threads=" + std::to_string(threads));
+            expectBitwiseEqual(
+                ref, evalBatched(threads, batch,
+                                 NonIdealityKind::Combined));
+        }
+    }
+}
+
+TEST(Determinism, FaultsDisabledMatchesEnabledWithZeroProbabilities)
+{
+    // Enabling the injector with every probability at zero must not
+    // perturb a single bit (fault checks never touch the noise streams).
+    const AccuracySummary off =
+        evalBatched(2, 3, NonIdealityKind::Combined);
+    FaultConfig zero;
+    zero.seed = 99;
+    ScopedFaultConfig scoped(zero);
+    expectBitwiseEqual(off, evalBatched(2, 3, NonIdealityKind::Combined));
 }
 
 TEST(Determinism, QuantizedBatchedMatchesSerial)

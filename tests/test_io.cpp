@@ -223,3 +223,201 @@ TEST(Cigar, BasecalledReadEndsToEnd)
     EXPECT_EQ(back[0].seq, ds.reads[0].bases);
     EXPECT_EQ(back[1].seq, ds.reads[1].bases);
 }
+
+// ---------------------------------------------------------------------------
+// Typed-error parsers and fuzz-style robustness
+// ---------------------------------------------------------------------------
+
+TEST(TryParse, FastaReportsLineAndLeavesNoPartialState)
+{
+    std::stringstream ss(">ok\nACGT\n>bad\nACXT\n");
+    std::vector<SeqRecord> recs = {{"stale", fromString("ACGT"), ""}};
+    const ParseResult res = tryReadFasta(ss, recs);
+    EXPECT_FALSE(res);
+    EXPECT_EQ(res.line, 4u);
+    EXPECT_NE(res.error.find("invalid base"), std::string::npos);
+    EXPECT_TRUE(recs.empty()) << "failed parse must clear the output";
+}
+
+TEST(TryParse, FastqReportsTypedErrors)
+{
+    std::vector<SeqRecord> recs;
+    {
+        std::stringstream ss("@r\nACGT\n+\nI\x07II\n");
+        const ParseResult res = tryReadFastq(ss, recs);
+        EXPECT_FALSE(res);
+        EXPECT_NE(res.error.find("quality"), std::string::npos);
+        EXPECT_TRUE(recs.empty());
+    }
+    {
+        std::stringstream ss("@r\nACNT\n+\nIIII\n");
+        const ParseResult res = tryReadFastq(ss, recs);
+        EXPECT_FALSE(res);
+        EXPECT_NE(res.error.find("invalid base"), std::string::npos);
+    }
+    {
+        std::stringstream ss("@r\nACGT\n+\nIIII\n@r2\nACGT\n");
+        const ParseResult res = tryReadFastq(ss, recs);
+        EXPECT_FALSE(res);
+        EXPECT_NE(res.error.find("truncated"), std::string::npos);
+        EXPECT_TRUE(recs.empty()) << "valid leading record must not leak";
+    }
+}
+
+TEST(TryParse, SuccessMatchesFatalParsers)
+{
+    std::stringstream a(">x\nACGT\nTT\n>y\nGG\n");
+    std::vector<SeqRecord> recs;
+    ASSERT_TRUE(tryReadFasta(a, recs));
+    ASSERT_EQ(recs.size(), 2u);
+    EXPECT_EQ(recs[0].seq, fromString("ACGTTT"));
+    EXPECT_EQ(recs[1].seq, fromString("GG"));
+
+    std::stringstream q("@r\nACGT\n+\nII!~\n");
+    ASSERT_TRUE(tryReadFastq(q, recs));
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0].qualities, "II!~");
+}
+
+namespace {
+
+/** A structurally valid FASTA body with rng-chosen shapes. */
+std::string
+randomFasta(Rng& rng)
+{
+    std::ostringstream out;
+    const std::size_t n_recs = 1 + rng.next(3);
+    for (std::size_t r = 0; r < n_recs; ++r) {
+        out << ">rec" << r << "\n";
+        const std::size_t lines = 1 + rng.next(3);
+        for (std::size_t l = 0; l < lines; ++l) {
+            const std::size_t len = 1 + rng.next(40);
+            for (std::size_t i = 0; i < len; ++i)
+                out << baseToChar(static_cast<std::uint8_t>(rng.next(4)));
+            out << "\n";
+        }
+    }
+    return out.str();
+}
+
+/** A structurally valid FASTQ body with rng-chosen shapes. */
+std::string
+randomFastq(Rng& rng)
+{
+    std::ostringstream out;
+    const std::size_t n_recs = 1 + rng.next(3);
+    for (std::size_t r = 0; r < n_recs; ++r) {
+        const std::size_t len = 1 + rng.next(40);
+        std::string bases, quals;
+        for (std::size_t i = 0; i < len; ++i) {
+            bases.push_back(
+                baseToChar(static_cast<std::uint8_t>(rng.next(4))));
+            quals.push_back(static_cast<char>('!' + rng.next(94)));
+        }
+        out << "@rec" << r << "\n" << bases << "\n+\n" << quals << "\n";
+    }
+    return out.str();
+}
+
+/** Mutate, truncate, or splice a valid body into hostile input. */
+std::string
+mangle(const std::string& text, Rng& rng)
+{
+    std::string s = text;
+    switch (rng.next(4)) {
+      case 0: // flip one byte to an arbitrary value
+        if (!s.empty())
+            s[rng.next(s.size())] =
+                static_cast<char>(rng.next(256));
+        break;
+      case 1: // truncate mid-stream
+        s.resize(rng.next(s.size() + 1));
+        break;
+      case 2: // insert a random byte
+        s.insert(s.begin()
+                     + static_cast<std::ptrdiff_t>(rng.next(s.size() + 1)),
+                 static_cast<char>(rng.next(256)));
+        break;
+      default: // duplicate a random slice (tears record structure)
+        if (s.size() > 2) {
+            const std::size_t a = rng.next(s.size());
+            const std::size_t b = a + rng.next(s.size() - a);
+            s += s.substr(a, b - a);
+        }
+        break;
+    }
+    return s;
+}
+
+} // namespace
+
+TEST(FastaFuzz, MutatedInputsNeverCrashOrLeakPartialState)
+{
+    Rng rng(0xfa57a);
+    std::size_t rejected = 0;
+    for (int round = 0; round < 80; ++round) {
+        SCOPED_TRACE("round " + std::to_string(round));
+        const std::string input = mangle(randomFasta(rng), rng);
+        std::stringstream ss(input);
+        std::vector<SeqRecord> recs = {{"stale", fromString("A"), ""}};
+        const ParseResult res = tryReadFasta(ss, recs);
+        if (!res) {
+            ++rejected;
+            EXPECT_FALSE(res.error.empty());
+            EXPECT_GT(res.line, 0u);
+            EXPECT_TRUE(recs.empty());
+            continue;
+        }
+        // Accepted input must be fully sanitized: only 0..3 base codes.
+        for (const SeqRecord& rec : recs)
+            for (const std::uint8_t b : rec.seq)
+                ASSERT_LT(b, 4u);
+    }
+    // The mangler must actually exercise the failure paths.
+    EXPECT_GT(rejected, 10u);
+}
+
+TEST(FastqFuzz, MutatedInputsNeverCrashOrLeakPartialState)
+{
+    Rng rng(0xfa57b);
+    std::size_t rejected = 0;
+    for (int round = 0; round < 80; ++round) {
+        SCOPED_TRACE("round " + std::to_string(round));
+        const std::string input = mangle(randomFastq(rng), rng);
+        std::stringstream ss(input);
+        std::vector<SeqRecord> recs = {{"stale", fromString("A"), ""}};
+        const ParseResult res = tryReadFastq(ss, recs);
+        if (!res) {
+            ++rejected;
+            EXPECT_FALSE(res.error.empty());
+            EXPECT_GT(res.line, 0u);
+            EXPECT_TRUE(recs.empty());
+            continue;
+        }
+        for (const SeqRecord& rec : recs) {
+            EXPECT_EQ(rec.seq.size(), rec.qualities.size());
+            for (const std::uint8_t b : rec.seq)
+                ASSERT_LT(b, 4u);
+            for (const char q : rec.qualities)
+                ASSERT_TRUE(q >= '!' && q <= '~');
+        }
+    }
+    EXPECT_GT(rejected, 10u);
+}
+
+TEST(FastaFuzz, ValidInputsAlwaysParse)
+{
+    // The mangler aside, the generators themselves must always pass — the
+    // hardened parsers may not over-reject well-formed files.
+    Rng rng(0xfa57c);
+    for (int round = 0; round < 20; ++round) {
+        SCOPED_TRACE("round " + std::to_string(round));
+        std::vector<SeqRecord> recs;
+        std::stringstream fa(randomFasta(rng));
+        EXPECT_TRUE(tryReadFasta(fa, recs));
+        EXPECT_FALSE(recs.empty());
+        std::stringstream fq(randomFastq(rng));
+        EXPECT_TRUE(tryReadFastq(fq, recs));
+        EXPECT_FALSE(recs.empty());
+    }
+}

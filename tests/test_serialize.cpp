@@ -180,3 +180,174 @@ TEST(Timer, StopwatchAdvances)
     w.restart();
     EXPECT_LT(w.seconds(), before + 1.0);
 }
+
+// ---------------------------------------------------------------------------
+// Fuzz-style robustness: mutated/truncated artifacts through BinaryReader
+// and the model loader
+// ---------------------------------------------------------------------------
+
+#include <fstream>
+
+#include "basecall/bonito_lite.h"
+#include "nn/model.h"
+#include "util/rng.h"
+
+namespace {
+
+std::string
+slurp(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+spit(const std::string& path, const std::string& bytes)
+{
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/** Flip, truncate, or extend raw artifact bytes. */
+std::string
+mangleBytes(const std::string& bytes, Rng& rng)
+{
+    std::string s = bytes;
+    switch (rng.next(3)) {
+      case 0:
+        if (!s.empty())
+            s[rng.next(s.size())] = static_cast<char>(rng.next(256));
+        break;
+      case 1:
+        s.resize(rng.next(s.size() + 1));
+        break;
+      default:
+        // Grow the tail with garbage (stresses the size-prefix bounds).
+        for (std::size_t i = 0; i < 16; ++i)
+            s.push_back(static_cast<char>(rng.next(256)));
+        break;
+    }
+    return s;
+}
+
+/** Tiny marker model whose weights differ from a fresh build. */
+nn::SequenceModel
+markerModel()
+{
+    swordfish::basecall::BonitoLiteConfig cfg;
+    cfg.convChannels = 4;
+    cfg.lstmHidden = 4;
+    cfg.lstmLayers = 1;
+    nn::SequenceModel m = swordfish::basecall::buildBonitoLite(cfg);
+    float marker = 0.125f;
+    for (nn::Parameter* p : m.parameters())
+        for (float& v : p->value.raw())
+            v = (marker += 0.0625f);
+    return m;
+}
+
+std::vector<std::vector<float>>
+paramSnapshot(nn::SequenceModel& m)
+{
+    std::vector<std::vector<float>> snap;
+    for (const nn::Parameter* p : m.parameters())
+        snap.push_back(p->value.raw());
+    return snap;
+}
+
+} // namespace
+
+TEST(SerializeFuzz, MutatedStreamsNeverCrashBinaryReader)
+{
+    const std::string path = tempPath("swordfish_fuzz_stream.bin");
+    const std::string build = tempPath("swordfish_fuzz_build.bin");
+    {
+        BinaryWriter w(build); // closes (flushes) before the slurp below
+        w.putU64(3);
+        for (int rec = 0; rec < 3; ++rec) {
+            w.putString("param" + std::to_string(rec));
+            w.putU64(4);
+            w.putU64(5);
+            w.putFloats(std::vector<float>(20, 1.5f));
+        }
+        ASSERT_TRUE(w.good());
+    }
+    const std::string valid = slurp(build);
+    std::remove(build.c_str());
+    ASSERT_FALSE(valid.empty());
+
+    Rng rng(0xb17e5);
+    std::size_t rejected = 0;
+    for (int round = 0; round < 60; ++round) {
+        SCOPED_TRACE("round " + std::to_string(round));
+        spit(path, mangleBytes(valid, rng));
+        BinaryReader r(path);
+        if (!r.ok()) {
+            ++rejected; // bad magic / unreadable header
+            continue;
+        }
+        // Drive the reader exactly as the model loader would; every typed
+        // get must come back bounded and every failure must be clean.
+        const std::uint64_t count = r.getU64();
+        for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+            const std::string name = r.getString();
+            (void)r.getU64();
+            (void)r.getU64();
+            const std::vector<float> data = r.getFloats();
+            EXPECT_LE(name.size(), valid.size() + 16);
+            EXPECT_LE(data.size() * sizeof(float), valid.size() + 16);
+        }
+        if (!r.ok())
+            ++rejected; // clean mid-stream failure (truncation etc.)
+    }
+    EXPECT_GT(rejected, 5u); // magic-flips and truncations must reject
+}
+
+TEST(SerializeFuzz, CorruptModelLoadLeavesParametersUntouched)
+{
+    // Regression: load() used to commit parameters one by one, so a file
+    // corrupt at parameter k left parameters 0..k-1 silently overwritten.
+    const std::string path = tempPath("swordfish_fuzz_model.bin");
+    nn::SequenceModel saved = markerModel();
+    saved.save(path);
+    const std::string valid = slurp(path);
+
+    // Truncating after the header but mid-payload must fail *after* some
+    // parameters have parsed cleanly.
+    spit(path, valid.substr(0, valid.size() * 3 / 5));
+    nn::SequenceModel fresh = markerModel();
+    for (nn::Parameter* p : fresh.parameters())
+        for (float& v : p->value.raw())
+            v = -1.0f; // distinct from both the file and markerModel()
+    const auto before = paramSnapshot(fresh);
+    EXPECT_FALSE(fresh.load(path));
+    EXPECT_EQ(paramSnapshot(fresh), before);
+    std::remove(path.c_str());
+}
+
+TEST(SerializeFuzz, MutatedModelFilesNeverCrashLoader)
+{
+    const std::string path = tempPath("swordfish_fuzz_model2.bin");
+    nn::SequenceModel saved = markerModel();
+    saved.save(path);
+    const std::string valid = slurp(path);
+
+    Rng rng(0xb17e6);
+    std::size_t rejected = 0;
+    for (int round = 0; round < 60; ++round) {
+        SCOPED_TRACE("round " + std::to_string(round));
+        spit(path, mangleBytes(valid, rng));
+        nn::SequenceModel fresh = markerModel();
+        const auto before = paramSnapshot(fresh);
+        const bool ok = fresh.load(path);
+        if (!ok) {
+            ++rejected;
+            // All-or-nothing: a failed load leaves every parameter as it
+            // was.
+            EXPECT_EQ(paramSnapshot(fresh), before);
+        }
+    }
+    EXPECT_GT(rejected, 5u);
+    std::remove(path.c_str());
+}
