@@ -7,12 +7,92 @@
 #include "basecall/chunker.h"
 #include "nn/ctc.h"
 #include "util/fault.h"
+#include "util/metrics.h"
+#include "util/serialize.h"
+#include "util/shutdown.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
 
 namespace swordfish::basecall {
 
 namespace {
+
+/** Block length when checkpointing without a health epoch to align to. */
+constexpr std::size_t kDefaultBlockReads = 64;
+
+constexpr std::uint64_t kCheckpointVersion = 1;
+constexpr std::uint64_t kCheckpointTag = 0xc8ec9017ULL;
+
+/**
+ * Compatibility fingerprint of a checkpoint: resuming under a different
+ * read budget, decoder, or block length would splice incompatible halves,
+ * so such checkpoints are ignored and the run starts over.
+ */
+std::uint64_t
+checkpointFingerprint(std::size_t n, Decoder decoder, std::size_t beam,
+                      std::size_t block)
+{
+    return hashSeed({kCheckpointTag, n,
+                     static_cast<std::uint64_t>(decoder), beam, block});
+}
+
+/**
+ * Restore the completed-read prefix from `path` into the per-read slots.
+ * Returns false (leaving the slots untouched up to caller semantics: the
+ * caller only trusts indices < done) on any mismatch — missing file, bad
+ * magic/version, wrong fingerprint, torn payload, or a prefix that is not
+ * block-aligned.
+ */
+bool
+loadCheckpoint(const std::string& path, std::uint64_t fingerprint,
+               std::size_t n, std::size_t block, double* identity,
+               std::size_t* bases, ReadOutcome* outcomes,
+               std::size_t& done)
+{
+    BinaryReader in(path);
+    if (!in.ok())
+        return false;
+    if (in.getU64() != kCheckpointVersion
+        || in.getU64() != fingerprint)
+        return false;
+    const std::uint64_t prefix = in.getU64();
+    if (!in.ok() || prefix > n
+        || (prefix % block != 0 && prefix != n))
+        return false;
+    for (std::size_t i = 0; i < prefix; ++i) {
+        const std::int64_t outcome = in.getI64();
+        const double ident = in.getF64();
+        const std::uint64_t base_count = in.getU64();
+        if (outcome < 0
+            || outcome > static_cast<std::int64_t>(ReadOutcome::Retried))
+            return false;
+        outcomes[i] = static_cast<ReadOutcome>(outcome);
+        identity[i] = ident;
+        bases[i] = static_cast<std::size_t>(base_count);
+    }
+    if (!in.ok())
+        return false;
+    done = static_cast<std::size_t>(prefix);
+    return true;
+}
+
+/** Atomically persist the completed prefix [0, done). True on success. */
+bool
+writeCheckpoint(const std::string& path, std::uint64_t fingerprint,
+                std::size_t done, const double* identity,
+                const std::size_t* bases, const ReadOutcome* outcomes)
+{
+    AtomicBinaryWriter out(path);
+    out.writer().putU64(kCheckpointVersion);
+    out.writer().putU64(fingerprint);
+    out.writer().putU64(done);
+    for (std::size_t i = 0; i < done; ++i) {
+        out.writer().putI64(static_cast<std::int64_t>(outcomes[i]));
+        out.writer().putF64(identity[i]);
+        out.writer().putU64(bases[i]);
+    }
+    return out.commit();
+}
 
 /** CTC-decode one lane of logits (shared tail of every basecall path). */
 genomics::Sequence
@@ -284,7 +364,6 @@ evaluateAccuracy(nn::SequenceModel& model, const EvalRequest& req)
         ? dataset.reads.size()
         : std::min(dataset.reads.size(), req.maxReads);
     const std::size_t batch = resolvedBatch(req);
-    const std::size_t groups = n == 0 ? 0 : (n + batch - 1) / batch;
 
     const FaultInjector& inj = faultInjector();
     const bool faults = inj.enabled();
@@ -305,41 +384,119 @@ evaluateAccuracy(nn::SequenceModel& model, const EvalRequest& req)
         kIdentityHist.observe(identity[i]);
     };
 
-    auto eval_group = [&](nn::SequenceModel& m, std::size_t g) {
-        const std::size_t begin = g * batch;
-        const std::size_t end = std::min(n, begin + batch);
-        std::vector<genomics::Sequence> calls(end - begin);
-        basecallGroupDegraded(m, dataset, begin, end, req.decoder,
-                              req.beamWidth, outcomes.data() + begin,
-                              calls.data());
-        for (std::size_t k = 0; k < calls.size(); ++k) {
-            if (survives(outcomes[begin + k]))
-                record(begin + k, calls[k]);
-        }
-    };
+    // Worker replicas are grown lazily and reused across blocks so a
+    // block-mode run pays the model copies once, like the single-pass run.
+    std::vector<nn::SequenceModel> replicas;
 
-    ThreadPool& pool = globalPool();
-    const std::size_t shards = pool.shardCount(groups);
-    if (shards <= 1) {
-        for (std::size_t g = 0; g < groups; ++g)
-            eval_group(model, g);
-    } else {
-        auto replicas = makeWorkerReplicas(model, shards);
+    // One block of reads [r0, r1): groups of req.batch shard across the
+    // pool exactly as the historic whole-range pass did — run_block(0, n)
+    // is that pass, bitwise.
+    auto run_block = [&](std::size_t r0, std::size_t r1) {
+        const std::size_t span = r1 - r0;
+        const std::size_t block_groups =
+            span == 0 ? 0 : (span + batch - 1) / batch;
+        auto eval_group = [&](nn::SequenceModel& m, std::size_t g) {
+            const std::size_t begin = r0 + g * batch;
+            const std::size_t end = std::min(r1, begin + batch);
+            std::vector<genomics::Sequence> calls(end - begin);
+            basecallGroupDegraded(m, dataset, begin, end, req.decoder,
+                                  req.beamWidth, outcomes.data() + begin,
+                                  calls.data());
+            for (std::size_t k = 0; k < calls.size(); ++k) {
+                if (survives(outcomes[begin + k]))
+                    record(begin + k, calls[k]);
+            }
+        };
+
+        ThreadPool& pool = globalPool();
+        const std::size_t shards = pool.shardCount(block_groups);
+        if (shards <= 1) {
+            for (std::size_t g = 0; g < block_groups; ++g)
+                eval_group(model, g);
+            return;
+        }
+        if (replicas.size() < shards)
+            replicas = makeWorkerReplicas(model, shards);
         std::vector<std::function<void()>> tasks;
         tasks.reserve(shards);
         for (std::size_t s = 0; s < shards; ++s) {
             tasks.push_back([&, s] {
                 const auto [begin, end] =
-                    ThreadPool::shardRange(groups, shards, s);
+                    ThreadPool::shardRange(block_groups, shards, s);
                 for (std::size_t g = begin; g < end; ++g)
                     eval_group(replicas[s], g);
             });
         }
         pool.runTasks(std::move(tasks));
+    };
+
+    // Block mode engages only when something needs boundaries between
+    // reads: a healing backend (epoch-aligned blocks), checkpointing, or a
+    // stop budget. Otherwise the whole range runs as one pass, bitwise
+    // identical to the pre-block evaluator.
+    const std::size_t epoch_reads = model.backend().healthEpochReads();
+    const bool block_mode = epoch_reads > 0 || !req.checkpointPath.empty()
+        || req.stopAfterReads > 0;
+
+    std::size_t done = 0;
+    if (!block_mode) {
+        run_block(0, n);
+        done = n;
+    } else {
+        const std::size_t block = epoch_reads > 0
+            ? epoch_reads
+            : (req.checkpointEvery > 0 ? req.checkpointEvery
+                                       : kDefaultBlockReads);
+        const std::uint64_t fp = checkpointFingerprint(
+            n, req.decoder, req.beamWidth, block);
+        nn::VmmBackend& backend = model.backend();
+        if (!req.checkpointPath.empty()
+            && loadCheckpoint(req.checkpointPath, fp, n, block,
+                              identity.data(), bases.data(),
+                              outcomes.data(), done)) {
+            // Replay the healing history of the restored prefix: the
+            // backend's per-epoch draws are pure in (tile, epoch), so the
+            // resumed run continues bitwise from where the original left
+            // off. A complete checkpoint needs no replay — nothing runs.
+            if (done < n) {
+                for (std::size_t e = 0; e < done / block; ++e)
+                    backend.healthEpochAdvance();
+            }
+        }
+        while (done < n) {
+            const std::size_t r1 = std::min(n, done + block);
+            if (backend.healthDegraded()) {
+                // Healing exhausted its spares: results from dead tiles
+                // would be silent garbage, so the remaining reads degrade
+                // explicitly instead of poisoning accuracy.
+                for (std::size_t i = done; i < r1; ++i) {
+                    outcomes[i] = ReadOutcome::VmmFault;
+                    identity[i] = 0.0;
+                    bases[i] = 0;
+                }
+            } else {
+                run_block(done, r1);
+            }
+            done = r1;
+            if (!req.checkpointPath.empty())
+                writeCheckpoint(req.checkpointPath, fp, done,
+                                identity.data(), bases.data(),
+                                outcomes.data());
+            if (shutdownRequested()
+                || (req.stopAfterReads > 0 && done >= req.stopAfterReads)) {
+                res.interrupted = done < n;
+                break;
+            }
+            if (done < n)
+                backend.healthEpochAdvance();
+        }
+        if (res.interrupted)
+            writeMetricsIfConfigured();
     }
+    res.completedReads = done;
 
     double identity_sum = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t i = 0; i < done; ++i) {
         res.degraded.record(outcomes[i]);
         if (!survives(outcomes[i]))
             continue;

@@ -74,6 +74,13 @@ struct AccuracyResult
     std::size_t basesCalled = 0;  ///< total bases emitted by the decoder
     DegradedResult degraded;      ///< per-class failure breakdown; with
                                   ///< fault injection off every read is Ok
+    /**
+     * True when the run stopped early (shutdown request or
+     * req.stopAfterReads): the metrics above cover completedReads reads
+     * only, and a checkpointed run can be resumed from there.
+     */
+    bool interrupted = false;
+    std::size_t completedReads = 0; ///< reads processed (all outcomes)
 };
 
 /**

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "util/env.h"
 
@@ -116,6 +117,28 @@ struct EvalRequest
     std::size_t threads = kInheritThreads; ///< pool width for this call
     Decoder decoder = Decoder::Greedy;
     std::size_t beamWidth = 8;   ///< only used with Decoder::Beam
+
+    /**
+     * Checkpoint file for long runs: completed-read state is written there
+     * atomically after every block, and an existing compatible checkpoint
+     * is resumed from (bitwise identical to the uninterrupted run). Empty
+     * = no checkpointing.
+     */
+    std::string checkpointPath;
+
+    /**
+     * Block length in reads between checkpoints when no health epoch
+     * dictates one (0 = default block size). With a healing backend the
+     * epoch length wins so checkpoints land on epoch boundaries.
+     */
+    std::size_t checkpointEvery = 0;
+
+    /**
+     * Stop (gracefully, as if SIGTERM arrived) once this many reads have
+     * completed. 0 = run to the end. Tests use it to cut a run at an exact
+     * block boundary and resume it.
+     */
+    std::size_t stopAfterReads = 0;
 };
 
 /** The effective batch capacity of a request (>= 1). */
@@ -205,6 +228,27 @@ class EvalOptions
     beamWidth(std::size_t w)
     {
         req_.beamWidth = w;
+        return *this;
+    }
+
+    EvalOptions&
+    checkpoint(std::string path)
+    {
+        req_.checkpointPath = std::move(path);
+        return *this;
+    }
+
+    EvalOptions&
+    checkpointEvery(std::size_t reads)
+    {
+        req_.checkpointEvery = reads;
+        return *this;
+    }
+
+    EvalOptions&
+    stopAfterReads(std::size_t reads)
+    {
+        req_.stopAfterReads = reads;
         return *this;
     }
 

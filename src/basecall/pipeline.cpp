@@ -42,32 +42,61 @@ runPipeline(nn::SequenceModel& model, const EvalRequest& req)
     std::vector<ReadOutcome> outcomes(n, ReadOutcome::Ok);
     const std::size_t batch = resolvedBatch(req);
     const std::size_t groups = n == 0 ? 0 : (n + batch - 1) / batch;
-    auto call_group = [&](nn::SequenceModel& m, std::size_t g) {
-        const std::size_t begin = g * batch;
-        const std::size_t end = std::min(n, begin + batch);
-        basecallGroupDegraded(m, dataset, begin, end, req.decoder,
-                              req.beamWidth, outcomes.data() + begin,
-                              calls.data() + begin);
+    (void)groups;
+    std::vector<nn::SequenceModel> replicas;
+    auto call_block = [&](std::size_t r0, std::size_t r1) {
+        const std::size_t span = r1 - r0;
+        const std::size_t block_groups =
+            span == 0 ? 0 : (span + batch - 1) / batch;
+        auto call_group = [&](nn::SequenceModel& m, std::size_t g) {
+            const std::size_t begin = r0 + g * batch;
+            const std::size_t end = std::min(r1, begin + batch);
+            basecallGroupDegraded(m, dataset, begin, end, req.decoder,
+                                  req.beamWidth, outcomes.data() + begin,
+                                  calls.data() + begin);
+        };
+        const std::size_t shards = pool.shardCount(block_groups);
+        if (shards <= 1) {
+            for (std::size_t g = 0; g < block_groups; ++g)
+                call_group(model, g);
+            return;
+        }
+        if (replicas.size() < shards)
+            replicas = makeWorkerReplicas(model, shards);
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(shards);
+        for (std::size_t s = 0; s < shards; ++s) {
+            tasks.push_back([&, s] {
+                const auto [begin, end] =
+                    ThreadPool::shardRange(block_groups, shards, s);
+                for (std::size_t g = begin; g < end; ++g)
+                    call_group(replicas[s], g);
+            });
+        }
+        pool.runTasks(std::move(tasks));
     };
     {
         TraceSpan trace(kBasecallSpan);
-        const std::size_t shards = pool.shardCount(groups);
-        if (shards <= 1) {
-            for (std::size_t g = 0; g < groups; ++g)
-                call_group(model, g);
+        // With a self-healing backend, basecalling proceeds in epoch-sized
+        // blocks so tiles stay frozen while reads are in flight; without
+        // one the whole range is a single block (the historic pass).
+        const std::size_t epoch_reads = model.backend().healthEpochReads();
+        if (epoch_reads == 0) {
+            call_block(0, n);
         } else {
-            auto replicas = makeWorkerReplicas(model, shards);
-            std::vector<std::function<void()>> tasks;
-            tasks.reserve(shards);
-            for (std::size_t s = 0; s < shards; ++s) {
-                tasks.push_back([&, s] {
-                    const auto [begin, end] =
-                        ThreadPool::shardRange(groups, shards, s);
-                    for (std::size_t g = begin; g < end; ++g)
-                        call_group(replicas[s], g);
-                });
+            std::size_t done = 0;
+            while (done < n) {
+                const std::size_t r1 = std::min(n, done + epoch_reads);
+                if (model.backend().healthDegraded()) {
+                    for (std::size_t i = done; i < r1; ++i)
+                        outcomes[i] = ReadOutcome::VmmFault;
+                } else {
+                    call_block(done, r1);
+                }
+                done = r1;
+                if (done < n)
+                    model.backend().healthEpochAdvance();
             }
-            pool.runTasks(std::move(tasks));
         }
     }
     report.stages.push_back({"Basecalling", watch.seconds(), 0.0});

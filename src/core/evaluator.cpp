@@ -1,6 +1,7 @@
 #include "evaluator.h"
 
 #include "core/deploy.h"
+#include "util/shutdown.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
 
@@ -30,15 +31,26 @@ evaluateNonIdealAccuracy(nn::SequenceModel& model, const NonIdealSetup& setup,
 
     std::vector<double> run_mean(runs, 0.0);
     std::vector<DegradedResult> run_degraded(runs);
+    std::vector<std::uint8_t> run_complete(runs, 0);
+    const bool checkpointing = !req.checkpointPath.empty();
     auto run_one = [&](nn::SequenceModel& m, std::size_t r) {
+        // A graceful-shutdown request stops a checkpointed sweep before
+        // starting further runs; the in-flight ones checkpoint themselves.
+        if (checkpointing && shutdownRequested())
+            return;
         TraceSpan trace(kMcRunSpan);
         kMcRuns.add();
         CrossbarVmmBackend backend(setup.scenario, req.seedBase + r);
         backend.setSramRemap(setup.remap);
         m.setBackend(&backend);
-        const auto acc = basecall::evaluateAccuracy(m, per_run);
+        EvalRequest this_run = per_run;
+        if (checkpointing)
+            this_run.checkpointPath =
+                req.checkpointPath + ".run" + std::to_string(r);
+        const auto acc = basecall::evaluateAccuracy(m, this_run);
         run_mean[r] = acc.meanIdentity;
         run_degraded[r] = acc.degraded;
+        run_complete[r] = acc.interrupted ? 0 : 1;
         m.setBackend(nullptr);
     };
 
@@ -65,9 +77,16 @@ evaluateNonIdealAccuracy(nn::SequenceModel& model, const NonIdealSetup& setup,
     }
     model.setBackend(nullptr);
 
+    // Fold complete runs only, in run order — an interrupted sweep reports
+    // what finished and flags itself; resuming it completes the remaining
+    // runs from their checkpoints and reproduces the uninterrupted summary.
     RunningStat stat;
     AccuracySummary summary;
     for (std::size_t r = 0; r < runs; ++r) {
+        if (!run_complete[r]) {
+            summary.interrupted = true;
+            continue;
+        }
         stat.add(run_mean[r]);
         summary.degraded.merge(run_degraded[r]);
     }

@@ -46,6 +46,12 @@ struct AccuracySummary
     DegradedResult degraded; ///< fault breakdown folded over all runs
                              ///< (in run order); all-Ok when injection is
                              ///< off
+    /**
+     * True when a checkpointed sweep stopped early (graceful shutdown or
+     * req.stopAfterReads): only complete runs are folded into the summary
+     * and the sweep can resume from the per-run checkpoints.
+     */
+    bool interrupted = false;
 };
 
 /**

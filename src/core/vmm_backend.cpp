@@ -125,6 +125,12 @@ CrossbarVmmBackend::CrossbarVmmBackend(const NonIdealityConfig& config,
         library_.emplace(config_.crossbar.size, config_.library, 10000,
                          hashSeed({0x11b5eedULL}));
     }
+    // Self-healing runtime (core/health.h): only the analytical modes own
+    // live tiles that age and can be re-programmed; the measured mode is a
+    // static chip snapshot, so healing is a no-op there by construction.
+    const RefreshConfig refresh = refreshConfig();
+    if (refresh.enabled() && !config_.usesLibrary())
+        health_ = std::make_unique<TileHealthMonitor>(*this, refresh);
 }
 
 void
@@ -225,11 +231,19 @@ CrossbarVmmBackend::mapped(const std::string& name, const Matrix& w)
     mw.cols = w.cols();
     mw.absMax = w.absMax() > 0.0f ? w.absMax() : 1.0f;
     sramMasks_[name].assign(w.size(), 0);
+    std::vector<Matrix> truths;
     if (config_.usesLibrary())
         programMeasured(mw, name, w);
     else
-        programAnalytical(mw, name, w);
-    return weights_.emplace(name, std::move(mw)).first->second;
+        programAnalytical(mw, name, w,
+                          health_ != nullptr ? &truths : nullptr);
+    const MappedWeight& slot =
+        weights_.emplace(name, std::move(mw)).first->second;
+    // Registration replays any elapsed health epochs (still under the
+    // unique programming lock, so no matmul sees a half-healed weight).
+    if (health_ != nullptr && !config_.usesLibrary())
+        health_->registerWeight(name, std::move(truths));
+    return slot;
 }
 
 std::vector<std::uint8_t>
@@ -266,7 +280,8 @@ CrossbarVmmBackend::selectSramCells(const Matrix& error,
 void
 CrossbarVmmBackend::programAnalytical(MappedWeight& mw,
                                       const std::string& name,
-                                      const Matrix& w)
+                                      const Matrix& w,
+                                      std::vector<Matrix>* truths)
 {
     static const SpanStat kProgramSpan = metrics().span("program");
     static const Counter kProgramTiles =
@@ -287,6 +302,8 @@ CrossbarVmmBackend::programAnalytical(MappedWeight& mw,
     // the result identical to the serial order.
     std::vector<std::optional<crossbar::CrossbarTile>> built(
         row_tiles * col_tiles);
+    if (truths != nullptr)
+        truths->resize(row_tiles * col_tiles);
     globalPool().parallelFor(row_tiles * col_tiles, [&](std::size_t idx) {
         const std::size_t rt = idx / col_tiles;
         const std::size_t ct = idx % col_tiles;
@@ -299,6 +316,11 @@ CrossbarVmmBackend::programAnalytical(MappedWeight& mw,
         for (std::size_t r = r0; r < r1; ++r)
             for (std::size_t c = c0; c < c1; ++c)
                 sub(r - r0, c - c0) = w(r, c);
+        // The health monitor needs the *intended* weights: a tile killed
+        // by the programming fault below is detected (and re-programmed)
+        // precisely because its truth differs from what it computes.
+        if (truths != nullptr)
+            (*truths)[idx] = sub;
 
         // A failed tile programming leaves the tile dead (all-zero target
         // weights) instead of aborting the run; the key is pure in

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "core/health.h"
 #include "core/nonideality.h"
 #include "nn/module.h"
 
@@ -121,7 +122,36 @@ class CrossbarVmmBackend : public nn::VmmBackend
 
     const NonIdealityConfig& config() const { return config_; }
 
+    /**
+     * The self-healing maintenance loop (see core/health.h), created when
+     * the active RefreshConfig is enabled. Only the analytical modes have
+     * live tiles to age/refresh; the measured mode snapshots chip
+     * characterization data and has no healing runtime.
+     */
+    std::size_t
+    healthEpochReads() const override
+    {
+        return health_ != nullptr ? health_->epochReads() : 0;
+    }
+
+    void
+    healthEpochAdvance() override
+    {
+        if (health_ != nullptr)
+            health_->advanceEpoch();
+    }
+
+    bool
+    healthDegraded() const override
+    {
+        return health_ != nullptr && health_->degraded();
+    }
+
+    /** The monitor, or nullptr when healing is off. */
+    const TileHealthMonitor* health() const { return health_.get(); }
+
   private:
+    friend class TileHealthMonitor;
     /** Tiled non-ideal representation of one weight matrix. */
     struct MappedWeight
     {
@@ -138,8 +168,14 @@ class CrossbarVmmBackend : public nn::VmmBackend
     };
 
     const MappedWeight& mapped(const std::string& name, const Matrix& w);
+    /**
+     * When `truths` is non-null it receives each tile's pre-fault digital
+     * sub-matrix in row-major tile order (the health monitor's ground
+     * truth for probes and re-programming).
+     */
     void programAnalytical(MappedWeight& mw, const std::string& name,
-                           const Matrix& w);
+                           const Matrix& w,
+                           std::vector<Matrix>* truths = nullptr);
     void programMeasured(MappedWeight& mw, const std::string& name,
                          const Matrix& w);
     std::vector<std::uint8_t> selectSramCells(const Matrix& error,
@@ -162,6 +198,7 @@ class CrossbarVmmBackend : public nn::VmmBackend
     std::map<std::string, MappedWeight> weights_;
     std::map<std::string, std::vector<std::uint8_t>> sramMasks_;
     std::atomic<std::size_t> tileCount_ = 0;
+    std::unique_ptr<TileHealthMonitor> health_; ///< null = healing off
 };
 
 } // namespace swordfish::core

@@ -310,10 +310,15 @@ CrossbarTile::applyDrift(double hours, const DriftConfig& drift, Rng& rng)
 }
 
 void
-CrossbarTile::refresh(std::uint64_t new_seed)
+CrossbarTile::reprogram(std::uint64_t new_seed)
 {
     agedHours_ = 0.0;
     buildEffectiveWeights(toggles_, new_seed);
+    // SRAM-remapped cells are digital: they neither drift nor pick up
+    // fresh programming noise, so restore their exact values.
+    for (std::size_t i = 0; i < sramMask_.size(); ++i)
+        if (sramMask_[i] != 0)
+            effective_.raw()[i] = ideal_.raw()[i];
 }
 
 Matrix
@@ -330,6 +335,7 @@ CrossbarTile::remapCellsToSram(const std::vector<std::uint8_t>& mask)
 {
     if (mask.size() != ideal_.size())
         panic("CrossbarTile::remapCellsToSram: mask size mismatch");
+    sramMask_ = mask;
     for (std::size_t i = 0; i < mask.size(); ++i)
         if (mask[i] != 0)
             effective_.raw()[i] = ideal_.raw()[i];

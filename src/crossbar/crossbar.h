@@ -163,9 +163,13 @@ class CrossbarTile
     /**
      * Overwrite selected cells with exact digital weights (models RSA's
      * SRAM remap: inputs for those devices route through SRAM instead).
-     * mask has one entry per cell; true = remapped to SRAM.
+     * mask has one entry per cell; true = remapped to SRAM. The mask is
+     * retained so reprogram() restores the remap automatically.
      */
     void remapCellsToSram(const std::vector<std::uint8_t>& mask);
+
+    /** The retained SRAM remap mask (empty when no cells are remapped). */
+    const std::vector<std::uint8_t>& sramMask() const { return sramMask_; }
 
     /**
      * Age the tile: apply retention drift for `hours` of operation since
@@ -173,13 +177,17 @@ class CrossbarTile
      */
     void applyDrift(double hours, const DriftConfig& drift, Rng& rng);
 
+    /** Cumulative drift hours since the last (re)programming. */
+    double agedHours() const { return agedHours_; }
+
     /**
      * Reprogram the tile in place (R-V-W style refresh): regenerates the
      * effective weights with fresh programming noise, clearing any
-     * accumulated drift. SRAM-remapped cells must be re-applied by the
-     * caller.
+     * accumulated drift. Cells previously remapped to SRAM are digital
+     * state and do not drift or re-program, so their exact values are
+     * re-applied from the retained mask.
      */
-    void refresh(std::uint64_t new_seed);
+    void reprogram(std::uint64_t new_seed);
 
     std::size_t rows() const { return ideal_.rows(); }
     std::size_t cols() const { return ideal_.cols(); }
@@ -195,6 +203,7 @@ class CrossbarTile
     Matrix effective_;         ///< what the analog tile actually computes
     float absMax_;
     double agedHours_ = 0.0;   ///< cumulative drift time since programming
+    std::vector<std::uint8_t> sramMask_; ///< retained remap (may be empty)
     std::vector<float> colSneak_; ///< per-output sneak leakage coefficient
     std::optional<DacModel> dac_;
     std::optional<AdcModel> adc_;

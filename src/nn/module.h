@@ -125,6 +125,31 @@ class VmmBackend
     }
 
     /**
+     * Health-epoch granularity in reads: > 0 when the backend runs a
+     * self-healing maintenance loop (tile aging + probes + refresh) every
+     * that-many reads. The evaluation loops align their processing blocks
+     * to this so tiles stay frozen while reads are in flight. Default 0:
+     * no maintenance loop.
+     */
+    virtual std::size_t healthEpochReads() const { return 0; }
+
+    /**
+     * Advance the maintenance loop one epoch: age tiles, probe their
+     * health, and refresh / fail over unhealthy ones. Called serially
+     * between read blocks (never concurrently with matmuls). Default:
+     * no-op for backends without a healing runtime.
+     */
+    virtual void healthEpochAdvance() {}
+
+    /**
+     * True once healing has exhausted its spares and a dead tile can no
+     * longer be repaired: subsequent reads through this backend are
+     * unreliable and the caller should degrade them instead of trusting
+     * the output. Default: never degraded.
+     */
+    virtual bool healthDegraded() const { return false; }
+
+    /**
      * onActivations() restricted to rows [row_begin, row_end) of a stacked
      * operand — one lane's slice. Default: copy out, apply, copy back.
      */

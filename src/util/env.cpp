@@ -49,7 +49,8 @@ RuntimeConfig::toJson() const
         << ",\"retrain_epochs\":" << retrainEpochs << ",\"metrics_out\":\""
         << jsonEscape(metricsOut) << "\",\"artifacts\":\""
         << jsonEscape(artifacts) << "\",\"faults\":\""
-        << jsonEscape(faults) << "\"}";
+        << jsonEscape(faults) << "\",\"refresh\":\""
+        << jsonEscape(refresh) << "\"}";
     return out.str();
 }
 
@@ -66,6 +67,7 @@ RuntimeConfig::fromEnvironment()
     cfg.metricsOut = envString("SWORDFISH_METRICS_OUT");
     cfg.artifacts = envString("SWORDFISH_ARTIFACTS");
     cfg.faults = envString("SWORDFISH_FAULTS");
+    cfg.refresh = envString("SWORDFISH_REFRESH");
     return cfg;
 }
 

@@ -58,6 +58,7 @@ struct RuntimeConfig
     std::string metricsOut;  ///< SWORDFISH_METRICS_OUT; empty = no dump
     std::string artifacts;   ///< SWORDFISH_ARTIFACTS; empty = caller default
     std::string faults;      ///< SWORDFISH_FAULTS; empty = no injection
+    std::string refresh;     ///< SWORDFISH_REFRESH; empty = healing off
 
     /** Pool width: the env override, else hardware concurrency (min 1). */
     std::size_t poolThreads() const;

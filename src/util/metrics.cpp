@@ -2,6 +2,7 @@
 
 #include "env.h"
 #include "sanitize.h"
+#include "serialize.h"
 
 #include <algorithm>
 #include <atomic>
@@ -524,11 +525,9 @@ MetricsSnapshot::toJson() const
 bool
 MetricsRegistry::writeJsonFile(const std::string& path) const
 {
-    std::ofstream out(path);
-    if (!out)
-        return false;
-    out << snapshot().toJson() << '\n';
-    return static_cast<bool>(out);
+    // Atomic (temp + fsync + rename): a crash or signal mid-export never
+    // leaves a truncated metrics file behind for a watcher to misparse.
+    return atomicWriteFile(path, snapshot().toJson() + '\n');
 }
 
 bool

@@ -1,0 +1,110 @@
+#include "serialize.h"
+
+#include <cstdio>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace swordfish {
+
+namespace {
+
+/** fsync the object at `path`; false when it cannot be opened or synced. */
+bool
+syncPath(const std::string& path, int open_flags)
+{
+    const int fd = ::open(path.c_str(), open_flags);
+    if (fd < 0)
+        return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+}
+
+/** Directory containing `path` ("." when it has no separator). */
+std::string
+parentDir(const std::string& path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    return slash == 0 ? "/" : path.substr(0, slash);
+}
+
+} // namespace
+
+std::string
+atomicTempPath(const std::string& path)
+{
+    // Per-process suffix so concurrent writers of different runs never
+    // stage through the same temp file.
+    return path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+}
+
+bool
+atomicCommitFile(const std::string& temp_path, const std::string& path)
+{
+    if (!syncPath(temp_path, O_RDONLY)) {
+        std::remove(temp_path.c_str());
+        return false;
+    }
+    if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
+        std::remove(temp_path.c_str());
+        return false;
+    }
+    // Make the rename itself durable. Failing here does not undo the
+    // rename (the new file is in place, just not yet guaranteed on disk),
+    // so the directory sync is best-effort.
+    syncPath(parentDir(path), O_RDONLY | O_DIRECTORY);
+    return true;
+}
+
+bool
+atomicWriteFile(const std::string& path, const std::string& contents)
+{
+    const std::string temp = atomicTempPath(path);
+    {
+        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        if (!contents.empty())
+            out.write(contents.data(),
+                      static_cast<std::streamsize>(contents.size()));
+        out.flush();
+        if (!out) {
+            out.close();
+            std::remove(temp.c_str());
+            return false;
+        }
+    }
+    return atomicCommitFile(temp, path);
+}
+
+AtomicBinaryWriter::AtomicBinaryWriter(const std::string& path)
+    : path_(path), tempPath_(atomicTempPath(path)), writer_(tempPath_)
+{}
+
+AtomicBinaryWriter::~AtomicBinaryWriter()
+{
+    if (!committed_) {
+        writer_.close();
+        std::remove(tempPath_.c_str());
+    }
+}
+
+bool
+AtomicBinaryWriter::commit()
+{
+    if (committed_)
+        return committedOk_;
+    committed_ = true; // the temp file is resolved below either way
+    if (!writer_.close()) {
+        std::remove(tempPath_.c_str());
+        committedOk_ = false;
+        return false;
+    }
+    committedOk_ = atomicCommitFile(tempPath_, path_);
+    return committedOk_;
+}
+
+} // namespace swordfish

@@ -72,6 +72,16 @@ class BinaryWriter
     /** True when all writes so far succeeded. */
     bool good() const { return static_cast<bool>(out_); }
 
+    /** Flush and close the stream; true when every write landed. */
+    bool
+    close()
+    {
+        out_.flush();
+        const bool ok = static_cast<bool>(out_);
+        out_.close();
+        return ok && static_cast<bool>(out_);
+    }
+
     static constexpr std::uint64_t kMagic = 0x53574f5244462331ULL; // "SWORDF#1"
 
   private:
@@ -171,6 +181,54 @@ class BinaryReader
 
     std::ifstream in_;
     std::uint64_t fileSize_ = 0;
+};
+
+/** The sibling temp-file path the atomic writers stage `path` through. */
+std::string atomicTempPath(const std::string& path);
+
+/**
+ * Durably move `temp_path` over `path`: fsync the temp file's bytes,
+ * rename it into place, then fsync the containing directory so the rename
+ * survives a crash. A failure at any point removes the temp file and
+ * leaves whatever was previously at `path` untouched. Returns success.
+ */
+bool atomicCommitFile(const std::string& temp_path, const std::string& path);
+
+/**
+ * Write `contents` to `path` atomically (temp file in the same directory +
+ * fsync + rename): a crash can leave the old file or the new one at
+ * `path`, never a torn mix. Returns false on any I/O failure, in which
+ * case `path` is untouched.
+ */
+bool atomicWriteFile(const std::string& path, const std::string& contents);
+
+/**
+ * BinaryWriter variant with atomic-replace semantics: all puts go to a
+ * sibling temp file; commit() fsyncs and renames it over `path`. Without a
+ * successful commit() the destructor removes the temp file and `path` is
+ * never touched — checkpoints written through this can always be trusted.
+ */
+class AtomicBinaryWriter
+{
+  public:
+    explicit AtomicBinaryWriter(const std::string& path);
+    ~AtomicBinaryWriter();
+
+    /** The staged stream; magic header already written. */
+    BinaryWriter& writer() { return writer_; }
+
+    /** Flush + fsync + rename into place; false leaves `path` untouched. */
+    bool commit();
+
+    AtomicBinaryWriter(const AtomicBinaryWriter&) = delete;
+    AtomicBinaryWriter& operator=(const AtomicBinaryWriter&) = delete;
+
+  private:
+    std::string path_;
+    std::string tempPath_;
+    BinaryWriter writer_;
+    bool committed_ = false;
+    bool committedOk_ = false;
 };
 
 } // namespace swordfish

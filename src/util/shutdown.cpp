@@ -1,0 +1,52 @@
+#include "shutdown.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+
+namespace swordfish {
+
+namespace {
+
+std::atomic<bool> g_requested{false};
+std::atomic<bool> g_installed{false};
+
+// Only async-signal-safe operations are allowed here: one lock-free
+// atomic exchange, and _Exit on the second signal.
+void
+onShutdownSignal(int sig)
+{
+    if (g_requested.exchange(true, std::memory_order_relaxed))
+        std::_Exit(128 + sig);
+}
+
+} // namespace
+
+void
+installShutdownHandler()
+{
+    if (g_installed.exchange(true, std::memory_order_relaxed))
+        return;
+    std::signal(SIGINT, onShutdownSignal);
+    std::signal(SIGTERM, onShutdownSignal);
+}
+
+bool
+shutdownRequested()
+{
+    return g_requested.load(std::memory_order_relaxed);
+}
+
+void
+requestShutdown()
+{
+    g_requested.store(true, std::memory_order_relaxed);
+}
+
+void
+clearShutdownRequest()
+{
+    g_requested.store(false, std::memory_order_relaxed);
+}
+
+} // namespace swordfish

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Cooperative graceful-shutdown support for long-running evaluations.
+ *
+ * installShutdownHandler() arms SIGINT/SIGTERM to set a process-wide flag
+ * instead of killing the process; the evaluation loops poll
+ * shutdownRequested() at read-block boundaries, finish the in-flight
+ * reads, flush metrics and the checkpoint, and return with
+ * `interrupted = true`. A second signal exits immediately (the user
+ * insists), so a hung run can still be killed with a double Ctrl-C.
+ *
+ * requestShutdown()/clearShutdownRequest() drive the same flag
+ * programmatically — tests and drivers use them to exercise the
+ * checkpoint/resume path without raising real signals.
+ */
+
+#ifndef SWORDFISH_UTIL_SHUTDOWN_H
+#define SWORDFISH_UTIL_SHUTDOWN_H
+
+namespace swordfish {
+
+/**
+ * Install the SIGINT/SIGTERM handlers (idempotent). Call early in drivers
+ * that want kill-safe sweeps; libraries never install handlers themselves.
+ */
+void installShutdownHandler();
+
+/** True once a shutdown was requested by signal or requestShutdown(). */
+bool shutdownRequested();
+
+/** Request a graceful shutdown programmatically. */
+void requestShutdown();
+
+/** Reset the flag (tests re-arm between scenarios). */
+void clearShutdownRequest();
+
+} // namespace swordfish
+
+#endif // SWORDFISH_UTIL_SHUTDOWN_H

@@ -143,9 +143,39 @@ TEST(Drift, RefreshRestoresProgrammedState)
     Rng rng(12);
     tile.applyDrift(1000.0, crossbar::DriftConfig{}, rng);
     ASSERT_LT(tile.effectiveWeights().frobeniusNorm(), norm_fresh);
-    tile.refresh(13);
+    tile.reprogram(13);
     EXPECT_NEAR(tile.effectiveWeights().frobeniusNorm(), norm_fresh,
                 0.02f * norm_fresh);
+}
+
+TEST(Drift, ReprogramReappliesSramRemap)
+{
+    crossbar::CrossbarConfig config;
+    const Matrix w = randomMatrix(16, 16, 17);
+    crossbar::CrossbarTile tile(config, w, 0.0f,
+                                crossbar::NoiseToggles::combined(), 18);
+
+    // Remap every third cell to SRAM: those cells must read back the exact
+    // digital weight.
+    std::vector<std::uint8_t> mask(w.size(), 0);
+    for (std::size_t i = 0; i < mask.size(); i += 3)
+        mask[i] = 1;
+    tile.remapCellsToSram(mask);
+    for (std::size_t i = 0; i < mask.size(); ++i)
+        if (mask[i] != 0)
+            ASSERT_EQ(tile.effectiveWeights().raw()[i], w.raw()[i]);
+
+    // Age the tile, then reprogram with a fresh seed. SRAM cells are
+    // digital state, so the reprogram must restore them exactly even
+    // though the analog cells pick up fresh programming noise.
+    Rng rng(19);
+    tile.applyDrift(500.0, crossbar::DriftConfig{}, rng);
+    tile.reprogram(20);
+    EXPECT_EQ(tile.agedHours(), 0.0);
+    for (std::size_t i = 0; i < mask.size(); ++i)
+        if (mask[i] != 0)
+            EXPECT_EQ(tile.effectiveWeights().raw()[i], w.raw()[i]);
+    EXPECT_EQ(tile.sramMask(), mask);
 }
 
 TEST(Drift, ZeroHoursIsNoOp)

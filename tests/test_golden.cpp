@@ -23,6 +23,7 @@
 #include "core/nonideality.h"
 #include "genomics/dataset.h"
 #include "util/fault.h"
+#include "util/serialize.h"
 #include "util/thread_pool.h"
 
 using namespace swordfish;
@@ -152,10 +153,11 @@ TEST(Golden, EvaluationMatchesSnapshot)
     const Snapshot actual = computeSnapshot();
 
     if (g_update_golden) {
-        std::ofstream out(g_golden_path);
-        ASSERT_TRUE(out) << "cannot write " << g_golden_path;
-        out << toJson(actual);
-        ASSERT_TRUE(out.good());
+        // Atomic rewrite: an interrupted --update-golden never leaves a
+        // half-written snapshot for the next run to diff against.
+        ASSERT_TRUE(swordfish::atomicWriteFile(g_golden_path,
+                                               toJson(actual)))
+            << "cannot write " << g_golden_path;
         GTEST_SKIP() << "golden snapshot rewritten: " << g_golden_path;
     }
 

@@ -351,3 +351,49 @@ TEST(SerializeFuzz, MutatedModelFilesNeverCrashLoader)
     EXPECT_GT(rejected, 5u);
     std::remove(path.c_str());
 }
+
+TEST(AtomicWrite, WriteFileReplacesWholeContents)
+{
+    const std::string path = tempPath("swordfish_atomic_write.txt");
+    spit(path, "old contents");
+    ASSERT_TRUE(atomicWriteFile(path, "new contents"));
+    EXPECT_EQ(slurp(path), "new contents");
+    // No staging temp file left behind.
+    EXPECT_FALSE(std::filesystem::exists(atomicTempPath(path)));
+    std::remove(path.c_str());
+}
+
+TEST(AtomicWrite, BinaryWriterCommitPublishesAndAbortPreserves)
+{
+    const std::string path = tempPath("swordfish_atomic_ckpt.bin");
+    spit(path, "precious");
+    {
+        // Destroyed without commit(): path untouched, temp removed.
+        AtomicBinaryWriter w(path);
+        w.writer().putU64(1);
+        ASSERT_TRUE(w.writer().good());
+    }
+    EXPECT_EQ(slurp(path), "precious");
+    EXPECT_FALSE(std::filesystem::exists(atomicTempPath(path)));
+    {
+        AtomicBinaryWriter w(path);
+        w.writer().putU64(7);
+        w.writer().putString("checkpoint");
+        ASSERT_TRUE(w.commit());
+        EXPECT_TRUE(w.commit()) << "commit must be idempotent";
+    }
+    BinaryReader r(path);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.getU64(), 7u);
+    EXPECT_EQ(r.getString(), "checkpoint");
+    EXPECT_FALSE(std::filesystem::exists(atomicTempPath(path)));
+    std::remove(path.c_str());
+}
+
+TEST(AtomicWrite, WriteFileFailsCleanlyOnBadDirectory)
+{
+    const std::string path =
+        tempPath("swordfish_no_such_dir/sub/metrics.json");
+    EXPECT_FALSE(atomicWriteFile(path, "x"));
+    EXPECT_FALSE(std::filesystem::exists(path));
+}
