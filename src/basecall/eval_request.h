@@ -139,6 +139,14 @@ struct EvalRequest
      * block boundary and resume it.
      */
     std::size_t stopAfterReads = 0;
+
+    /**
+     * Route quantized evaluation through the true-integer int8 backend
+     * (core::Int8Backend): int8 weights with per-row scales, int8
+     * activations, exact int32 accumulation. Only consulted by
+     * evaluateQuantizedAccuracy; the default float path is unaffected.
+     */
+    bool int8Kernel = false;
 };
 
 /** The effective batch capacity of a request (>= 1). */
@@ -249,6 +257,13 @@ class EvalOptions
     stopAfterReads(std::size_t reads)
     {
         req_.stopAfterReads = reads;
+        return *this;
+    }
+
+    EvalOptions&
+    int8Kernel(bool enable = true)
+    {
+        req_.int8Kernel = enable;
         return *this;
     }
 

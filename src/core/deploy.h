@@ -8,9 +8,14 @@
 #ifndef SWORDFISH_CORE_DEPLOY_H
 #define SWORDFISH_CORE_DEPLOY_H
 
+#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 
 #include "nn/model.h"
+#include "tensor/kernels.h"
+#include "tensor/lanes.h"
 #include "tensor/quantize.h"
 
 namespace swordfish::core {
@@ -76,6 +81,90 @@ class QuantOnlyBackend : public nn::VmmBackend
 
   private:
     Quantizer actQuant_;
+};
+
+/**
+ * True-integer int8 inference backend: weights live on a symmetric ±127
+ * int8 grid with per-output-row scales, activations requantize to int8 per
+ * VMM call, products accumulate exactly in int32 (int16-exact per product),
+ * and only the final dequantization returns to float. This is the digital
+ * mirror of the ADC-quantized crossbar path — the weight grid *is* the
+ * weight quantization, so callers hand it the unquantized model.
+ *
+ * Integer arithmetic is exact, so results are bitwise-identical across
+ * SIMD levels, thread counts, and batching by construction.
+ */
+class Int8Backend : public nn::VmmBackend
+{
+  public:
+    explicit Int8Backend(const QuantConfig& quant)
+        : actQuant_(quant.activationBits)
+    {}
+
+    void
+    matmul(const std::string& name, const Matrix& w, const Matrix& x,
+           Matrix& y) override
+    {
+        const Int8Tensor& wq = mapped(name, w);
+        thread_local Int8Vec xq;
+        const float scale = quantizeRowsInt8(x, 0, x.rows(), xq);
+        y.resize(x.rows(), w.rows());
+        kernels::int8Matmul(xq.data(), x.rows(), scale, wq, y, 0);
+    }
+
+    /**
+     * Per-lane activation requantization (one scale per lane span), so a
+     * stacked pass reproduces the serial per-lane calls bitwise.
+     */
+    void
+    matmulBatched(const std::string& name, const Matrix& w, const Matrix& x,
+                  Matrix& y, const BatchLayout& layout) override
+    {
+        const Int8Tensor& wq = mapped(name, w);
+        thread_local Int8Vec xq;
+        y.resize(x.rows(), w.rows());
+        for (const LaneBlock& blk : laneBlocks(layout)) {
+            const float scale =
+                quantizeRowsInt8(x, blk.rowBegin, blk.rowEnd, xq);
+            kernels::int8Matmul(xq.data(), blk.rowEnd - blk.rowBegin, scale,
+                                wq, y, blk.rowBegin);
+        }
+    }
+
+    void
+    onActivations(Matrix& activations) override
+    {
+        actQuant_.apply(activations);
+    }
+
+    void
+    onActivationsRows(Matrix& m, std::size_t row_begin,
+                      std::size_t row_end) override
+    {
+        actQuant_.applyRows(m, row_begin, row_end);
+    }
+
+  private:
+    /** Quantize-on-first-use weight cache, shared across worker threads. */
+    const Int8Tensor&
+    mapped(const std::string& name, const Matrix& w)
+    {
+        {
+            std::shared_lock lock(mutex_);
+            const auto it = cache_.find(name);
+            if (it != cache_.end())
+                return it->second;
+        }
+        std::unique_lock lock(mutex_);
+        const auto [it, inserted] = cache_.try_emplace(name);
+        if (inserted)
+            it->second = Int8Tensor::fromMatrix(w);
+        return it->second;
+    }
+
+    Quantizer actQuant_;
+    std::shared_mutex mutex_;
+    std::unordered_map<std::string, Int8Tensor> cache_;
 };
 
 } // namespace swordfish::core

@@ -55,7 +55,7 @@ class WeightPerturber
 
   private:
     std::vector<nn::Parameter*> params_;
-    std::vector<std::vector<float>> saved_;
+    std::vector<FloatVec> saved_;
     Quantizer quantizer_;
     double sigma_;
     Rng rng_;

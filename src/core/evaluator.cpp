@@ -105,6 +105,16 @@ evaluateQuantizedAccuracy(const nn::SequenceModel& model,
 {
     if (req.dataset == nullptr)
         panic("evaluateQuantizedAccuracy: EvalRequest has no dataset");
+    if (req.int8Kernel) {
+        // The int8 grid *is* the weight quantization: the backend maps the
+        // unquantized weights onto ±127 with per-row scales, so the
+        // simulated-quantization pre-pass would double-quantize here.
+        nn::SequenceModel deployed = model;
+        Int8Backend backend(quant);
+        deployed.setBackend(&backend);
+        const auto acc = basecall::evaluateAccuracy(deployed, req);
+        return acc.meanIdentity;
+    }
     nn::SequenceModel deployed = quantizeModel(model, quant);
     QuantOnlyBackend backend(quant);
     deployed.setBackend(&backend);

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "tensor/kernels.h"
 #include "util/fault.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -571,25 +572,22 @@ CrossbarVmmBackend::matmulBatched(const std::string& name, const Matrix& w,
         y.resize(x.rows(), mw.rows);
         gemmBT(x, mw.measuredWeights, y, /*accumulate=*/true);
         // One gain/offset fold over the whole batch, but with each lane's
-        // own input absmax — bitwise what the serial fold does per lane.
-        std::size_t row = 0;
-        for (const LaneSpan& span : layout) {
-            const std::size_t count = span.rows * x.cols();
-            const float* src = x.raw().data() + row * x.cols();
-            float x_max = 0.0f;
-            for (std::size_t i = 0; i < count; ++i)
-                x_max = std::max(x_max, std::fabs(src[i]));
+        // own input absmax — bitwise what the serial fold does per lane
+        // (same absMaxRange kernel as x.absMax() on the serial path).
+        for (const LaneBlock& blk : laneBlocks(layout)) {
+            const float* src = x.raw().data() + blk.rowBegin * x.cols();
+            float x_max = kernels::absMaxRange(
+                src, (blk.rowEnd - blk.rowBegin) * x.cols());
             if (x_max <= 0.0f)
                 x_max = 1.0f;
-            for (std::size_t t = row; t < row + span.rows; ++t) {
+            for (std::size_t t = blk.rowBegin; t < blk.rowEnd; ++t) {
                 float* out = y.rowPtr(t);
                 for (std::size_t o = 0; o < y.cols(); ++o)
                     out[o] = out[o] * mw.measuredGain[o]
                         + mw.measuredOffset[o] * mw.absMax * x_max;
             }
-            applyExecutionFaults(y, row, row + span.rows,
-                                 tls_batch.laneStreams[span.lane]);
-            row += span.rows;
+            applyExecutionFaults(y, blk.rowBegin, blk.rowEnd,
+                                 tls_batch.laneStreams[blk.lane]);
         }
         kDacConversions.add(x.size());
         kAdcConversions.add(y.size());
@@ -636,14 +634,9 @@ CrossbarVmmBackend::matmulBatched(const std::string& name, const Matrix& w,
     kTileVmms.add(tile_vmms);
     kDacConversions.add(dac_elems);
     kAdcConversions.add(adc_elems);
-    {
-        std::size_t row = 0;
-        for (const LaneSpan& span : layout) {
-            applyExecutionFaults(y, row, row + span.rows,
-                                 tls_batch.laneStreams[span.lane]);
-            row += span.rows;
-        }
-    }
+    for (const LaneBlock& blk : laneBlocks(layout))
+        applyExecutionFaults(y, blk.rowBegin, blk.rowEnd,
+                             tls_batch.laneStreams[blk.lane]);
 }
 
 } // namespace swordfish::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels.h"
 #include "util/logging.h"
 
 namespace swordfish::crossbar {
@@ -200,9 +201,9 @@ CrossbarTile::vmmFastLanes(const Matrix& x, const BatchLayout& layout,
     for (std::size_t l = 0; l < layout.size(); ++l) {
         const std::size_t count = layout[l].rows * x.cols();
         const float* src = x.raw().data() + row * x.cols();
-        float x_scale = 0.0f;
-        for (std::size_t i = 0; i < count; ++i)
-            x_scale = std::max(x_scale, std::fabs(src[i]));
+        // Same kernel as Matrix::absMax() so the lane's scale is bitwise
+        // what vmmFast() would compute for the standalone lane.
+        float x_scale = kernels::absMaxRange(src, count);
         if (x_scale <= 0.0f)
             x_scale = 1.0f;
         scales[l] = x_scale;

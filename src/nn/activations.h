@@ -11,6 +11,7 @@
 #include <cmath>
 
 #include "nn/module.h"
+#include "tensor/kernels.h"
 
 namespace swordfish::nn {
 
@@ -24,6 +25,25 @@ sigmoidf(float x)
     }
     const float z = std::exp(x);
     return z / (1.0f + z);
+}
+
+/**
+ * Kernel-layer sigmoid/tanh used by the fused LSTM gate block
+ * (kernels::lstmGateBlock). These are the polynomial approximations whose
+ * scalar and AVX2 forms are bitwise-identical; the gate block is the only
+ * consumer — the SiLU/Tanh Modules below keep libm so their training-path
+ * numerics are untouched by the SIMD layer.
+ */
+inline float
+sigmoidApprox(float x)
+{
+    return kernels::sigmoidApproxf(x);
+}
+
+inline float
+tanhApprox(float x)
+{
+    return kernels::tanhApproxf(x);
 }
 
 /** Derivative of sigmoid given its output s. */

@@ -6,6 +6,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "tensor/kernels.h"
 #include "util/logging.h"
 
 namespace swordfish::nn {
@@ -36,9 +37,7 @@ logSoftmaxRows(const Matrix& logits)
     Matrix out = logits;
     for (std::size_t t = 0; t < out.rows(); ++t) {
         float* row = out.rowPtr(t);
-        float mx = row[0];
-        for (std::size_t k = 1; k < out.cols(); ++k)
-            mx = std::max(mx, row[k]);
+        const float mx = kernels::rowMax(row, out.cols());
         float sum = 0.0f;
         for (std::size_t k = 0; k < out.cols(); ++k)
             sum += std::exp(row[k] - mx);
@@ -157,10 +156,8 @@ ctcGreedyDecode(const Matrix& logits)
     int prev = kBlank;
     for (std::size_t t = 0; t < logits.rows(); ++t) {
         const float* row = logits.rowPtr(t);
-        int best = 0;
-        for (std::size_t k = 1; k < logits.cols(); ++k)
-            if (row[k] > row[best])
-                best = static_cast<int>(k);
+        const int best = static_cast<int>(
+            kernels::argmaxRow(row, logits.cols()));
         if (best != kBlank && best != prev)
             out.push_back(best);
         prev = best;

@@ -1,8 +1,10 @@
 #include "lstm.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "nn/activations.h"
+#include "tensor/kernels.h"
 
 namespace swordfish::nn {
 
@@ -60,30 +62,16 @@ Lstm::forward(const Matrix& x)
     Matrix z_rec;
     for (std::size_t t = 0; t < t_len; ++t) {
         backend().matmul(whh_.name, whh_.value, h_prev, z_rec);
-        float* g = gates_.rowPtr(t);
-        const float* zi = z_in.rowPtr(t);
-        const float* zr = z_rec.rowPtr(0);
-        const float* b = bias_.value.rowPtr(0);
-        for (std::size_t j = 0; j < h4; ++j)
-            g[j] = zi[j] + zr[j] + b[j];
+        // Fused gate math via the SIMD kernel layer; gates_/cells_/tanhC_
+        // receive the activated values the backward pass replays.
         float* c = cells_.rowPtr(t);
-        float* tc = tanhC_.rowPtr(t);
         float* h = hidden_states_.rowPtr(t);
-        for (std::size_t j = 0; j < hidden_; ++j) {
-            const float ig = sigmoidf(g[j]);
-            const float fg = sigmoidf(g[hidden_ + j]);
-            const float gg = std::tanh(g[2 * hidden_ + j]);
-            const float og = sigmoidf(g[3 * hidden_ + j]);
-            g[j] = ig;
-            g[hidden_ + j] = fg;
-            g[2 * hidden_ + j] = gg;
-            g[3 * hidden_ + j] = og;
-            c[j] = fg * c_prev[j] + ig * gg;
-            tc[j] = std::tanh(c[j]);
-            h[j] = og * tc[j];
-            c_prev[j] = c[j];
-            h_prev(0, j) = h[j];
-        }
+        kernels::lstmGateBlock(z_in.rowPtr(t), z_rec.rowPtr(0),
+                               bias_.value.rowPtr(0), hidden_,
+                               c_prev.data(), c, tanhC_.rowPtr(t), h,
+                               gates_.rowPtr(t));
+        std::copy(c, c + hidden_, c_prev.begin());
+        std::copy(h, h + hidden_, h_prev.rowPtr(0));
     }
 
     Matrix y = reverse_ ? timeReversed(hidden_states_) : hidden_states_;
@@ -164,23 +152,11 @@ Lstm::forwardBatch(SequenceBatch& batch)
             float* h = out.rowPtr(batch.laneOffset(l) + t);
             float* hp = h_prev.rowPtr(l);
             std::vector<float>& cp = c_prev[l];
-            for (std::size_t j = 0; j < hidden_; ++j) {
-                const float ig = sigmoidf(zi[j] + zr[j] + b[j]);
-                const float fg = sigmoidf(zi[hidden_ + j]
-                                          + zr[hidden_ + j]
-                                          + b[hidden_ + j]);
-                const float gg = std::tanh(zi[2 * hidden_ + j]
-                                           + zr[2 * hidden_ + j]
-                                           + b[2 * hidden_ + j]);
-                const float og = sigmoidf(zi[3 * hidden_ + j]
-                                          + zr[3 * hidden_ + j]
-                                          + b[3 * hidden_ + j]);
-                const float c = fg * cp[j] + ig * gg;
-                const float tc = std::tanh(c);
-                h[j] = og * tc;
-                cp[j] = c;
-                hp[j] = h[j];
-            }
+            // Same fused kernel as the serial path (inference-only here, so
+            // no gates/tanh(c) stash); c updates in place.
+            kernels::lstmGateBlock(zi, zr, b, hidden_, cp.data(), cp.data(),
+                                   nullptr, h, nullptr);
+            std::copy(h, h + hidden_, hp);
         }
     }
     (void)h4;

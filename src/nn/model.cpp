@@ -64,7 +64,7 @@ SequenceModel::load(const std::string& path)
         staged.emplace_back(&p, std::move(data));
     }
     for (auto& [param, data] : staged)
-        param->value.raw() = std::move(data);
+        param->value.raw().assign(data.begin(), data.end());
     return true;
 }
 

@@ -1,0 +1,927 @@
+/**
+ * @file
+ * The vectorized kernel layer: scalar and AVX2+FMA implementations of the
+ * hot paths, plus the runtime dispatch machinery of tensor/simd.h.
+ *
+ * Bitwise-identity strategy (DESIGN.md §4.11):
+ *  - Reductions fix one blocked order: 8 independent accumulator lanes
+ *    over the reduction axis (lane j takes elements with index ≡ j mod 8,
+ *    combined with fused multiply-add), tail elements fold into lanes
+ *    0..r-1, then the fixed tree (l0+l4)+(l2+l6) plus (l1+l5)+(l3+l7).
+ *    The scalar path executes the lanes one at a time with std::fmaf (the
+ *    correctly-rounded scalar twin of vfmadd231ps); the AVX2 path executes
+ *    them as one vector register. Same ops, same order, same bits.
+ *  - Transcendentals are shared polynomial approximations built only from
+ *    ops whose scalar and vector forms are both correctly rounded (fma,
+ *    mul, add, div) plus explicitly emulated instruction semantics for the
+ *    rest (vmaxps/vminps operand-order NaN rules, vcvtps2dq's 0x80000000
+ *    indefinite, vblendvps sign-bit selection).
+ *  - The scalar fallback disables auto-vectorization so that "scalar"
+ *    measured by the roofline is genuinely scalar even under -march=native.
+ *  - Integer kernels (int8Matmul) are exact, so any order works; both
+ *    paths trivially agree.
+ */
+
+#include "tensor/kernels.h"
+
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "tensor/quantize.h"
+#include "tensor/simd.h"
+#include "util/env.h"
+#include "util/logging.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define SWORDFISH_X86 1
+#include <immintrin.h>
+#endif
+
+#if defined(__GNUC__) && !defined(__clang__)
+#define SWORDFISH_NO_AUTOVEC \
+    __attribute__((optimize("no-tree-vectorize,no-tree-slp-vectorize")))
+#else
+#define SWORDFISH_NO_AUTOVEC
+#endif
+
+#if SWORDFISH_X86
+#define SWORDFISH_AVX2_TARGET __attribute__((target("avx2,fma")))
+#endif
+
+namespace swordfish {
+
+// ---------------------------------------------------------------------------
+// Dispatch machinery (tensor/simd.h)
+// ---------------------------------------------------------------------------
+
+const char*
+simdLevelName(SimdLevel level)
+{
+    return level == SimdLevel::Avx2 ? "avx2" : "scalar";
+}
+
+bool
+SimdConfig::parse(const std::string& spec, SimdConfig& out,
+                  std::string& error)
+{
+    std::string s;
+    for (const char c : spec)
+        if (!std::isspace(static_cast<unsigned char>(c)))
+            s.push_back(static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c))));
+    if (s.empty() || s == "auto") {
+        out.mode = Mode::Auto;
+        return true;
+    }
+    if (s == "scalar") {
+        out.mode = Mode::Scalar;
+        return true;
+    }
+    if (s == "avx2") {
+        out.mode = Mode::Avx2;
+        return true;
+    }
+    error = "unrecognized SIMD level '" + spec
+        + "' (expected auto, avx2, or scalar)";
+    return false;
+}
+
+const char*
+SimdConfig::name() const
+{
+    switch (mode) {
+      case Mode::Scalar: return "scalar";
+      case Mode::Avx2: return "avx2";
+      default: return "auto";
+    }
+}
+
+bool
+cpuSupportsAvx2()
+{
+#if SWORDFISH_X86 && defined(__GNUC__)
+    static const bool ok = [] {
+        __builtin_cpu_init();
+        return __builtin_cpu_supports("avx2") != 0
+            && __builtin_cpu_supports("fma") != 0;
+    }();
+    return ok;
+#else
+    return false;
+#endif
+}
+
+namespace {
+
+/** Scoped test override slot: -1 = none, else a SimdLevel value. */
+std::atomic<int> g_simd_override{-1};
+
+SimdLevel
+resolveMode(SimdConfig::Mode mode)
+{
+    switch (mode) {
+      case SimdConfig::Mode::Scalar:
+        return SimdLevel::Scalar;
+      case SimdConfig::Mode::Avx2:
+        if (!cpuSupportsAvx2())
+            panic("SWORDFISH_SIMD=avx2: this CPU lacks AVX2/FMA");
+        return SimdLevel::Avx2;
+      default:
+        return cpuSupportsAvx2() ? SimdLevel::Avx2 : SimdLevel::Scalar;
+    }
+}
+
+} // namespace
+
+SimdLevel
+activeSimdLevel()
+{
+    const int o = g_simd_override.load(std::memory_order_relaxed);
+    if (o >= 0)
+        return static_cast<SimdLevel>(o);
+    static const SimdLevel env_level = [] {
+        SimdConfig cfg;
+        std::string error;
+        if (!SimdConfig::parse(runtimeConfig().simd, cfg, error))
+            panic("SWORDFISH_SIMD: ", error);
+        return resolveMode(cfg.mode);
+    }();
+    return env_level;
+}
+
+ScopedSimdLevel::ScopedSimdLevel(SimdLevel level)
+    : prev_(g_simd_override.load(std::memory_order_relaxed))
+{
+    if (level == SimdLevel::Avx2 && !cpuSupportsAvx2())
+        panic("ScopedSimdLevel: this CPU lacks AVX2/FMA");
+    g_simd_override.store(static_cast<int>(level),
+                          std::memory_order_relaxed);
+}
+
+ScopedSimdLevel::~ScopedSimdLevel()
+{
+    g_simd_override.store(prev_, std::memory_order_relaxed);
+}
+
+} // namespace swordfish
+
+namespace swordfish::kernels {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar emulation of vector instruction semantics
+// ---------------------------------------------------------------------------
+
+/** vmaxps(a, b): returns b when either operand is NaN, else the max. */
+inline float
+maxPs(float a, float b)
+{
+    return (a > b) ? a : b;
+}
+
+/** vminps(a, b): returns b when either operand is NaN, else the min. */
+inline float
+minPs(float a, float b)
+{
+    return (a < b) ? a : b;
+}
+
+inline std::uint32_t
+floatBits(float v)
+{
+    std::uint32_t b;
+    std::memcpy(&b, &v, sizeof(b));
+    return b;
+}
+
+inline float
+bitsToFloat(std::uint32_t b)
+{
+    float v;
+    std::memcpy(&v, &b, sizeof(v));
+    return v;
+}
+
+/** -|x| (set the sign bit), mirroring _mm256_or_ps(x, -0.0f). */
+inline float
+negAbs(float x)
+{
+    return bitsToFloat(floatBits(x) | 0x80000000u);
+}
+
+/**
+ * vcvtps2dq: round-to-nearest-even conversion with the 0x80000000
+ * "integer indefinite" result for NaN / out-of-range inputs. The input is
+ * already integral here (rounded by the caller), so only the NaN escape
+ * matters in practice.
+ */
+inline std::int32_t
+cvtI32(float x)
+{
+    if (!(x >= -2147483648.0f && x <= 2147483520.0f))
+        return std::numeric_limits<std::int32_t>::min();
+    return static_cast<std::int32_t>(x);
+}
+
+/** The fixed 8-lane reduction tree shared by every float reduction. */
+inline float
+reduceLanes(const float* lane)
+{
+    const float s0 = lane[0] + lane[4];
+    const float s1 = lane[1] + lane[5];
+    const float s2 = lane[2] + lane[6];
+    const float s3 = lane[3] + lane[7];
+    return (s0 + s2) + (s1 + s3);
+}
+
+/** Max-reduction tree with the same shape (maxPs pairs, fixed order). */
+inline float
+reduceLanesMax(const float* lane)
+{
+    const float s0 = maxPs(lane[0], lane[4]);
+    const float s1 = maxPs(lane[1], lane[5]);
+    const float s2 = maxPs(lane[2], lane[6]);
+    const float s3 = maxPs(lane[3], lane[7]);
+    return maxPs(maxPs(s0, s2), maxPs(s1, s3));
+}
+
+// ---------------------------------------------------------------------------
+// Shared transcendental approximations (scalar reference)
+// ---------------------------------------------------------------------------
+
+// expf over the clamped domain [-87, 88]: Cephes-style range reduction
+// x = n*ln2 + r, degree-6 polynomial on r in [-ln2/2, ln2/2], 2^n scaling
+// through exponent bits. ~2-3 ulp over the domain, built exclusively from
+// ops with bitwise-matching scalar/vector forms.
+constexpr float kExpLo = -87.0f;
+constexpr float kExpHi = 88.0f;
+constexpr float kLog2e = 1.44269504088896341f;
+constexpr float kLn2Hi = 0.693359375f;
+constexpr float kLn2Lo = -2.12194440e-4f;
+constexpr float kExpC1 = 1.9875691500e-4f;
+constexpr float kExpC2 = 1.3981999507e-3f;
+constexpr float kExpC3 = 8.3334519073e-3f;
+constexpr float kExpC4 = 4.1665795894e-2f;
+constexpr float kExpC5 = 1.6666665459e-1f;
+constexpr float kExpC6 = 5.0000001201e-1f;
+
+inline float
+expScalar(float x)
+{
+    x = minPs(kExpHi, maxPs(kExpLo, x)); // NaN propagates (x is src2)
+    const float n = std::nearbyintf(x * kLog2e);
+    float r = std::fmaf(n, -kLn2Hi, x);
+    r = std::fmaf(n, -kLn2Lo, r);
+    float p = kExpC1;
+    p = std::fmaf(p, r, kExpC2);
+    p = std::fmaf(p, r, kExpC3);
+    p = std::fmaf(p, r, kExpC4);
+    p = std::fmaf(p, r, kExpC5);
+    p = std::fmaf(p, r, kExpC6);
+    const float z = std::fmaf(p, r * r, r) + 1.0f;
+    const std::uint32_t ebits =
+        (static_cast<std::uint32_t>(cvtI32(n)) + 127u) << 23;
+    return z * bitsToFloat(ebits);
+}
+
+inline float
+sigmoidScalar(float x)
+{
+    // One shared denominator, numerator picked on the sign bit:
+    // x >= 0 -> 1/(1+e), x < 0 -> e/(1+e). Unlike the 1-s mirror this
+    // keeps the negative tail strictly positive (sigmoid(-20) ~ 2e-9
+    // instead of underflowing the subtraction to exactly 0).
+    const float e = expScalar(negAbs(x)); // exp(-|x|) in (0, 1]
+    const float num = (floatBits(x) >> 31) != 0 ? e : 1.0f;
+    return num / (1.0f + e);
+}
+
+inline float
+tanhScalar(float x)
+{
+    const float e = expScalar(negAbs(x) * 2.0f); // exp(-2|x|) in (0, 1]
+    const float r = (1.0f - e) / (1.0f + e);     // tanh(|x|) in [0, 1)
+    return bitsToFloat(floatBits(r) | (floatBits(x) & 0x80000000u));
+}
+
+// ---------------------------------------------------------------------------
+// Scalar kernels (auto-vectorization disabled: the fallback must stay
+// genuinely scalar under -march=native so the roofline's scalar-vs-AVX2
+// delta measures the vector path, not the compiler)
+// ---------------------------------------------------------------------------
+
+/** Fold tail elements into lanes 0..r-1, then run the reduction tree. */
+SWORDFISH_NO_AUTOVEC float
+dotTailReduce(float* lane, const float* a, const float* b, std::size_t k8,
+              std::size_t k)
+{
+    for (std::size_t p = k8; p < k; ++p)
+        lane[p - k8] = std::fmaf(a[p], b[p], lane[p - k8]);
+    return reduceLanes(lane);
+}
+
+SWORDFISH_NO_AUTOVEC float
+dotScalar(const float* a, const float* b, std::size_t k)
+{
+    alignas(32) float lane[8] = {};
+    const std::size_t k8 = k & ~std::size_t{7};
+    for (std::size_t p = 0; p < k8; p += 8)
+        for (std::size_t j = 0; j < 8; ++j)
+            lane[j] = std::fmaf(a[p + j], b[p + j], lane[j]);
+    return dotTailReduce(lane, a, b, k8, k);
+}
+
+SWORDFISH_NO_AUTOVEC void
+gemmBTRowScalar(const float* a, const Matrix& b, float* crow, std::size_t k,
+                std::size_t n)
+{
+    for (std::size_t j = 0; j < n; ++j)
+        crow[j] += dotScalar(a, b.rowPtr(j), k);
+}
+
+SWORDFISH_NO_AUTOVEC void
+lstmGateScalar(const float* zi, const float* zr, const float* b,
+               std::size_t hidden, const float* c_prev, float* c_out,
+               float* tanh_c_out, float* h_out, float* gates_out,
+               std::size_t j_begin)
+{
+    const std::size_t h = hidden;
+    for (std::size_t j = j_begin; j < h; ++j) {
+        const float pi = (zi[j] + zr[j]) + b[j];
+        const float pf = (zi[h + j] + zr[h + j]) + b[h + j];
+        const float pg = (zi[2 * h + j] + zr[2 * h + j]) + b[2 * h + j];
+        const float po = (zi[3 * h + j] + zr[3 * h + j]) + b[3 * h + j];
+        const float ig = sigmoidScalar(pi);
+        const float fg = sigmoidScalar(pf);
+        const float gg = tanhScalar(pg);
+        const float og = sigmoidScalar(po);
+        const float c = std::fmaf(fg, c_prev[j], ig * gg);
+        const float tc = tanhScalar(c);
+        c_out[j] = c;
+        h_out[j] = og * tc;
+        if (tanh_c_out != nullptr)
+            tanh_c_out[j] = tc;
+        if (gates_out != nullptr) {
+            gates_out[j] = ig;
+            gates_out[h + j] = fg;
+            gates_out[2 * h + j] = gg;
+            gates_out[3 * h + j] = og;
+        }
+    }
+}
+
+/** Plain first-max scan, shared by both levels for short rows (n < 8). */
+SWORDFISH_NO_AUTOVEC std::size_t
+argmaxShort(const float* row, std::size_t n)
+{
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < n; ++k)
+        if (row[k] > row[best])
+            best = k;
+    return best;
+}
+
+/**
+ * Stripe-blocked argmax for n >= 8: lane j tracks the first maximum of
+ * stripe {j, j+8, ...} over the full blocks, the lanes reduce with
+ * strictly-greater / smaller-index tie-breaking, and tail elements finish
+ * the scan. The scalar and AVX2 paths run this algorithm step for step.
+ */
+SWORDFISH_NO_AUTOVEC std::size_t
+argmaxBlockedScalar(const float* row, std::size_t n)
+{
+    alignas(32) float vals[8];
+    std::size_t idxs[8];
+    for (std::size_t l = 0; l < 8; ++l) {
+        vals[l] = row[l];
+        idxs[l] = l;
+    }
+    const std::size_t n8 = n & ~std::size_t{7};
+    for (std::size_t p = 8; p < n8; p += 8) {
+        for (std::size_t l = 0; l < 8; ++l) {
+            if (row[p + l] > vals[l]) {
+                vals[l] = row[p + l];
+                idxs[l] = p + l;
+            }
+        }
+    }
+    std::size_t best = idxs[0];
+    float bv = vals[0];
+    for (std::size_t l = 1; l < 8; ++l) {
+        if (vals[l] > bv || (vals[l] == bv && idxs[l] < best)) {
+            bv = vals[l];
+            best = idxs[l];
+        }
+    }
+    for (std::size_t p = n8; p < n; ++p) {
+        if (row[p] > bv) {
+            bv = row[p];
+            best = p;
+        }
+    }
+    return best;
+}
+
+/** Sequential max scan shared by both levels for short rows (n < 8). */
+SWORDFISH_NO_AUTOVEC float
+rowMaxShort(const float* row, std::size_t n)
+{
+    float mx = row[0];
+    for (std::size_t k = 1; k < n; ++k)
+        mx = std::max(mx, row[k]);
+    return mx;
+}
+
+SWORDFISH_NO_AUTOVEC float
+rowMaxBlockedScalar(const float* row, std::size_t n)
+{
+    alignas(32) float lane[8];
+    for (std::size_t l = 0; l < 8; ++l)
+        lane[l] = row[l];
+    const std::size_t n8 = n & ~std::size_t{7};
+    for (std::size_t p = 8; p < n8; p += 8)
+        for (std::size_t l = 0; l < 8; ++l)
+            lane[l] = maxPs(row[p + l], lane[l]); // NaN candidate loses
+    float mx = reduceLanesMax(lane);
+    for (std::size_t p = n8; p < n; ++p)
+        mx = maxPs(row[p], mx);
+    return mx;
+}
+
+SWORDFISH_NO_AUTOVEC float
+absMaxScalar(const float* v, std::size_t n)
+{
+    alignas(32) float lane[8] = {};
+    const std::size_t n8 = n & ~std::size_t{7};
+    for (std::size_t p = 0; p < n8; p += 8)
+        for (std::size_t l = 0; l < 8; ++l)
+            lane[l] = maxPs(bitsToFloat(floatBits(v[p + l]) & 0x7fffffffu),
+                            lane[l]);
+    float mx = reduceLanesMax(lane);
+    for (std::size_t p = n8; p < n; ++p)
+        mx = maxPs(bitsToFloat(floatBits(v[p]) & 0x7fffffffu), mx);
+    return mx;
+}
+
+SWORDFISH_NO_AUTOVEC std::int32_t
+int8DotScalar(const std::int8_t* x, const std::int8_t* w, std::size_t stride)
+{
+    std::int32_t acc = 0;
+    for (std::size_t p = 0; p < stride; ++p)
+        acc += static_cast<std::int32_t>(x[p])
+            * static_cast<std::int32_t>(w[p]);
+    return acc;
+}
+
+SWORDFISH_NO_AUTOVEC float
+peakFmaScalar(std::size_t iters)
+{
+    float a0 = 0.1f, a1 = 0.2f, a2 = 0.3f, a3 = 0.4f;
+    float a4 = 0.5f, a5 = 0.6f, a6 = 0.7f, a7 = 0.8f;
+    const float m = 0.999999f, d = 1e-30f;
+    for (std::size_t i = 0; i < iters; ++i) {
+        a0 = std::fmaf(a0, m, d);
+        a1 = std::fmaf(a1, m, d);
+        a2 = std::fmaf(a2, m, d);
+        a3 = std::fmaf(a3, m, d);
+        a4 = std::fmaf(a4, m, d);
+        a5 = std::fmaf(a5, m, d);
+        a6 = std::fmaf(a6, m, d);
+        a7 = std::fmaf(a7, m, d);
+    }
+    return ((a0 + a1) + (a2 + a3)) + ((a4 + a5) + (a6 + a7));
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels
+// ---------------------------------------------------------------------------
+
+#if SWORDFISH_X86
+
+SWORDFISH_AVX2_TARGET inline __m256
+expAvx2(__m256 x)
+{
+    x = _mm256_max_ps(_mm256_set1_ps(kExpLo), x);
+    x = _mm256_min_ps(_mm256_set1_ps(kExpHi), x);
+    const __m256 n = _mm256_round_ps(
+        _mm256_mul_ps(x, _mm256_set1_ps(kLog2e)),
+        _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    __m256 r = _mm256_fmadd_ps(n, _mm256_set1_ps(-kLn2Hi), x);
+    r = _mm256_fmadd_ps(n, _mm256_set1_ps(-kLn2Lo), r);
+    __m256 p = _mm256_set1_ps(kExpC1);
+    p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpC2));
+    p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpC3));
+    p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpC4));
+    p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpC5));
+    p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpC6));
+    const __m256 z = _mm256_add_ps(
+        _mm256_fmadd_ps(p, _mm256_mul_ps(r, r), r), _mm256_set1_ps(1.0f));
+    const __m256i ebits = _mm256_slli_epi32(
+        _mm256_add_epi32(_mm256_cvtps_epi32(n), _mm256_set1_epi32(127)),
+        23);
+    return _mm256_mul_ps(z, _mm256_castsi256_ps(ebits));
+}
+
+SWORDFISH_AVX2_TARGET inline __m256
+sigmoidAvx2(__m256 x)
+{
+    const __m256 e = expAvx2(_mm256_or_ps(x, _mm256_set1_ps(-0.0f)));
+    const __m256 one = _mm256_set1_ps(1.0f);
+    // Numerator blended on the sign bit (see sigmoidScalar).
+    const __m256 num = _mm256_blendv_ps(one, e, x);
+    return _mm256_div_ps(num, _mm256_add_ps(one, e));
+}
+
+SWORDFISH_AVX2_TARGET inline __m256
+tanhAvx2(__m256 x)
+{
+    const __m256 sign = _mm256_set1_ps(-0.0f);
+    const __m256 na = _mm256_or_ps(x, sign);
+    const __m256 e = expAvx2(_mm256_mul_ps(na, _mm256_set1_ps(2.0f)));
+    const __m256 one = _mm256_set1_ps(1.0f);
+    const __m256 r =
+        _mm256_div_ps(_mm256_sub_ps(one, e), _mm256_add_ps(one, e));
+    return _mm256_or_ps(r, _mm256_and_ps(x, sign));
+}
+
+SWORDFISH_AVX2_TARGET float
+dotAvx2(const float* a, const float* b, std::size_t k)
+{
+    __m256 acc = _mm256_setzero_ps();
+    const std::size_t k8 = k & ~std::size_t{7};
+    for (std::size_t p = 0; p < k8; p += 8)
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + p),
+                              _mm256_loadu_ps(b + p), acc);
+    alignas(32) float lane[8];
+    _mm256_store_ps(lane, acc);
+    return dotTailReduce(lane, a, b, k8, k);
+}
+
+SWORDFISH_AVX2_TARGET void
+gemmBTRowAvx2(const float* a, const Matrix& b, float* crow, std::size_t k,
+              std::size_t n)
+{
+    const std::size_t k8 = k & ~std::size_t{7};
+    std::size_t j = 0;
+    // 4 outputs per pass share each load of the A row.
+    for (; j + 4 <= n; j += 4) {
+        const float* b0 = b.rowPtr(j);
+        const float* b1 = b.rowPtr(j + 1);
+        const float* b2 = b.rowPtr(j + 2);
+        const float* b3 = b.rowPtr(j + 3);
+        __m256 acc0 = _mm256_setzero_ps();
+        __m256 acc1 = _mm256_setzero_ps();
+        __m256 acc2 = _mm256_setzero_ps();
+        __m256 acc3 = _mm256_setzero_ps();
+        for (std::size_t p = 0; p < k8; p += 8) {
+            const __m256 va = _mm256_loadu_ps(a + p);
+            acc0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b0 + p), acc0);
+            acc1 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b1 + p), acc1);
+            acc2 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b2 + p), acc2);
+            acc3 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b3 + p), acc3);
+        }
+        alignas(32) float lane[8];
+        _mm256_store_ps(lane, acc0);
+        crow[j] += dotTailReduce(lane, a, b0, k8, k);
+        _mm256_store_ps(lane, acc1);
+        crow[j + 1] += dotTailReduce(lane, a, b1, k8, k);
+        _mm256_store_ps(lane, acc2);
+        crow[j + 2] += dotTailReduce(lane, a, b2, k8, k);
+        _mm256_store_ps(lane, acc3);
+        crow[j + 3] += dotTailReduce(lane, a, b3, k8, k);
+    }
+    for (; j < n; ++j)
+        crow[j] += dotAvx2(a, b.rowPtr(j), k);
+}
+
+SWORDFISH_AVX2_TARGET void
+lstmGateAvx2(const float* zi, const float* zr, const float* b,
+             std::size_t hidden, const float* c_prev, float* c_out,
+             float* tanh_c_out, float* h_out, float* gates_out)
+{
+    const std::size_t h = hidden;
+    const std::size_t h8 = h & ~std::size_t{7};
+    for (std::size_t j = 0; j < h8; j += 8) {
+        const auto pre = [&](std::size_t off) {
+            return _mm256_add_ps(
+                _mm256_add_ps(_mm256_loadu_ps(zi + off),
+                              _mm256_loadu_ps(zr + off)),
+                _mm256_loadu_ps(b + off));
+        };
+        const __m256 ig = sigmoidAvx2(pre(j));
+        const __m256 fg = sigmoidAvx2(pre(h + j));
+        const __m256 gg = tanhAvx2(pre(2 * h + j));
+        const __m256 og = sigmoidAvx2(pre(3 * h + j));
+        const __m256 c = _mm256_fmadd_ps(fg, _mm256_loadu_ps(c_prev + j),
+                                         _mm256_mul_ps(ig, gg));
+        const __m256 tc = tanhAvx2(c);
+        _mm256_storeu_ps(c_out + j, c);
+        _mm256_storeu_ps(h_out + j, _mm256_mul_ps(og, tc));
+        if (tanh_c_out != nullptr)
+            _mm256_storeu_ps(tanh_c_out + j, tc);
+        if (gates_out != nullptr) {
+            _mm256_storeu_ps(gates_out + j, ig);
+            _mm256_storeu_ps(gates_out + h + j, fg);
+            _mm256_storeu_ps(gates_out + 2 * h + j, gg);
+            _mm256_storeu_ps(gates_out + 3 * h + j, og);
+        }
+    }
+    if (h8 < h)
+        lstmGateScalar(zi, zr, b, hidden, c_prev, c_out, tanh_c_out, h_out,
+                       gates_out, h8);
+}
+
+SWORDFISH_AVX2_TARGET std::size_t
+argmaxBlockedAvx2(const float* row, std::size_t n)
+{
+    __m256 vmax = _mm256_loadu_ps(row);
+    __m256i vidx = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    __m256i cur = vidx;
+    const __m256i inc = _mm256_set1_epi32(8);
+    const std::size_t n8 = n & ~std::size_t{7};
+    for (std::size_t p = 8; p < n8; p += 8) {
+        cur = _mm256_add_epi32(cur, inc);
+        const __m256 v = _mm256_loadu_ps(row + p);
+        const __m256 gt = _mm256_cmp_ps(v, vmax, _CMP_GT_OQ);
+        vmax = _mm256_blendv_ps(vmax, v, gt);
+        vidx = _mm256_blendv_epi8(vidx, cur, _mm256_castps_si256(gt));
+    }
+    alignas(32) float vals[8];
+    alignas(32) std::int32_t raw_idx[8];
+    _mm256_store_ps(vals, vmax);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(raw_idx), vidx);
+    std::size_t best = static_cast<std::size_t>(raw_idx[0]);
+    float bv = vals[0];
+    for (std::size_t l = 1; l < 8; ++l) {
+        const auto idx = static_cast<std::size_t>(raw_idx[l]);
+        if (vals[l] > bv || (vals[l] == bv && idx < best)) {
+            bv = vals[l];
+            best = idx;
+        }
+    }
+    for (std::size_t p = n8; p < n; ++p) {
+        if (row[p] > bv) {
+            bv = row[p];
+            best = p;
+        }
+    }
+    return best;
+}
+
+SWORDFISH_AVX2_TARGET float
+rowMaxBlockedAvx2(const float* row, std::size_t n)
+{
+    __m256 vmax = _mm256_loadu_ps(row);
+    const std::size_t n8 = n & ~std::size_t{7};
+    for (std::size_t p = 8; p < n8; p += 8)
+        vmax = _mm256_max_ps(_mm256_loadu_ps(row + p), vmax);
+    alignas(32) float lane[8];
+    _mm256_store_ps(lane, vmax);
+    float mx = reduceLanesMax(lane);
+    for (std::size_t p = n8; p < n; ++p)
+        mx = maxPs(row[p], mx);
+    return mx;
+}
+
+SWORDFISH_AVX2_TARGET float
+absMaxAvx2(const float* v, std::size_t n)
+{
+    const __m256 abs_mask =
+        _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+    __m256 vmax = _mm256_setzero_ps();
+    const std::size_t n8 = n & ~std::size_t{7};
+    for (std::size_t p = 0; p < n8; p += 8)
+        vmax = _mm256_max_ps(
+            _mm256_and_ps(_mm256_loadu_ps(v + p), abs_mask), vmax);
+    alignas(32) float lane[8];
+    _mm256_store_ps(lane, vmax);
+    float mx = reduceLanesMax(lane);
+    for (std::size_t p = n8; p < n; ++p)
+        mx = maxPs(bitsToFloat(floatBits(v[p]) & 0x7fffffffu), mx);
+    return mx;
+}
+
+SWORDFISH_AVX2_TARGET std::int32_t
+int8DotAvx2(const std::int8_t* x, const std::int8_t* w, std::size_t stride)
+{
+    __m256i acc = _mm256_setzero_si256();
+    for (std::size_t p = 0; p < stride; p += 32) {
+        const __m256i xv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(x + p));
+        const __m256i wv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(w + p));
+        const __m256i xlo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(xv));
+        const __m256i xhi =
+            _mm256_cvtepi8_epi16(_mm256_extracti128_si256(xv, 1));
+        const __m256i wlo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(wv));
+        const __m256i whi =
+            _mm256_cvtepi8_epi16(_mm256_extracti128_si256(wv, 1));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(xlo, wlo));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(xhi, whi));
+    }
+    alignas(32) std::int32_t lane[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lane), acc);
+    return ((lane[0] + lane[4]) + (lane[2] + lane[6]))
+        + ((lane[1] + lane[5]) + (lane[3] + lane[7]));
+}
+
+SWORDFISH_AVX2_TARGET float
+peakFmaAvx2(std::size_t iters)
+{
+    __m256 a0 = _mm256_set1_ps(0.1f), a1 = _mm256_set1_ps(0.2f);
+    __m256 a2 = _mm256_set1_ps(0.3f), a3 = _mm256_set1_ps(0.4f);
+    __m256 a4 = _mm256_set1_ps(0.5f), a5 = _mm256_set1_ps(0.6f);
+    __m256 a6 = _mm256_set1_ps(0.7f), a7 = _mm256_set1_ps(0.8f);
+    const __m256 m = _mm256_set1_ps(0.999999f);
+    const __m256 d = _mm256_set1_ps(1e-30f);
+    for (std::size_t i = 0; i < iters; ++i) {
+        a0 = _mm256_fmadd_ps(a0, m, d);
+        a1 = _mm256_fmadd_ps(a1, m, d);
+        a2 = _mm256_fmadd_ps(a2, m, d);
+        a3 = _mm256_fmadd_ps(a3, m, d);
+        a4 = _mm256_fmadd_ps(a4, m, d);
+        a5 = _mm256_fmadd_ps(a5, m, d);
+        a6 = _mm256_fmadd_ps(a6, m, d);
+        a7 = _mm256_fmadd_ps(a7, m, d);
+    }
+    const __m256 s = _mm256_add_ps(
+        _mm256_add_ps(_mm256_add_ps(a0, a1), _mm256_add_ps(a2, a3)),
+        _mm256_add_ps(_mm256_add_ps(a4, a5), _mm256_add_ps(a6, a7)));
+    alignas(32) float lane[8];
+    _mm256_store_ps(lane, s);
+    return reduceLanes(lane);
+}
+
+#endif // SWORDFISH_X86
+
+inline bool
+useAvx2()
+{
+#if SWORDFISH_X86
+    return activeSimdLevel() == SimdLevel::Avx2;
+#else
+    return false;
+#endif
+}
+
+volatile float g_peak_sink = 0.0f;
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Public dispatchers
+// ---------------------------------------------------------------------------
+
+float
+dotBlocked(const float* a, const float* b, std::size_t k)
+{
+#if SWORDFISH_X86
+    if (useAvx2())
+        return dotAvx2(a, b, k);
+#endif
+    return dotScalar(a, b, k);
+}
+
+void
+gemmBT(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate)
+{
+    if (a.cols() != b.cols())
+        panic("gemmBT: inner dimensions mismatch");
+    const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+    if (!accumulate)
+        c = Matrix(m, n);
+    else if (c.rows() != m || c.cols() != n)
+        panic("gemm: accumulate target has wrong shape");
+
+    const bool avx2 = useAvx2();
+    #pragma omp parallel for schedule(static) if (m * n * k > 1u << 16)
+    for (std::size_t i = 0; i < m; ++i) {
+        float* crow = c.rowPtr(i);
+        const float* arow = a.rowPtr(i);
+#if SWORDFISH_X86
+        if (avx2) {
+            gemmBTRowAvx2(arow, b, crow, k, n);
+            continue;
+        }
+#endif
+        (void)avx2;
+        gemmBTRowScalar(arow, b, crow, k, n);
+    }
+}
+
+float
+expApproxf(float x)
+{
+    return expScalar(x);
+}
+
+float
+sigmoidApproxf(float x)
+{
+    return sigmoidScalar(x);
+}
+
+float
+tanhApproxf(float x)
+{
+    return tanhScalar(x);
+}
+
+void
+lstmGateBlock(const float* zi, const float* zr, const float* b,
+              std::size_t hidden, const float* c_prev, float* c_out,
+              float* tanh_c_out, float* h_out, float* gates_out)
+{
+#if SWORDFISH_X86
+    if (useAvx2()) {
+        lstmGateAvx2(zi, zr, b, hidden, c_prev, c_out, tanh_c_out, h_out,
+                     gates_out);
+        return;
+    }
+#endif
+    lstmGateScalar(zi, zr, b, hidden, c_prev, c_out, tanh_c_out, h_out,
+                   gates_out, 0);
+}
+
+std::size_t
+argmaxRow(const float* row, std::size_t n)
+{
+    if (n < 8)
+        return argmaxShort(row, n);
+#if SWORDFISH_X86
+    if (useAvx2())
+        return argmaxBlockedAvx2(row, n);
+#endif
+    return argmaxBlockedScalar(row, n);
+}
+
+float
+rowMax(const float* row, std::size_t n)
+{
+    if (n < 8)
+        return rowMaxShort(row, n);
+#if SWORDFISH_X86
+    if (useAvx2())
+        return rowMaxBlockedAvx2(row, n);
+#endif
+    return rowMaxBlockedScalar(row, n);
+}
+
+float
+absMaxRange(const float* v, std::size_t n)
+{
+    if (n == 0)
+        return 0.0f;
+#if SWORDFISH_X86
+    if (n >= 8 && useAvx2())
+        return absMaxAvx2(v, n);
+#endif
+    return absMaxScalar(v, n);
+}
+
+void
+int8Matmul(const std::int8_t* xq, std::size_t rows, float x_scale,
+           const Int8Tensor& w, Matrix& y, std::size_t row_offset)
+{
+    const std::size_t stride = w.stride;
+    const std::size_t outs = w.rows;
+    const bool avx2 = useAvx2();
+    #pragma omp parallel for schedule(static) \
+        if (rows * outs * stride > 1u << 16)
+    for (std::size_t t = 0; t < rows; ++t) {
+        const std::int8_t* xrow = xq + t * stride;
+        float* yrow = y.rowPtr(row_offset + t);
+        for (std::size_t o = 0; o < outs; ++o) {
+            const std::int8_t* wrow = w.data.data() + o * stride;
+#if SWORDFISH_X86
+            const std::int32_t acc = avx2 ? int8DotAvx2(xrow, wrow, stride)
+                                          : int8DotScalar(xrow, wrow, stride);
+#else
+            (void)avx2;
+            const std::int32_t acc = int8DotScalar(xrow, wrow, stride);
+#endif
+            yrow[o] =
+                static_cast<float>(acc) * (x_scale * w.rowScale[o]);
+        }
+    }
+}
+
+double
+peakFmaFlops(std::size_t iters, bool avx2)
+{
+#if SWORDFISH_X86
+    if (avx2 && cpuSupportsAvx2()) {
+        g_peak_sink = peakFmaAvx2(iters);
+        return static_cast<double>(iters) * 8.0 * 8.0 * 2.0;
+    }
+#endif
+    (void)avx2;
+    g_peak_sink = peakFmaScalar(iters);
+    return static_cast<double>(iters) * 8.0 * 2.0;
+}
+
+} // namespace swordfish::kernels

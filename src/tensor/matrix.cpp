@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels.h"
+
 namespace swordfish {
 
 Matrix
@@ -28,10 +30,7 @@ Matrix::transposed() const
 float
 Matrix::absMax() const
 {
-    float m = 0.0f;
-    for (float v : data_)
-        m = std::max(m, std::fabs(v));
-    return m;
+    return kernels::absMaxRange(data_.data(), data_.size());
 }
 
 float
@@ -103,23 +102,9 @@ gemm(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate)
 void
 gemmBT(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate)
 {
-    if (a.cols() != b.cols())
-        panic("gemmBT: inner dimensions mismatch");
-    const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-    prepareOutput(c, m, n, accumulate);
-
-    #pragma omp parallel for schedule(static) if (m * n * k > 1u << 16)
-    for (std::size_t i = 0; i < m; ++i) {
-        float* crow = c.rowPtr(i);
-        const float* arow = a.rowPtr(i);
-        for (std::size_t j = 0; j < n; ++j) {
-            const float* brow = b.rowPtr(j);
-            float acc = 0.0f;
-            for (std::size_t p = 0; p < k; ++p)
-                acc += arow[p] * brow[p];
-            crow[j] += acc;
-        }
-    }
+    // The hottest kernel in the framework (every VMM and projection lands
+    // here); dispatched through the SIMD kernel layer.
+    kernels::gemmBT(a, b, c, accumulate);
 }
 
 void
@@ -207,7 +192,7 @@ dot(const std::vector<float>& a, const std::vector<float>& b)
 }
 
 void
-addRowBias(Matrix& m, const std::vector<float>& bias)
+addRowBias(Matrix& m, const FloatVec& bias)
 {
     if (m.cols() != bias.size())
         panic("addRowBias: size mismatch");

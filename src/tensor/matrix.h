@@ -13,12 +13,66 @@
 #ifndef SWORDFISH_TENSOR_MATRIX_H
 #define SWORDFISH_TENSOR_MATRIX_H
 
+#include <cassert>
 #include <cstddef>
+#include <cstdint>
+#include <new>
 #include <vector>
 
 #include "util/logging.h"
 
 namespace swordfish {
+
+/** Alignment of Matrix storage: one full cache line / AVX-512 vector. */
+inline constexpr std::size_t kMatrixAlignment = 64;
+
+/**
+ * Minimal std allocator yielding `Align`-byte-aligned storage, so the SIMD
+ * kernel layer (tensor/kernels.h) can rely on Matrix::data() alignment.
+ */
+template <typename T, std::size_t Align>
+struct AlignedAllocator
+{
+    using value_type = T;
+
+    AlignedAllocator() = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept
+    {}
+
+    T*
+    allocate(std::size_t n)
+    {
+        return static_cast<T*>(
+            ::operator new(n * sizeof(T), std::align_val_t{Align}));
+    }
+
+    void
+    deallocate(T* p, std::size_t) noexcept
+    {
+        ::operator delete(p, std::align_val_t{Align});
+    }
+
+    template <typename U>
+    bool operator==(const AlignedAllocator<U, Align>&) const noexcept
+    {
+        return true;
+    }
+    template <typename U>
+    bool operator!=(const AlignedAllocator<U, Align>&) const noexcept
+    {
+        return false;
+    }
+
+    template <typename U>
+    struct rebind
+    {
+        using other = AlignedAllocator<U, Align>;
+    };
+};
+
+/** 64-byte-aligned float vector: the storage type behind Matrix::raw(). */
+using FloatVec = std::vector<float, AlignedAllocator<float, kMatrixAlignment>>;
 
 /** Dense row-major matrix of float. */
 class Matrix
@@ -29,14 +83,17 @@ class Matrix
     /** Construct rows x cols, zero-initialized. */
     Matrix(std::size_t rows, std::size_t cols)
         : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
-    {}
+    {
+        checkAlignment();
+    }
 
     /** Construct from explicit data (size must equal rows*cols). */
     Matrix(std::size_t rows, std::size_t cols, std::vector<float> data)
-        : rows_(rows), cols_(cols), data_(std::move(data))
+        : rows_(rows), cols_(cols), data_(data.begin(), data.end())
     {
         if (data_.size() != rows_ * cols_)
             panic("Matrix: data size ", data_.size(), " != ", rows_ * cols_);
+        checkAlignment();
     }
 
     std::size_t rows() const { return rows_; }
@@ -62,8 +119,8 @@ class Matrix
         return data_.data() + r * cols_;
     }
 
-    std::vector<float>& raw() { return data_; }
-    const std::vector<float>& raw() const { return data_; }
+    FloatVec& raw() { return data_; }
+    const FloatVec& raw() const { return data_; }
 
     /**
      * Reshape to rows x cols with all elements zeroed, reusing the existing
@@ -76,6 +133,7 @@ class Matrix
         rows_ = rows;
         cols_ = cols;
         data_.assign(rows * cols, 0.0f);
+        checkAlignment();
     }
 
     /** Set every element to v. */
@@ -104,9 +162,20 @@ class Matrix
     Matrix& operator*=(float s);
 
   private:
+    void
+    checkAlignment() const
+    {
+#ifndef NDEBUG
+        assert(data_.empty()
+               || reinterpret_cast<std::uintptr_t>(data_.data())
+                       % kMatrixAlignment
+                   == 0);
+#endif
+    }
+
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
-    std::vector<float> data_;
+    FloatVec data_;
 };
 
 /**
@@ -139,7 +208,7 @@ void axpy(float alpha, const std::vector<float>& x, std::vector<float>& y);
 float dot(const std::vector<float>& a, const std::vector<float>& b);
 
 /** Add a row vector (bias) to each row of m in place. */
-void addRowBias(Matrix& m, const std::vector<float>& bias);
+void addRowBias(Matrix& m, const FloatVec& bias);
 
 } // namespace swordfish
 

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Runtime SIMD dispatch for the vectorized kernel layer.
+ *
+ * The kernels in tensor/kernels.h ship two implementations — a portable
+ * scalar fallback and an AVX2+FMA path — and pick one at runtime from CPU
+ * feature detection. The `SWORDFISH_SIMD={auto,avx2,scalar}` knob in
+ * util::RuntimeConfig overrides detection (e.g. to measure the scalar
+ * fallback on an AVX2 host), and ScopedSimdLevel gives tests an RAII
+ * override so the determinism grid can sweep both paths in one process.
+ *
+ * The central contract (DESIGN.md §4.11): for identical inputs, both paths
+ * produce bitwise-identical outputs. Every kernel fixes one blocked
+ * reduction order (8 independent fma lanes + a fixed reduction tree) that
+ * the scalar path executes lane-by-lane and the AVX2 path executes as one
+ * 8-wide vector op, so switching levels never changes a single bit.
+ */
+
+#ifndef SWORDFISH_TENSOR_SIMD_H
+#define SWORDFISH_TENSOR_SIMD_H
+
+#include <string>
+
+namespace swordfish {
+
+/** Resolved instruction-set level a kernel call executes at. */
+enum class SimdLevel : int {
+    Scalar = 0, ///< portable fallback (auto-vectorization disabled)
+    Avx2 = 1,   ///< AVX2 + FMA intrinsics
+};
+
+/** Human-readable level name ("scalar" / "avx2"). */
+const char* simdLevelName(SimdLevel level);
+
+/**
+ * Parsed form of the SWORDFISH_SIMD spec. Mirrors the FaultConfig /
+ * RefreshConfig pattern: parse() returns typed errors instead of dying, so
+ * drivers can report a bad spec with context.
+ */
+struct SimdConfig
+{
+    enum class Mode { Auto, Scalar, Avx2 };
+
+    Mode mode = Mode::Auto;
+
+    /**
+     * Parse "auto" / "avx2" / "scalar" (empty = auto). On failure returns
+     * false and sets `error`; `out` is left untouched.
+     */
+    static bool parse(const std::string& spec, SimdConfig& out,
+                      std::string& error);
+
+    /** The spec string this config round-trips to. */
+    const char* name() const;
+};
+
+/** True when the CPU supports the AVX2+FMA kernel path. */
+bool cpuSupportsAvx2();
+
+/**
+ * The level kernels dispatch on right now: a scoped test override if one
+ * is active, else the SWORDFISH_SIMD spec (resolved once; "auto" detects
+ * the CPU). Panics on an unparsable spec or on SWORDFISH_SIMD=avx2 when
+ * the CPU lacks AVX2/FMA.
+ */
+SimdLevel activeSimdLevel();
+
+/**
+ * RAII level override for tests (the determinism grid sweeps
+ * {scalar, avx2} x threads x batch). Not thread-safe against in-flight
+ * evaluations, like ScopedFaultConfig. Requesting Avx2 on a CPU without
+ * AVX2/FMA panics.
+ */
+class ScopedSimdLevel
+{
+  public:
+    explicit ScopedSimdLevel(SimdLevel level);
+    ~ScopedSimdLevel();
+
+    ScopedSimdLevel(const ScopedSimdLevel&) = delete;
+    ScopedSimdLevel& operator=(const ScopedSimdLevel&) = delete;
+
+  private:
+    int prev_; ///< previous override slot (-1 = none was active)
+};
+
+/** Env var naming the SIMD spec ("" / unset = auto-detect). */
+inline constexpr const char* kSimdEnv = "SWORDFISH_SIMD";
+
+} // namespace swordfish
+
+#endif // SWORDFISH_TENSOR_SIMD_H

@@ -50,7 +50,8 @@ RuntimeConfig::toJson() const
         << jsonEscape(metricsOut) << "\",\"artifacts\":\""
         << jsonEscape(artifacts) << "\",\"faults\":\""
         << jsonEscape(faults) << "\",\"refresh\":\""
-        << jsonEscape(refresh) << "\"}";
+        << jsonEscape(refresh) << "\",\"simd\":\""
+        << jsonEscape(simd) << "\"}";
     return out.str();
 }
 
@@ -68,6 +69,7 @@ RuntimeConfig::fromEnvironment()
     cfg.artifacts = envString("SWORDFISH_ARTIFACTS");
     cfg.faults = envString("SWORDFISH_FAULTS");
     cfg.refresh = envString("SWORDFISH_REFRESH");
+    cfg.simd = envString("SWORDFISH_SIMD");
     return cfg;
 }
 

@@ -59,6 +59,7 @@ struct RuntimeConfig
     std::string artifacts;   ///< SWORDFISH_ARTIFACTS; empty = caller default
     std::string faults;      ///< SWORDFISH_FAULTS; empty = no injection
     std::string refresh;     ///< SWORDFISH_REFRESH; empty = healing off
+    std::string simd;        ///< SWORDFISH_SIMD; empty = auto-detect
 
     /** Pool width: the env override, else hardware concurrency (min 1). */
     std::size_t poolThreads() const;

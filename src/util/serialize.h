@@ -49,8 +49,9 @@ class BinaryWriter
         out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
     }
 
+    template <typename Alloc>
     void
-    putFloats(const std::vector<float>& v)
+    putFloats(const std::vector<float, Alloc>& v)
     {
         putU64(v.size());
         // Empty vectors have a null data() pointer; ostream::write with a
@@ -59,6 +60,13 @@ class BinaryWriter
             out_.write(reinterpret_cast<const char*>(v.data()),
                        static_cast<std::streamsize>(v.size()
                                                     * sizeof(float)));
+    }
+
+    /** Non-template overload so brace-enclosed literals still work. */
+    void
+    putFloats(const std::vector<float>& v)
+    {
+        putFloats<std::vector<float>::allocator_type>(v);
     }
 
     void

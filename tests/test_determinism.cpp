@@ -17,6 +17,7 @@
 #include "core/nonideality.h"
 #include "core/vmm_backend.h"
 #include "genomics/dataset.h"
+#include "tensor/simd.h"
 #include "util/fault.h"
 #include "util/thread_pool.h"
 
@@ -284,6 +285,53 @@ TEST(Determinism, FaultsDisabledMatchesEnabledWithZeroProbabilities)
     expectBitwiseEqual(off, evalBatched(2, 3, NonIdealityKind::Combined));
 }
 
+TEST(Determinism, BitwiseIdenticalAcrossSimdLevelGrid)
+{
+    // The SIMD contract: the scalar and AVX2 kernels share one blocked
+    // reduction order, so flipping the dispatch level must not change a
+    // single bit — across the whole threads x batch grid on top.
+    if (!cpuSupportsAvx2())
+        GTEST_SKIP() << "host lacks AVX2";
+    AccuracySummary ref;
+    {
+        const ScopedSimdLevel scoped(SimdLevel::Scalar);
+        ref = evalBatched(1, 1, NonIdealityKind::Combined);
+    }
+    for (const SimdLevel level : {SimdLevel::Scalar, SimdLevel::Avx2}) {
+        const ScopedSimdLevel scoped(level);
+        for (std::size_t batch : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{8}}) {
+            for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                        std::size_t{4}}) {
+                SCOPED_TRACE(std::string("simd=") + simdLevelName(level)
+                             + " batch=" + std::to_string(batch)
+                             + " threads=" + std::to_string(threads));
+                expectBitwiseEqual(
+                    ref, evalBatched(threads, batch,
+                                     NonIdealityKind::Combined));
+            }
+        }
+    }
+}
+
+TEST(Determinism, MeasuredScenarioIndependentOfSimdLevel)
+{
+    // The measured-library fold uses the absmax kernel per lane; both
+    // levels must agree through the gain/offset arithmetic too.
+    if (!cpuSupportsAvx2())
+        GTEST_SKIP() << "host lacks AVX2";
+    AccuracySummary scalar, avx2;
+    {
+        const ScopedSimdLevel scoped(SimdLevel::Scalar);
+        scalar = evalBatched(2, 3, NonIdealityKind::Measured);
+    }
+    {
+        const ScopedSimdLevel scoped(SimdLevel::Avx2);
+        avx2 = evalBatched(2, 3, NonIdealityKind::Measured);
+    }
+    expectBitwiseEqual(scalar, avx2);
+}
+
 TEST(Determinism, QuantizedBatchedMatchesSerial)
 {
     // The digital fixed-point path quantizes activations per lane, so the
@@ -300,4 +348,27 @@ TEST(Determinism, QuantizedBatchedMatchesSerial)
     EXPECT_EQ(bits(ref), bits(eval_q(1, 3)));
     EXPECT_EQ(bits(ref), bits(eval_q(2, 8)));
     EXPECT_EQ(bits(ref), bits(eval_q(4, 2)));
+}
+
+TEST(Determinism, Int8KernelPathBatchedMatchesSerial)
+{
+    // The true-integer int8 path: int32 accumulation is exact, so batched
+    // and serial evaluation must agree bitwise at every level and grid
+    // point (per-lane activation scales equal the serial per-read scales).
+    Fixture& f = Fixture::get();
+    const QuantConfig quant{8, 8};
+    auto eval_i8 = [&](std::size_t threads, std::size_t batch) {
+        return evaluateQuantizedAccuracy(
+            f.model, quant,
+            EvalOptions(f.dataset5).maxReads(5).batch(batch)
+                .threads(threads).int8Kernel());
+    };
+    const double ref = eval_i8(1, 1);
+    EXPECT_EQ(bits(ref), bits(eval_i8(1, 3)));
+    EXPECT_EQ(bits(ref), bits(eval_i8(2, 8)));
+    EXPECT_EQ(bits(ref), bits(eval_i8(4, 2)));
+    if (cpuSupportsAvx2()) {
+        const ScopedSimdLevel scoped(SimdLevel::Scalar);
+        EXPECT_EQ(bits(ref), bits(eval_i8(2, 3)));
+    }
 }

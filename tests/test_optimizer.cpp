@@ -16,8 +16,8 @@ Parameter
 makeParam(const char* name, std::vector<float> w, std::vector<float> g)
 {
     Parameter p(name, 1, w.size());
-    p.value.raw() = std::move(w);
-    p.grad.raw() = std::move(g);
+    p.value.raw().assign(w.begin(), w.end());
+    p.grad.raw().assign(g.begin(), g.end());
     return p;
 }
 

@@ -252,7 +252,7 @@ paramSnapshot(nn::SequenceModel& m)
 {
     std::vector<std::vector<float>> snap;
     for (const nn::Parameter* p : m.parameters())
-        snap.push_back(p->value.raw());
+        snap.emplace_back(p->value.raw().begin(), p->value.raw().end());
     return snap;
 }
 

@@ -95,7 +95,7 @@ TEST(TrainingFlow, MaskedTrainingFreezesUnmaskedWeights)
     std::vector<Parameter*> params = model.parameters();
     std::vector<std::vector<float>> before;
     for (Parameter* p : params)
-        before.push_back(p->value.raw());
+        before.emplace_back(p->value.raw().begin(), p->value.raw().end());
 
     TrainHooks hooks;
     hooks.configureOptimizer = [&](Adam& adam) {
@@ -189,7 +189,7 @@ TEST(TrainingFlow, GradAccumulationEquivalentToSummedBatches)
     run(b, false);
     std::vector<std::vector<float>> g1;
     for (Parameter* p : b.parameters())
-        g1.push_back(p->grad.raw());
+        g1.emplace_back(p->grad.raw().begin(), p->grad.raw().end());
     b.zeroGrad();
     Matrix y2 = b.forward(x2);
     Matrix dy2(y2.rows(), y2.cols());
