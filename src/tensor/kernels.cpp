@@ -15,7 +15,8 @@
  *    ops whose scalar and vector forms are both correctly rounded (fma,
  *    mul, add, div) plus explicitly emulated instruction semantics for the
  *    rest (vmaxps/vminps operand-order NaN rules, vcvtps2dq's 0x80000000
- *    indefinite, vblendvps sign-bit selection).
+ *    indefinite, vblendvps sign-bit selection, roundps's fixed
+ *    round-to-nearest-even independent of the ambient rounding mode).
  *  - The scalar fallback disables auto-vectorization so that "scalar"
  *    measured by the roofline is genuinely scalar even under -march=native.
  *  - Integer kernels (int8Matmul) are exact, so any order works; both
@@ -227,6 +228,26 @@ cvtI32(float x)
     return static_cast<std::int32_t>(x);
 }
 
+/**
+ * Round to nearest, ties to even, for |x| < 2^23 — the semantics of
+ * roundps(_MM_FROUND_TO_NEAREST_INT) regardless of the ambient FP
+ * environment. std::nearbyintf honors the current rounding mode, so a
+ * caller running under fesetround() would silently break the bitwise
+ * scalar==AVX2 contract; this helper uses only operations whose results
+ * are exact (truncation, an exact difference, an exact ±1 step) and is
+ * therefore immune to the mode. NaN passes through.
+ */
+inline float
+roundNearestEven(float x)
+{
+    float t = std::truncf(x);
+    const float f = x - t; // exact: |x| < 2^24, so the fraction fits
+    const float af = (f < 0.0f) ? -f : f;
+    if (af > 0.5f || (af == 0.5f && std::fmod(t, 2.0f) != 0.0f))
+        t += (f < 0.0f) ? -1.0f : 1.0f;
+    return t;
+}
+
 /** The fixed 8-lane reduction tree shared by every float reduction. */
 inline float
 reduceLanes(const float* lane)
@@ -273,7 +294,7 @@ inline float
 expScalar(float x)
 {
     x = minPs(kExpHi, maxPs(kExpLo, x)); // NaN propagates (x is src2)
-    const float n = std::nearbyintf(x * kLog2e);
+    const float n = roundNearestEven(x * kLog2e);
     float r = std::fmaf(n, -kLn2Hi, x);
     r = std::fmaf(n, -kLn2Lo, r);
     float p = kExpC1;
@@ -598,6 +619,20 @@ gemmBTRowAvx2(const float* a, const Matrix& b, float* crow, std::size_t k,
         crow[j] += dotAvx2(a, b.rowPtr(j), k);
 }
 
+/**
+ * Gate pre-activation for one 8-wide block: zi + zr + b at `off`. A named
+ * function, not a local lambda: GCC does not propagate the enclosing
+ * function's target("avx2,fma") attribute to lambdas, so a lambda body
+ * using AVX2 intrinsics fails to compile unless AVX2 is enabled globally.
+ */
+SWORDFISH_AVX2_TARGET inline __m256
+gatePre(const float* zi, const float* zr, const float* b, std::size_t off)
+{
+    return _mm256_add_ps(
+        _mm256_add_ps(_mm256_loadu_ps(zi + off), _mm256_loadu_ps(zr + off)),
+        _mm256_loadu_ps(b + off));
+}
+
 SWORDFISH_AVX2_TARGET void
 lstmGateAvx2(const float* zi, const float* zr, const float* b,
              std::size_t hidden, const float* c_prev, float* c_out,
@@ -606,16 +641,10 @@ lstmGateAvx2(const float* zi, const float* zr, const float* b,
     const std::size_t h = hidden;
     const std::size_t h8 = h & ~std::size_t{7};
     for (std::size_t j = 0; j < h8; j += 8) {
-        const auto pre = [&](std::size_t off) {
-            return _mm256_add_ps(
-                _mm256_add_ps(_mm256_loadu_ps(zi + off),
-                              _mm256_loadu_ps(zr + off)),
-                _mm256_loadu_ps(b + off));
-        };
-        const __m256 ig = sigmoidAvx2(pre(j));
-        const __m256 fg = sigmoidAvx2(pre(h + j));
-        const __m256 gg = tanhAvx2(pre(2 * h + j));
-        const __m256 og = sigmoidAvx2(pre(3 * h + j));
+        const __m256 ig = sigmoidAvx2(gatePre(zi, zr, b, j));
+        const __m256 fg = sigmoidAvx2(gatePre(zi, zr, b, h + j));
+        const __m256 gg = tanhAvx2(gatePre(zi, zr, b, 2 * h + j));
+        const __m256 og = sigmoidAvx2(gatePre(zi, zr, b, 3 * h + j));
         const __m256 c = _mm256_fmadd_ps(fg, _mm256_loadu_ps(c_prev + j),
                                          _mm256_mul_ps(ig, gg));
         const __m256 tc = tanhAvx2(c);

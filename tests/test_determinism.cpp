@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cfenv>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -17,6 +18,7 @@
 #include "core/nonideality.h"
 #include "core/vmm_backend.h"
 #include "genomics/dataset.h"
+#include "tensor/kernels.h"
 #include "tensor/simd.h"
 #include "util/fault.h"
 #include "util/thread_pool.h"
@@ -312,6 +314,67 @@ TEST(Determinism, BitwiseIdenticalAcrossSimdLevelGrid)
             }
         }
     }
+}
+
+/** Exact bit pattern of a float (the kernel outputs are float32). */
+std::uint32_t
+fbits(float v)
+{
+    std::uint32_t u = 0;
+    std::memcpy(&u, &v, sizeof(u));
+    return u;
+}
+
+TEST(Determinism, SimdParityUnderNonDefaultRoundingMode)
+{
+    // The transcendental range-reduction round must not follow the
+    // ambient FP rounding mode — roundps in the AVX2 path never does —
+    // or a caller running under fesetround() would silently break the
+    // scalar==AVX2 bitwise contract. The LSTM gate block covers exp,
+    // sigmoid, and tanh in one call; hidden=19 exercises the scalar
+    // tail behind the vector blocks too.
+    if (!cpuSupportsAvx2())
+        GTEST_SKIP() << "host lacks AVX2";
+    constexpr std::size_t hidden = 19;
+    std::vector<float> zi(4 * hidden), zr(4 * hidden), b(4 * hidden);
+    std::vector<float> c_prev(hidden);
+    for (std::size_t i = 0; i < 4 * hidden; ++i) {
+        zi[i] = 0.37f * static_cast<float>(i) - 3.1f;
+        zr[i] = -0.11f * static_cast<float>(i) + 1.7f;
+        b[i] = 0.05f * static_cast<float>(i) - 0.4f;
+    }
+    for (std::size_t j = 0; j < hidden; ++j)
+        c_prev[j] = 0.21f * static_cast<float>(j) - 1.3f;
+
+    const int old_mode = std::fegetround();
+    for (const int mode : {FE_DOWNWARD, FE_UPWARD, FE_TONEAREST}) {
+        std::vector<float> c_s(hidden), tc_s(hidden), h_s(hidden);
+        std::vector<float> c_v(hidden), tc_v(hidden), h_v(hidden);
+        std::vector<float> g_s(4 * hidden), g_v(4 * hidden);
+        ASSERT_EQ(0, std::fesetround(mode));
+        {
+            const ScopedSimdLevel scoped(SimdLevel::Scalar);
+            kernels::lstmGateBlock(zi.data(), zr.data(), b.data(), hidden,
+                                   c_prev.data(), c_s.data(), tc_s.data(),
+                                   h_s.data(), g_s.data());
+        }
+        {
+            const ScopedSimdLevel scoped(SimdLevel::Avx2);
+            kernels::lstmGateBlock(zi.data(), zr.data(), b.data(), hidden,
+                                   c_prev.data(), c_v.data(), tc_v.data(),
+                                   h_v.data(), g_v.data());
+        }
+        std::fesetround(old_mode);
+        SCOPED_TRACE("rounding mode " + std::to_string(mode));
+        for (std::size_t j = 0; j < hidden; ++j) {
+            EXPECT_EQ(fbits(c_s[j]), fbits(c_v[j]));
+            EXPECT_EQ(fbits(tc_s[j]), fbits(tc_v[j]));
+            EXPECT_EQ(fbits(h_s[j]), fbits(h_v[j]));
+        }
+        for (std::size_t i = 0; i < 4 * hidden; ++i)
+            EXPECT_EQ(fbits(g_s[i]), fbits(g_v[i]));
+    }
+    std::fesetround(old_mode);
 }
 
 TEST(Determinism, MeasuredScenarioIndependentOfSimdLevel)
