@@ -358,6 +358,10 @@ evaluateAccuracy(nn::SequenceModel& model, const EvalRequest& req)
         panic("evaluateAccuracy: EvalRequest has no dataset");
     const genomics::Dataset& dataset = *req.dataset;
     applyRequestThreads(req);
+    // AOT setup: offer every weight to the installed backend before the
+    // first read, so programming/plan lowering never races the hot path
+    // and the first read's latency matches steady state.
+    model.compileBackend();
 
     AccuracyResult res;
     const std::size_t n = req.maxReads == 0

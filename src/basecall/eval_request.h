@@ -147,6 +147,17 @@ struct EvalRequest
      * evaluateQuantizedAccuracy; the default float path is unaffected.
      */
     bool int8Kernel = false;
+
+    /**
+     * Backend selector for this request: a mode token ("interpreter" /
+     * "compiled") and/or a registry family ("digital", "int8",
+     * "analytical", "measured"), ':'-separated when both are given (see
+     * core::parseBackendSelector). Empty defers to SWORDFISH_BACKEND,
+     * then to the built-in defaults (compiled mode; family derived from
+     * the scenario / int8Kernel). A malformed selector panics at the
+     * evaluation entry point.
+     */
+    std::string backend;
 };
 
 /** The effective batch capacity of a request (>= 1). */
@@ -264,6 +275,13 @@ class EvalOptions
     int8Kernel(bool enable = true)
     {
         req_.int8Kernel = enable;
+        return *this;
+    }
+
+    EvalOptions&
+    backend(std::string selector)
+    {
+        req_.backend = std::move(selector);
         return *this;
     }
 

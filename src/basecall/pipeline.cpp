@@ -24,6 +24,8 @@ runPipeline(nn::SequenceModel& model, const EvalRequest& req)
         panic("runPipeline: EvalRequest has no dataset");
     const genomics::Dataset& dataset = *req.dataset;
     applyRequestThreads(req);
+    // AOT setup, as in evaluateAccuracy (idempotent per backend).
+    model.compileBackend();
 
     PipelineReport report;
     const std::size_t n = req.maxReads == 0

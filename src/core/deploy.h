@@ -125,8 +125,21 @@ class Int8Backend : public nn::VmmBackend
         const Int8Tensor& wq = mapped(name, w);
         thread_local Int8Vec xq;
         const float scale = quantizeRowsInt8(x, 0, x.rows(), xq);
-        y.resize(x.rows(), w.rows());
+        // int8Matmul stores (it does not accumulate), so y needs no zeroing.
+        y.resizeUninit(x.rows(), w.rows());
         kernels::int8Matmul(xq.data(), x.rows(), scale, wq, y, 0);
+    }
+
+    /**
+     * AOT hook: quantize crossbar-mapped weights into the cache up front so
+     * the first read pays no per-weight setup. Identical to lazy first-use
+     * quantization (the cache key and tensor depend only on the weight).
+     */
+    void
+    prepareWeight(const std::string& name, const Matrix& w) override
+    {
+        if (isVmmWeight(name))
+            mapped(name, w);
     }
 
     /**
@@ -139,7 +152,7 @@ class Int8Backend : public nn::VmmBackend
     {
         const Int8Tensor& wq = mapped(name, w);
         thread_local Int8Vec xq;
-        y.resize(x.rows(), w.rows());
+        y.resizeUninit(x.rows(), w.rows());
         for (const LaneBlock& blk : laneBlocks(layout)) {
             const float scale =
                 quantizeRowsInt8(x, blk.rowBegin, blk.rowEnd, xq);

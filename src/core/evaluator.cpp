@@ -1,11 +1,35 @@
 #include "evaluator.h"
 
 #include "core/deploy.h"
+#include "core/registry.h"
 #include "util/shutdown.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
 
 namespace swordfish::core {
+
+namespace {
+
+/**
+ * Create + initialize a registry backend for one evaluation, panicking on
+ * typed failures — the evaluation entry points have no error channel, and
+ * a misconfigured scenario/selector should stop the experiment loudly.
+ * Tests exercise the typed paths through BackendRegistry directly.
+ */
+std::unique_ptr<BackendApi>
+makeBackend(const char* where, const std::string& family,
+            const BackendSpec& spec)
+{
+    CompileError err;
+    auto api = BackendRegistry::instance().create(family, spec, &err);
+    if (api == nullptr)
+        panic(where, ": ", err.message);
+    if (const CompileError init = api->initialize())
+        panic(where, ": ", init.message);
+    return api;
+}
+
+} // namespace
 
 AccuracySummary
 evaluateNonIdealAccuracy(nn::SequenceModel& model, const NonIdealSetup& setup,
@@ -29,6 +53,14 @@ evaluateNonIdealAccuracy(nn::SequenceModel& model, const NonIdealSetup& setup,
     EvalRequest per_run = req;
     per_run.runs = 1;
 
+    // Backend dispatch: the selector picks the execution engine and
+    // (optionally) pins a registry family; by default the family follows
+    // the scenario's modeling approach.
+    const BackendSelector selector = resolveBackendSelector(req);
+    const std::string family = !selector.family.empty()
+        ? selector.family
+        : (setup.scenario.usesLibrary() ? "measured" : "analytical");
+
     std::vector<double> run_mean(runs, 0.0);
     std::vector<DegradedResult> run_degraded(runs);
     std::vector<std::uint8_t> run_complete(runs, 0);
@@ -40,18 +72,24 @@ evaluateNonIdealAccuracy(nn::SequenceModel& model, const NonIdealSetup& setup,
             return;
         TraceSpan trace(kMcRunSpan);
         kMcRuns.add();
-        CrossbarVmmBackend backend(setup.scenario, req.seedBase + r);
-        backend.setSramRemap(setup.remap);
-        m.setBackend(&backend);
+        BackendSpec spec;
+        spec.scenario = setup.scenario;
+        spec.remap = setup.remap;
+        spec.quant = setup.scenario.quant;
+        spec.seed = req.seedBase + r;
+        spec.mode = selector.mode;
+        auto api = makeBackend("evaluateNonIdealAccuracy", family, spec);
+        const CompileResult compiled = api->compile(m);
+        if (!compiled.success())
+            panic("evaluateNonIdealAccuracy: ", compiled.error.message);
         EvalRequest this_run = per_run;
         if (checkpointing)
             this_run.checkpointPath =
                 req.checkpointPath + ".run" + std::to_string(r);
-        const auto acc = basecall::evaluateAccuracy(m, this_run);
+        const auto acc = api->runProgram(m, this_run);
         run_mean[r] = acc.meanIdentity;
         run_degraded[r] = acc.degraded;
         run_complete[r] = acc.interrupted ? 0 : 1;
-        m.setBackend(nullptr);
     };
 
     ThreadPool& pool = globalPool();
@@ -105,20 +143,25 @@ evaluateQuantizedAccuracy(const nn::SequenceModel& model,
 {
     if (req.dataset == nullptr)
         panic("evaluateQuantizedAccuracy: EvalRequest has no dataset");
-    if (req.int8Kernel) {
-        // The int8 grid *is* the weight quantization: the backend maps the
-        // unquantized weights onto ±127 with per-row scales, so the
-        // simulated-quantization pre-pass would double-quantize here.
-        nn::SequenceModel deployed = model;
-        Int8Backend backend(quant);
-        deployed.setBackend(&backend);
-        const auto acc = basecall::evaluateAccuracy(deployed, req);
-        return acc.meanIdentity;
-    }
-    nn::SequenceModel deployed = quantizeModel(model, quant);
-    QuantOnlyBackend backend(quant);
-    deployed.setBackend(&backend);
-    const auto acc = basecall::evaluateAccuracy(deployed, req);
+
+    // Registry dispatch: "int8" maps the *unquantized* weights onto the
+    // ±127 grid itself (the simulated-quantization pre-pass would
+    // double-quantize), while "digital" deploys a weight-quantized copy
+    // and executes exact float GEMMs.
+    const BackendSelector selector = resolveBackendSelector(req);
+    const std::string family = !selector.family.empty()
+        ? selector.family
+        : (req.int8Kernel ? "int8" : "digital");
+    BackendSpec spec;
+    spec.quant = quant;
+    spec.seed = req.seedBase;
+    spec.mode = selector.mode;
+    auto api = makeBackend("evaluateQuantizedAccuracy", family, spec);
+    nn::SequenceModel deployed = api->deployModel(model);
+    const CompileResult compiled = api->compile(deployed);
+    if (!compiled.success())
+        panic("evaluateQuantizedAccuracy: ", compiled.error.message);
+    const auto acc = api->runProgram(deployed, req);
     return acc.meanIdentity;
 }
 

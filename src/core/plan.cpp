@@ -1,0 +1,154 @@
+#include "plan.h"
+
+#include <algorithm>
+
+#include "util/env.h"
+#include "util/logging.h"
+
+namespace swordfish::core {
+
+const char*
+compileFailureName(CompileFailure failure)
+{
+    switch (failure) {
+      case CompileFailure::None: return "none";
+      case CompileFailure::UnknownBackend: return "unknown_backend";
+      case CompileFailure::ShapeMismatch: return "shape_mismatch";
+      case CompileFailure::QuantizationDisabled:
+        return "quantization_disabled";
+      case CompileFailure::InvalidDeviceConfig:
+        return "invalid_device_config";
+      case CompileFailure::InvalidRemapFraction:
+        return "invalid_remap_fraction";
+      case CompileFailure::ScenarioMismatch: return "scenario_mismatch";
+    }
+    return "unknown";
+}
+
+const char*
+execModeName(ExecMode mode)
+{
+    return mode == ExecMode::Interpreter ? "interpreter" : "compiled";
+}
+
+CompileError
+parseBackendSelector(const std::string& text, BackendSelector& out)
+{
+    out = BackendSelector{};
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t sep = text.find_first_of(":,+", pos);
+        const std::string token = text.substr(
+            pos, sep == std::string::npos ? std::string::npos : sep - pos);
+        pos = sep == std::string::npos ? text.size() : sep + 1;
+        if (token.empty())
+            continue;
+        if (token == "interpreter" || token == "interpreted") {
+            out.mode = ExecMode::Interpreter;
+        } else if (token == "compiled") {
+            out.mode = ExecMode::Compiled;
+        } else if (token == "digital" || token == "int8"
+                   || token == "analytical" || token == "measured") {
+            if (!out.family.empty() && out.family != token)
+                return {CompileFailure::UnknownBackend,
+                        "backend selector '" + text
+                            + "' names two families ('" + out.family
+                            + "' and '" + token + "')"};
+            out.family = token;
+        } else {
+            return {CompileFailure::UnknownBackend,
+                    "unknown backend token '" + token + "' in '" + text
+                        + "' (modes: interpreter, compiled; families: "
+                          "digital, int8, analytical, measured)"};
+        }
+    }
+    return {};
+}
+
+const BackendSelector&
+defaultBackendSelector()
+{
+    static const BackendSelector selector = [] {
+        BackendSelector sel;
+        const CompileError err =
+            parseBackendSelector(runtimeConfig().backend, sel);
+        if (err)
+            panic("SWORDFISH_BACKEND: ", err.message);
+        return sel;
+    }();
+    return selector;
+}
+
+std::string
+ExecPlan::describe() const
+{
+    return std::to_string(weights.size()) + " weights, "
+        + std::to_string(totalTiles) + " tiles";
+}
+
+WeightPlan
+buildAnalyticalWeightPlan(
+    std::size_t rows, std::size_t cols, std::size_t tile_size,
+    const std::vector<std::vector<crossbar::CrossbarTile>>& tiles)
+{
+    WeightPlan plan;
+    plan.rows = rows;
+    plan.cols = cols;
+    plan.measured = false;
+
+    const std::size_t s = tile_size;
+    const std::size_t row_tiles = tiles.size();
+    const std::size_t col_tiles = (cols + s - 1) / s;
+
+    plan.slices.reserve(col_tiles);
+    plan.ops.reserve(row_tiles * col_tiles);
+    for (std::size_t ct = 0; ct < col_tiles; ++ct) {
+        PlanColSlice slice;
+        slice.colBegin = ct * s;
+        slice.width = std::min(cols, slice.colBegin + s) - slice.colBegin;
+        slice.opBegin = plan.ops.size();
+        for (std::size_t rt = 0; rt < row_tiles; ++rt)
+            plan.ops.push_back({&tiles[rt][ct], rt * s});
+        slice.opCount = plan.ops.size() - slice.opBegin;
+        plan.maxSliceWidth = std::max(plan.maxSliceWidth, slice.width);
+        plan.slices.push_back(slice);
+    }
+
+    // Conversion-counter factors, matching the interpretive loop exactly:
+    // each (slice, row tile) op counts x_sub.size() = T * width DAC and
+    // part.size() = T * tileRows ADC conversions, so the per-call totals
+    // are T * (row_tiles * cols) and T * (col_tiles * rows).
+    plan.tileVmms = row_tiles * col_tiles;
+    plan.dacPerRow = row_tiles * cols;
+    plan.adcPerRow = col_tiles * rows;
+    return plan;
+}
+
+WeightPlan
+buildMeasuredWeightPlan(std::size_t rows, std::size_t cols,
+                        const Matrix& weights,
+                        const std::vector<float>& gain,
+                        const std::vector<float>& offset, float abs_max)
+{
+    WeightPlan plan;
+    plan.rows = rows;
+    plan.cols = cols;
+    plan.measured = true;
+    plan.measuredWeights = &weights;
+    plan.gain = &gain;
+    // The interpretive fold is row[o] * gain[o] + offset[o] * absMax *
+    // x_max; multiplication is left-associative, so pre-folding the first
+    // product keeps the compiled result bitwise identical.
+    plan.offsetFold.resize(offset.size());
+    for (std::size_t o = 0; o < offset.size(); ++o)
+        plan.offsetFold[o] = offset[o] * abs_max;
+    // The measured mode executes as one fused gemm over the whole operand;
+    // the interpretive path counts whole-operand conversions (x.size() DAC,
+    // y.size() ADC) and no per-tile VMMs.
+    plan.tileVmms = 0;
+    plan.dacPerRow = cols;
+    plan.adcPerRow = rows;
+    return plan;
+}
+
+} // namespace swordfish::core

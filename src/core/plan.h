@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Ahead-of-time execution plans for the crossbar VMM backend, plus the
+ * typed compile-error surface shared by the backend registry.
+ *
+ * The interpretive matmul path re-derives the tile grid, the column-slice
+ * bounds, and the lane streams on every call. compile() lowers a
+ * (model, NonIdealityConfig) pair into a flat ExecPlan instead: one
+ * WeightPlan per mapped weight holding the pre-resolved column slices, a
+ * flat tile-op list in the exact interpretive execution order (column tile
+ * outer, row tile inner — so conversion-noise draws and float accumulation
+ * order are bitwise identical), the folded measured-library gain/offset
+ * vectors, and the precomputed per-row conversion-counter factors. The
+ * backend's dispatch loop then runs the ops directly, with no lock, map
+ * lookup, or grid arithmetic on the hot path.
+ *
+ * Typed errors: compilation failures (unknown backend, shape mismatch
+ * against a cached plan, quantization contradictions, degenerate device
+ * configs, out-of-range remap fractions) are returned as CompileError
+ * values rather than panics, so config readers and tests can handle them
+ * — util::panic() aborts the process and is reserved for programming
+ * errors on paths that validated their inputs earlier.
+ */
+
+#ifndef SWORDFISH_CORE_PLAN_H
+#define SWORDFISH_CORE_PLAN_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "crossbar/crossbar.h"
+#include "tensor/matrix.h"
+
+namespace swordfish::core {
+
+// ---------------------------------------------------------------------------
+// Typed compile errors (the pybuda-style BackendCompileFailure surface)
+// ---------------------------------------------------------------------------
+
+/** Why a backend failed to initialize or compile. */
+enum class CompileFailure
+{
+    None,                 ///< success
+    UnknownBackend,       ///< name not in the registry / selector invalid
+    ShapeMismatch,        ///< weight shape differs from the cached plan
+    QuantizationDisabled, ///< int8 backend with an identity quant config
+    InvalidDeviceConfig,  ///< degenerate memristor device parameters
+    InvalidRemapFraction, ///< RSA remap fraction outside [0, 1]
+    ScenarioMismatch,     ///< backend family contradicts the scenario
+};
+
+/** Stable label for a failure kind (test assertions, log lines). */
+const char* compileFailureName(CompileFailure failure);
+
+/** A typed compile error: kind plus a human-readable message. */
+struct CompileError
+{
+    CompileFailure failure = CompileFailure::None;
+    std::string message;
+
+    bool ok() const { return failure == CompileFailure::None; }
+    explicit operator bool() const { return !ok(); } ///< true on *error*
+};
+
+/** Outcome of BackendApi::compile(): success flag, error, and stats. */
+struct CompileResult
+{
+    CompileError error;           ///< None on success
+    std::size_t weightsCompiled = 0;
+    std::size_t tilesCompiled = 0;
+    double seconds = 0.0;         ///< wall time of the compile step
+
+    bool success() const { return error.ok(); }
+};
+
+// ---------------------------------------------------------------------------
+// Backend selection (EvalRequest::backend / SWORDFISH_BACKEND)
+// ---------------------------------------------------------------------------
+
+/** How matmuls execute: per-call re-derivation or a precompiled plan. */
+enum class ExecMode
+{
+    Interpreter, ///< legacy per-call path (the bitwise reference)
+    Compiled,    ///< AOT ExecPlan dispatch (the default engine)
+};
+
+/** Stable label for an execution mode. */
+const char* execModeName(ExecMode mode);
+
+/**
+ * A parsed backend selector. The selector grammar accepts up to two
+ * tokens separated by ':', ',' or '+', in any order:
+ *
+ *   mode tokens:   "interpreter" | "compiled"
+ *   family tokens: "digital" | "int8" | "analytical" | "measured"
+ *
+ * e.g. "compiled", "measured:interpreter", "int8". An empty selector
+ * keeps the defaults: compiled mode, family derived from the request
+ * (scenario kind for crossbar evaluation, int8Kernel for quantized).
+ */
+struct BackendSelector
+{
+    std::string family;                 ///< empty = derive from the request
+    ExecMode mode = ExecMode::Compiled; ///< compiled is the default engine
+};
+
+/**
+ * Parse a selector string; unknown tokens yield a typed UnknownBackend
+ * error naming the valid vocabulary. An empty string parses to the
+ * default selector.
+ */
+CompileError parseBackendSelector(const std::string& text,
+                                  BackendSelector& out);
+
+/**
+ * The process-default selector from SWORDFISH_BACKEND (util::RuntimeConfig)
+ * — parsed once; a malformed value panics at first use with the parse
+ * message, since an env typo should fail loudly rather than silently run
+ * the wrong engine.
+ */
+const BackendSelector& defaultBackendSelector();
+
+// ---------------------------------------------------------------------------
+// The execution plan
+// ---------------------------------------------------------------------------
+
+/** One tile VMM: the programmed tile plus its output-row origin. */
+struct PlanTileOp
+{
+    const crossbar::CrossbarTile* tile = nullptr;
+    std::size_t rowBegin = 0; ///< y-column origin of this tile's outputs
+};
+
+/**
+ * One input column slice: x[:, colBegin .. colBegin+width) feeds the ops
+ * [opBegin, opBegin + opCount) of the flat op list, in order.
+ */
+struct PlanColSlice
+{
+    std::size_t colBegin = 0;
+    std::size_t width = 0;
+    std::size_t opBegin = 0;
+    std::size_t opCount = 0;
+};
+
+/**
+ * The compiled form of one mapped weight. Analytical weights carry the
+ * slice table and flat op list (slice-major, row-tile inner — the exact
+ * interpretive order); measured weights carry pointers to the programmed
+ * effective matrix and folded gain vector plus the precomputed
+ * offset*absMax vector (left-to-right evaluation of the interpretive
+ * fold `offset[o] * absMax * x_max` makes the pre-fold bitwise neutral).
+ *
+ * Cached tile/matrix pointers stay valid for the backend's lifetime: the
+ * weight map's nodes are never erased, tile vectors are never resized
+ * after programming, and the health monitor re-programs tiles by
+ * move-assigning into the existing slots.
+ */
+struct WeightPlan
+{
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    bool measured = false;
+
+    // Analytical path.
+    std::vector<PlanColSlice> slices;
+    std::vector<PlanTileOp> ops;
+    std::size_t maxSliceWidth = 0; ///< scratch pre-sizing bound
+
+    // Measured path.
+    const Matrix* measuredWeights = nullptr;
+    const std::vector<float>* gain = nullptr;
+    std::vector<float> offsetFold; ///< measuredOffset[o] * absMax
+
+    // Precomputed conversion-counter factors: the interpretive loop counts
+    // x_sub.size() DAC and part.size() ADC conversions per tile op, which
+    // sum to (rows of x) * these per-call constants.
+    std::size_t tileVmms = 0;
+    std::size_t dacPerRow = 0;
+    std::size_t adcPerRow = 0;
+};
+
+/** A compiled model: one WeightPlan per mapped weight, plus stats. */
+struct ExecPlan
+{
+    std::unordered_map<std::string, WeightPlan> weights;
+    std::size_t totalTiles = 0;
+    double compileSeconds = 0.0;
+
+    /** The plan for a weight, or nullptr when it was never compiled
+     *  (direct matmul callers fall back to the interpretive path). */
+    const WeightPlan*
+    find(const std::string& name) const
+    {
+        const auto it = weights.find(name);
+        return it == weights.end() ? nullptr : &it->second;
+    }
+
+    std::size_t weightCount() const { return weights.size(); }
+
+    /** One-line summary for logs / bench JSON. */
+    std::string describe() const;
+};
+
+/**
+ * Lower one analytically-programmed weight into its WeightPlan: resolve
+ * the column-slice table and emit the flat tile-op list in interpretive
+ * execution order (column tile outer, row tile inner).
+ *
+ * @param tiles tile grid indexed [rowTile][colTile]; pointers into it are
+ *              cached, so it must outlive the plan.
+ */
+WeightPlan
+buildAnalyticalWeightPlan(
+    std::size_t rows, std::size_t cols, std::size_t tile_size,
+    const std::vector<std::vector<crossbar::CrossbarTile>>& tiles);
+
+/**
+ * Lower one measured-library weight: cache the effective-matrix and gain
+ * pointers and pre-fold the per-output offset with the layer absmax.
+ */
+WeightPlan
+buildMeasuredWeightPlan(std::size_t rows, std::size_t cols,
+                        const Matrix& weights,
+                        const std::vector<float>& gain,
+                        const std::vector<float>& offset, float abs_max);
+
+} // namespace swordfish::core
+
+#endif // SWORDFISH_CORE_PLAN_H

@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "core/deploy.h"
+#include "nn/model.h"
 #include "tensor/kernels.h"
 #include "util/fault.h"
 #include "util/logging.h"
@@ -53,8 +55,29 @@ struct TlsBatchState
     std::vector<Rng> laneRngs;
     std::vector<std::uint64_t> laneStreams; ///< stream ids (fault keys)
     std::size_t activeLane = kNoLane;
+    std::vector<Rng*> rngPtrs; ///< per-span stream table scratch
 };
 thread_local TlsBatchState tls_batch;
+
+/**
+ * Resolve the open batch's per-span stream pointers for a layout into the
+ * thread's reusable table. Panics on a lane outside the open batch (a
+ * layout bug, not a recoverable condition).
+ */
+std::vector<Rng*>&
+laneRngTable(const BatchLayout& layout)
+{
+    std::vector<Rng*>& rngs = tls_batch.rngPtrs;
+    rngs.resize(layout.size());
+    for (std::size_t i = 0; i < layout.size(); ++i) {
+        if (layout[i].lane >= tls_batch.laneRngs.size())
+            panic("CrossbarVmmBackend::matmulBatched: lane ",
+                  layout[i].lane, " outside the open batch of ",
+                  tls_batch.laneRngs.size());
+        rngs[i] = &tls_batch.laneRngs[layout[i].lane];
+    }
+    return rngs;
+}
 
 constexpr std::uint64_t kConversionTag = 0xc0417e27ULL;
 
@@ -114,6 +137,30 @@ currentStreamKey(std::uint64_t instance_id)
     return tls_stream.owner == instance_id ? tls_stream.streamKey : 0;
 }
 
+/**
+ * The VMM hot-path metric handles, shared by the interpretive and compiled
+ * bodies so both engines report under the same names.
+ */
+struct VmmCounters
+{
+    SpanStat span;
+    Counter calls;
+    Counter tileVmms;
+    Counter dac;
+    Counter adc;
+};
+
+VmmCounters&
+vmmCounters()
+{
+    static VmmCounters counters{metrics().span("vmm"),
+                                metrics().counter("vmm.calls"),
+                                metrics().counter("vmm.tile_vmms"),
+                                metrics().counter("vmm.dac_conversions"),
+                                metrics().counter("vmm.adc_conversions")};
+    return counters;
+}
+
 } // namespace
 
 CrossbarVmmBackend::CrossbarVmmBackend(const NonIdealityConfig& config,
@@ -122,6 +169,7 @@ CrossbarVmmBackend::CrossbarVmmBackend(const NonIdealityConfig& config,
       instanceId_(next_instance_id.fetch_add(1)),
       activationQuant_(config.quant.activationBits)
 {
+    mode_ = defaultBackendSelector().mode;
     if (config_.usesLibrary()) {
         library_.emplace(config_.crossbar.size, config_.library, 10000,
                          hashSeed({0x11b5eedULL}));
@@ -253,8 +301,14 @@ CrossbarVmmBackend::selectSramCells(const Matrix& error,
                                     std::size_t tile_index) const
 {
     std::vector<std::uint8_t> mask(error.size(), 0);
-    const auto k = static_cast<std::size_t>(
-        remap_.fraction * static_cast<double>(error.size()) + 0.5);
+    // Clamp to the cell count: rounding can push fraction == 1.0 to
+    // error.size() + 1 on some sizes, and an unclamped k would send
+    // nth_element's pivot iterator past order.end() (UB). Fractions
+    // outside [0, 1] are rejected earlier by validateRemapConfig().
+    const auto k = std::min(
+        error.size(),
+        static_cast<std::size_t>(
+            remap_.fraction * static_cast<double>(error.size()) + 0.5));
     if (k == 0)
         return mask;
 
@@ -479,20 +533,35 @@ void
 CrossbarVmmBackend::matmul(const std::string& name, const Matrix& w,
                            const Matrix& x, Matrix& y)
 {
-    static const SpanStat kVmmSpan = metrics().span("vmm");
-    static const Counter kVmmCalls = metrics().counter("vmm.calls");
-    static const Counter kTileVmms = metrics().counter("vmm.tile_vmms");
-    static const Counter kDacConversions =
-        metrics().counter("vmm.dac_conversions");
-    static const Counter kAdcConversions =
-        metrics().counter("vmm.adc_conversions");
-    TraceSpan trace(kVmmSpan);
-    kVmmCalls.add();
+    VmmCounters& counters = vmmCounters();
+    TraceSpan trace(counters.span);
+    counters.calls.add();
+
+    // Compiled dispatch: once the plan is sealed (acquire pairs with the
+    // release in finishCompile()), planned weights skip the lock, the map
+    // lookup, and the per-call grid arithmetic. Names outside the plan
+    // (direct matmul callers: training, enhancer probes) fall through to
+    // the interpretive body below.
+    if (planReady_.load(std::memory_order_acquire)) {
+        if (const WeightPlan* wp = plan_.find(name)) {
+            if (wp->rows != w.rows() || wp->cols != w.cols())
+                panic("CrossbarVmmBackend: shape of ", name,
+                      " changed after programming");
+            if (wp->measured)
+                runMeasuredPlan(*wp, x, y);
+            else
+                runAnalyticalPlan(*wp, x, y);
+            applyExecutionFaults(y, 0, y.rows(),
+                                 currentStreamKey(instanceId_));
+            return;
+        }
+    }
 
     const MappedWeight& mw = mapped(name, w);
 
     if (config_.usesLibrary()) {
-        y.resize(x.rows(), mw.rows);
+        y.resizeUninit(x.rows(), mw.rows);
+        y.zero();
         gemmBT(x, mw.measuredWeights, y, /*accumulate=*/true);
         float x_max = x.absMax();
         if (x_max <= 0.0f)
@@ -503,15 +572,16 @@ CrossbarVmmBackend::matmul(const std::string& name, const Matrix& w,
                 row[o] = row[o] * mw.measuredGain[o]
                     + mw.measuredOffset[o] * mw.absMax * x_max;
         }
-        kDacConversions.add(x.size());
-        kAdcConversions.add(y.size());
+        counters.dac.add(x.size());
+        counters.adc.add(y.size());
         applyExecutionFaults(y, 0, y.rows(), currentStreamKey(instanceId_));
         return;
     }
 
     const std::size_t s = config_.crossbar.size;
     const std::size_t col_tiles = (mw.cols + s - 1) / s;
-    y.resize(x.rows(), mw.rows);
+    y.resizeUninit(x.rows(), mw.rows);
+    y.zero(); // accumulation target
 
     Rng& rng = conversionRng();
     Matrix& x_sub = tls_scratch.xSub;
@@ -519,7 +589,7 @@ CrossbarVmmBackend::matmul(const std::string& name, const Matrix& w,
     for (std::size_t ct = 0; ct < col_tiles; ++ct) {
         const std::size_t c0 = ct * s;
         const std::size_t c1 = std::min(mw.cols, c0 + s);
-        x_sub.resize(x.rows(), c1 - c0);
+        x_sub.resizeUninit(x.rows(), c1 - c0); // fully overwritten below
         for (std::size_t t = 0; t < x.rows(); ++t)
             for (std::size_t c = c0; c < c1; ++c)
                 x_sub(t, c - c0) = x(t, c);
@@ -537,9 +607,9 @@ CrossbarVmmBackend::matmul(const std::string& name, const Matrix& w,
                     y(t, r0 + r) += part(t, r);
         }
     }
-    kTileVmms.add(tile_vmms);
-    kDacConversions.add(dac_elems);
-    kAdcConversions.add(adc_elems);
+    counters.tileVmms.add(tile_vmms);
+    counters.dac.add(dac_elems);
+    counters.adc.add(adc_elems);
     applyExecutionFaults(y, 0, y.rows(), currentStreamKey(instanceId_));
 }
 
@@ -556,20 +626,30 @@ CrossbarVmmBackend::matmulBatched(const std::string& name, const Matrix& w,
         return;
     }
 
-    static const SpanStat kVmmSpan = metrics().span("vmm");
-    static const Counter kVmmCalls = metrics().counter("vmm.calls");
-    static const Counter kTileVmms = metrics().counter("vmm.tile_vmms");
-    static const Counter kDacConversions =
-        metrics().counter("vmm.dac_conversions");
-    static const Counter kAdcConversions =
-        metrics().counter("vmm.adc_conversions");
-    TraceSpan trace(kVmmSpan);
-    kVmmCalls.add();
+    VmmCounters& counters = vmmCounters();
+    TraceSpan trace(counters.span);
+    counters.calls.add();
+
+    // Compiled dispatch, mirroring matmul() (see there for the memory
+    // ordering and fall-through contract).
+    if (planReady_.load(std::memory_order_acquire)) {
+        if (const WeightPlan* wp = plan_.find(name)) {
+            if (wp->rows != w.rows() || wp->cols != w.cols())
+                panic("CrossbarVmmBackend: shape of ", name,
+                      " changed after programming");
+            if (wp->measured)
+                runMeasuredPlanLanes(*wp, x, y, layout);
+            else
+                runAnalyticalPlanLanes(*wp, x, y, layout);
+            return;
+        }
+    }
 
     const MappedWeight& mw = mapped(name, w);
 
     if (config_.usesLibrary()) {
-        y.resize(x.rows(), mw.rows);
+        y.resizeUninit(x.rows(), mw.rows);
+        y.zero();
         gemmBT(x, mw.measuredWeights, y, /*accumulate=*/true);
         // One gain/offset fold over the whole batch, but with each lane's
         // own input absmax — bitwise what the serial fold does per lane
@@ -589,31 +669,25 @@ CrossbarVmmBackend::matmulBatched(const std::string& name, const Matrix& w,
             applyExecutionFaults(y, blk.rowBegin, blk.rowEnd,
                                  tls_batch.laneStreams[blk.lane]);
         }
-        kDacConversions.add(x.size());
-        kAdcConversions.add(y.size());
+        counters.dac.add(x.size());
+        counters.adc.add(y.size());
         return;
     }
 
     const std::size_t s = config_.crossbar.size;
     const std::size_t col_tiles = (mw.cols + s - 1) / s;
-    y.resize(x.rows(), mw.rows);
+    y.resizeUninit(x.rows(), mw.rows);
+    y.zero(); // accumulation target
 
     // Per-span stream pointers: layout lanes index the open batch's rngs.
-    std::vector<Rng*> rngs(layout.size());
-    for (std::size_t i = 0; i < layout.size(); ++i) {
-        if (layout[i].lane >= tls_batch.laneRngs.size())
-            panic("CrossbarVmmBackend::matmulBatched: lane ",
-                  layout[i].lane, " outside the open batch of ",
-                  tls_batch.laneRngs.size());
-        rngs[i] = &tls_batch.laneRngs[layout[i].lane];
-    }
+    std::vector<Rng*>& rngs = laneRngTable(layout);
 
     Matrix& x_sub = tls_scratch.xSub;
     std::uint64_t tile_vmms = 0, dac_elems = 0, adc_elems = 0;
     for (std::size_t ct = 0; ct < col_tiles; ++ct) {
         const std::size_t c0 = ct * s;
         const std::size_t c1 = std::min(mw.cols, c0 + s);
-        x_sub.resize(x.rows(), c1 - c0);
+        x_sub.resizeUninit(x.rows(), c1 - c0); // fully overwritten below
         for (std::size_t t = 0; t < x.rows(); ++t)
             for (std::size_t c = c0; c < c1; ++c)
                 x_sub(t, c - c0) = x(t, c);
@@ -631,12 +705,216 @@ CrossbarVmmBackend::matmulBatched(const std::string& name, const Matrix& w,
                     y(t, r0 + r) += part(t, r);
         }
     }
-    kTileVmms.add(tile_vmms);
-    kDacConversions.add(dac_elems);
-    kAdcConversions.add(adc_elems);
+    counters.tileVmms.add(tile_vmms);
+    counters.dac.add(dac_elems);
+    counters.adc.add(adc_elems);
     for (const LaneBlock& blk : laneBlocks(layout))
         applyExecutionFaults(y, blk.rowBegin, blk.rowEnd,
                              tls_batch.laneStreams[blk.lane]);
+}
+
+// ---------------------------------------------------------------------------
+// Compiled execution (plan dispatch bodies)
+// ---------------------------------------------------------------------------
+
+void
+CrossbarVmmBackend::runAnalyticalPlan(const WeightPlan& wp, const Matrix& x,
+                                      Matrix& y)
+{
+    VmmCounters& counters = vmmCounters();
+    y.resizeUninit(x.rows(), wp.rows);
+    y.zero(); // accumulation target
+
+    // One stream for the whole call, fetched before the op loop — exactly
+    // where the interpretive body draws it, so the noise sequence lines up.
+    Rng& rng = conversionRng();
+    Matrix& x_sub = tls_scratch.xSub;
+    for (const PlanColSlice& slice : wp.slices) {
+        x_sub.resizeUninit(x.rows(), slice.width); // fully overwritten
+        for (std::size_t t = 0; t < x.rows(); ++t)
+            for (std::size_t c = 0; c < slice.width; ++c)
+                x_sub(t, c) = x(t, slice.colBegin + c);
+
+        for (std::size_t i = 0; i < slice.opCount; ++i) {
+            const PlanTileOp& op = wp.ops[slice.opBegin + i];
+            op.tile->vmmFast(x_sub, rng, tls_scratch.tile);
+            const Matrix& part = tls_scratch.tile.y;
+            // Digital accumulation of partial sums across column tiles.
+            for (std::size_t t = 0; t < part.rows(); ++t)
+                for (std::size_t r = 0; r < part.cols(); ++r)
+                    y(t, op.rowBegin + r) += part(t, r);
+        }
+    }
+    counters.tileVmms.add(wp.tileVmms);
+    counters.dac.add(x.rows() * wp.dacPerRow);
+    counters.adc.add(x.rows() * wp.adcPerRow);
+}
+
+void
+CrossbarVmmBackend::runMeasuredPlan(const WeightPlan& wp, const Matrix& x,
+                                    Matrix& y)
+{
+    VmmCounters& counters = vmmCounters();
+    y.resizeUninit(x.rows(), wp.rows);
+    y.zero();
+    gemmBT(x, *wp.measuredWeights, y, /*accumulate=*/true);
+    float x_max = x.absMax();
+    if (x_max <= 0.0f)
+        x_max = 1.0f;
+    const std::vector<float>& gain = *wp.gain;
+    for (std::size_t t = 0; t < y.rows(); ++t) {
+        float* row = y.rowPtr(t);
+        for (std::size_t o = 0; o < y.cols(); ++o)
+            row[o] = row[o] * gain[o] + wp.offsetFold[o] * x_max;
+    }
+    counters.dac.add(x.size());
+    counters.adc.add(y.size());
+}
+
+void
+CrossbarVmmBackend::runAnalyticalPlanLanes(const WeightPlan& wp,
+                                           const Matrix& x, Matrix& y,
+                                           const BatchLayout& layout)
+{
+    VmmCounters& counters = vmmCounters();
+    y.resizeUninit(x.rows(), wp.rows);
+    y.zero(); // accumulation target
+
+    std::vector<Rng*>& rngs = laneRngTable(layout);
+
+    Matrix& x_sub = tls_scratch.xSub;
+    for (const PlanColSlice& slice : wp.slices) {
+        x_sub.resizeUninit(x.rows(), slice.width); // fully overwritten
+        for (std::size_t t = 0; t < x.rows(); ++t)
+            for (std::size_t c = 0; c < slice.width; ++c)
+                x_sub(t, c) = x(t, slice.colBegin + c);
+
+        for (std::size_t i = 0; i < slice.opCount; ++i) {
+            const PlanTileOp& op = wp.ops[slice.opBegin + i];
+            op.tile->vmmFastLanes(x_sub, layout, rngs.data(),
+                                  tls_scratch.tile);
+            const Matrix& part = tls_scratch.tile.y;
+            for (std::size_t t = 0; t < part.rows(); ++t)
+                for (std::size_t r = 0; r < part.cols(); ++r)
+                    y(t, op.rowBegin + r) += part(t, r);
+        }
+    }
+    counters.tileVmms.add(wp.tileVmms);
+    counters.dac.add(x.rows() * wp.dacPerRow);
+    counters.adc.add(x.rows() * wp.adcPerRow);
+    for (const LaneBlock& blk : laneBlocks(layout))
+        applyExecutionFaults(y, blk.rowBegin, blk.rowEnd,
+                             tls_batch.laneStreams[blk.lane]);
+}
+
+void
+CrossbarVmmBackend::runMeasuredPlanLanes(const WeightPlan& wp,
+                                         const Matrix& x, Matrix& y,
+                                         const BatchLayout& layout)
+{
+    VmmCounters& counters = vmmCounters();
+    y.resizeUninit(x.rows(), wp.rows);
+    y.zero();
+    gemmBT(x, *wp.measuredWeights, y, /*accumulate=*/true);
+    // One gain/offset fold over the whole batch with each lane's own input
+    // absmax — bitwise what the serial fold does per lane.
+    const std::vector<float>& gain = *wp.gain;
+    for (const LaneBlock& blk : laneBlocks(layout)) {
+        const float* src = x.raw().data() + blk.rowBegin * x.cols();
+        float x_max = kernels::absMaxRange(
+            src, (blk.rowEnd - blk.rowBegin) * x.cols());
+        if (x_max <= 0.0f)
+            x_max = 1.0f;
+        for (std::size_t t = blk.rowBegin; t < blk.rowEnd; ++t) {
+            float* out = y.rowPtr(t);
+            for (std::size_t o = 0; o < y.cols(); ++o)
+                out[o] = out[o] * gain[o] + wp.offsetFold[o] * x_max;
+        }
+        applyExecutionFaults(y, blk.rowBegin, blk.rowEnd,
+                             tls_batch.laneStreams[blk.lane]);
+    }
+    counters.dac.add(x.size());
+    counters.adc.add(y.size());
+}
+
+// ---------------------------------------------------------------------------
+// Ahead-of-time compilation
+// ---------------------------------------------------------------------------
+
+CompileError
+CrossbarVmmBackend::compileWeight(const std::string& name, const Matrix& w)
+{
+    // Typed pre-check before mapped(), which panics on a shape change: a
+    // caller compiling a weight against an existing plan deserves a value
+    // error it can surface, not an abort.
+    {
+        std::shared_lock<std::shared_mutex> lock(programMutex_);
+        const auto it = weights_.find(name);
+        if (it != weights_.end()
+            && (it->second.rows != w.rows() || it->second.cols != w.cols()))
+            return {CompileFailure::ShapeMismatch,
+                    "shape of " + name + " ("
+                        + std::to_string(w.rows()) + "x"
+                        + std::to_string(w.cols())
+                        + ") does not match the compiled plan ("
+                        + std::to_string(it->second.rows) + "x"
+                        + std::to_string(it->second.cols) + ")"};
+    }
+
+    // Programming is identical for both engines (seeds are pure in
+    // (runSeed, name, tile), never in call order), so AOT programming here
+    // is bitwise-equal to lazy first-matmul programming.
+    const MappedWeight& mw = mapped(name, w);
+    if (mode_ != ExecMode::Compiled)
+        return {};
+
+    std::unique_lock<std::shared_mutex> lock(programMutex_);
+    if (plan_.weights.count(name) != 0)
+        return {}; // idempotent: already lowered
+    WeightPlan wp = config_.usesLibrary()
+        ? buildMeasuredWeightPlan(mw.rows, mw.cols, mw.measuredWeights,
+                                  mw.measuredGain, mw.measuredOffset,
+                                  mw.absMax)
+        : buildAnalyticalWeightPlan(mw.rows, mw.cols, config_.crossbar.size,
+                                    mw.tiles);
+    plan_.totalTiles += wp.measured ? 0 : wp.ops.size();
+    plan_.weights.emplace(name, std::move(wp));
+    return {};
+}
+
+CompileError
+CrossbarVmmBackend::compile(nn::SequenceModel& model)
+{
+    for (nn::Parameter* p : model.parameters()) {
+        if (!isVmmWeight(p->name))
+            continue;
+        if (const CompileError err = compileWeight(p->name, p->value))
+            return err;
+    }
+    finishCompile();
+    return {};
+}
+
+void
+CrossbarVmmBackend::prepareWeight(const std::string& name, const Matrix& w)
+{
+    if (!isVmmWeight(name))
+        return;
+    // The sweep offers every parameter; errors here mean the model changed
+    // shape under an installed backend — a programming error, so panic
+    // (the registry's typed path goes through compile() instead).
+    if (const CompileError err = compileWeight(name, w))
+        panic("CrossbarVmmBackend::prepareWeight: ", err.message);
+}
+
+void
+CrossbarVmmBackend::finishCompile()
+{
+    // Release pairs with the acquire in the matmul dispatch: a thread that
+    // sees planReady_ sees the fully-built plan. Compile sweeps run
+    // between evaluations, never concurrently with matmuls.
+    if (mode_ == ExecMode::Compiled)
+        planReady_.store(true, std::memory_order_release);
 }
 
 } // namespace swordfish::core

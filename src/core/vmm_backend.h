@@ -30,7 +30,13 @@
 
 #include "core/health.h"
 #include "core/nonideality.h"
+#include "core/plan.h"
 #include "nn/module.h"
+#include "util/logging.h"
+
+namespace swordfish::nn {
+class SequenceModel;
+}
 
 namespace swordfish::core {
 
@@ -40,6 +46,22 @@ struct SramRemapConfig
     double fraction = 0.0;      ///< fraction of weights held in SRAM
     bool useErrorKnowledge = true; ///< top-error cells vs. random cells
 };
+
+/**
+ * Typed validation of an RSA remap config, for the places that read it
+ * (registry initialization, enhancer technique configs): a fraction
+ * outside [0, 1] is a configuration error, not a clamp — 1.05 of the
+ * cells cannot be remapped, and silently saturating would hide the typo.
+ */
+inline CompileError
+validateRemapConfig(const SramRemapConfig& remap)
+{
+    if (remap.fraction < 0.0 || remap.fraction > 1.0)
+        return {CompileFailure::InvalidRemapFraction,
+                "SRAM remap fraction must be within [0, 1], got "
+                    + std::to_string(remap.fraction)};
+    return {};
+}
 
 /** Crossbar-backed implementation of nn::VmmBackend. */
 class CrossbarVmmBackend : public nn::VmmBackend
@@ -53,12 +75,50 @@ class CrossbarVmmBackend : public nn::VmmBackend
     CrossbarVmmBackend(const NonIdealityConfig& config,
                        std::uint64_t run_seed);
 
-    /** Configure the RSA remap applied to tiles programmed later. */
+    /**
+     * Configure the RSA remap applied to tiles programmed later. The
+     * fraction must be within [0, 1]; config readers validate first with
+     * validateRemapConfig() and surface the typed error, so an
+     * out-of-range value reaching this setter panics.
+     */
     void
     setSramRemap(const SramRemapConfig& remap)
     {
+        if (const CompileError err = validateRemapConfig(remap))
+            panic("CrossbarVmmBackend::setSramRemap: ", err.message);
         remap_ = remap;
     }
+
+    /**
+     * Select the execution engine: Compiled (default; AOT ExecPlan
+     * dispatch) or Interpreter (per-call re-derivation, the bitwise
+     * reference). Must be set before compile(); both engines produce
+     * bitwise-identical results — Compiled only removes per-call lock,
+     * lookup, and grid-arithmetic overhead.
+     */
+    void setExecMode(ExecMode mode) { mode_ = mode; }
+
+    ExecMode execMode() const { return mode_; }
+
+    /**
+     * Ahead-of-time compile: program every crossbar-mapped weight of the
+     * model and (in Compiled mode) lower it into the ExecPlan, then seal
+     * the plan. Typed errors (shape mismatch against an already-compiled
+     * weight) are returned, not panicked. Idempotent; must not run
+     * concurrently with matmuls (the evaluation entry points compile
+     * before the first read).
+     */
+    CompileError compile(nn::SequenceModel& model);
+
+    /** Compile a single weight (see compile()). */
+    CompileError compileWeight(const std::string& name, const Matrix& w);
+
+    /** nn-layer AOT hooks: route to compileWeight()/plan sealing. */
+    void prepareWeight(const std::string& name, const Matrix& w) override;
+    void finishCompile() override;
+
+    /** The sealed execution plan (empty in Interpreter mode). */
+    const ExecPlan& plan() const { return plan_; }
 
     /**
      * Thread-safe after a weight is programmed: the first matmul for a
@@ -168,6 +228,13 @@ class CrossbarVmmBackend : public nn::VmmBackend
     };
 
     const MappedWeight& mapped(const std::string& name, const Matrix& w);
+    /** Compiled-dispatch bodies (plan must be sealed; see plan.h). */
+    void runAnalyticalPlan(const WeightPlan& wp, const Matrix& x, Matrix& y);
+    void runMeasuredPlan(const WeightPlan& wp, const Matrix& x, Matrix& y);
+    void runAnalyticalPlanLanes(const WeightPlan& wp, const Matrix& x,
+                                Matrix& y, const BatchLayout& layout);
+    void runMeasuredPlanLanes(const WeightPlan& wp, const Matrix& x,
+                              Matrix& y, const BatchLayout& layout);
     /**
      * When `truths` is non-null it receives each tile's pre-fault digital
      * sub-matrix in row-major tile order (the health monitor's ground
@@ -199,6 +266,12 @@ class CrossbarVmmBackend : public nn::VmmBackend
     std::map<std::string, std::vector<std::uint8_t>> sramMasks_;
     std::atomic<std::size_t> tileCount_ = 0;
     std::unique_ptr<TileHealthMonitor> health_; ///< null = healing off
+    ExecMode mode_ = ExecMode::Compiled;
+    // The AOT execution plan. Mutated only by compileWeight() under the
+    // unique lock; sealed by finishCompile() with a release store so the
+    // hot path can read it lock-free after the acquire load succeeds.
+    ExecPlan plan_;
+    std::atomic<bool> planReady_ = false;
 };
 
 } // namespace swordfish::core

@@ -143,8 +143,10 @@ CrossbarTile::vmmFast(const Matrix& x, Rng& rng, VmmScratch& scratch) const
     if (x_scale <= 0.0f)
         x_scale = 1.0f;
 
+    // xn is fully overwritten below, so skip the resize() clear; y is an
+    // accumulation target for the gemm and must be zeroed explicitly.
     Matrix& xn = scratch.xn;
-    xn.resize(x.rows(), x.cols());
+    xn.resizeUninit(x.rows(), x.cols());
     const float inv = 1.0f / x_scale;
     for (std::size_t i = 0; i < x.size(); ++i)
         xn.raw()[i] = x.raw()[i] * inv;
@@ -154,7 +156,8 @@ CrossbarTile::vmmFast(const Matrix& x, Rng& rng, VmmScratch& scratch) const
     }
 
     Matrix& y = scratch.y;
-    y.resize(x.rows(), effective_.rows());
+    y.resizeUninit(x.rows(), effective_.rows());
+    y.zero();
     gemmBT(xn, effective_, y, /*accumulate=*/true);
 
     const bool sneak = !colSneak_.empty()
@@ -194,9 +197,12 @@ CrossbarTile::vmmFastLanes(const Matrix& x, const BatchLayout& layout,
 
     // Per-lane dynamic input scaling: each lane is normalized by its own
     // absmax, exactly as vmmFast() would scale that lane in isolation.
-    std::vector<float> scales(layout.size(), 1.0f);
+    // Both the scale table and xn live in caller scratch and are fully
+    // overwritten per call, so neither pays a per-call allocation or clear.
+    std::vector<float>& scales = scratch.laneScales;
+    scales.resize(layout.size());
     Matrix& xn = scratch.xn;
-    xn.resize(x.rows(), x.cols());
+    xn.resizeUninit(x.rows(), x.cols());
     std::size_t row = 0;
     for (std::size_t l = 0; l < layout.size(); ++l) {
         const std::size_t count = layout[l].rows * x.cols();
@@ -219,7 +225,8 @@ CrossbarTile::vmmFastLanes(const Matrix& x, const BatchLayout& layout,
     }
 
     Matrix& y = scratch.y;
-    y.resize(x.rows(), effective_.rows());
+    y.resizeUninit(x.rows(), effective_.rows());
+    y.zero();
     gemmBT(xn, effective_, y, /*accumulate=*/true);
 
     const bool sneak = !colSneak_.empty()

@@ -98,6 +98,7 @@ struct VmmScratch
 {
     Matrix xn; ///< normalized (and DAC-converted) input copy
     Matrix y;  ///< tile output accumulator
+    std::vector<float> laneScales; ///< per-lane input scales (batched path)
 };
 
 /** One programmed crossbar tile holding a weight sub-matrix. */

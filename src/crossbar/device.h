@@ -33,6 +33,20 @@ writeSchemeName(WriteScheme scheme)
                                                 : "write-read-verify";
 }
 
+/**
+ * Result of validating a device / crossbar configuration. An empty message
+ * means the configuration is usable; otherwise the message names the first
+ * offending field. Returned as a value (not thrown / panicked) so config
+ * readers can surface it as a typed error before any tile is built.
+ */
+struct ConfigCheck
+{
+    std::string message; ///< empty = valid
+
+    bool ok() const { return message.empty(); }
+    explicit operator bool() const { return !ok(); } ///< true on *error*
+};
+
 /** Static memristor device parameters (Table 1). */
 struct DeviceConfig
 {
@@ -49,6 +63,32 @@ struct DeviceConfig
      */
     double stateNonlinearity = 0.5;
 };
+
+/**
+ * Validate a device configuration at config-build time. A degenerate
+ * config (gMax <= gMin, or fewer than two conductance levels) would make
+ * ConductanceMapper divide by a non-positive span and emit NaN
+ * conductances that only surface later as garbage accuracy — reject it
+ * here with a message instead.
+ */
+inline ConfigCheck
+validateDeviceConfig(const DeviceConfig& device)
+{
+    if (!(device.gMax > device.gMin))
+        return {"device gMax (" + std::to_string(device.gMax)
+                + " S) must exceed gMin (" + std::to_string(device.gMin)
+                + " S): the conductance span would be empty"};
+    if (device.gMin < 0.0)
+        return {"device gMin must be non-negative, got "
+                + std::to_string(device.gMin)};
+    if (device.conductanceLevels < 2)
+        return {"device conductanceLevels must be >= 2, got "
+                + std::to_string(device.conductanceLevels)};
+    if (device.stateNonlinearity < 0.0)
+        return {"device stateNonlinearity must be non-negative, got "
+                + std::to_string(device.stateNonlinearity)};
+    return {};
+}
 
 /**
  * Write-variation magnitude for a scheme.
@@ -136,6 +176,18 @@ struct CrossbarConfig
             + writeSchemeName(scheme) + ")";
     }
 };
+
+/** Validate geometry and device parameters of a full crossbar config. */
+inline ConfigCheck
+validateCrossbarConfig(const CrossbarConfig& config)
+{
+    if (config.size == 0)
+        return {"crossbar size must be >= 1"};
+    if (config.verifyIterations < 0)
+        return {"crossbar verifyIterations must be non-negative, got "
+                + std::to_string(config.verifyIterations)};
+    return validateDeviceConfig(config.device);
+}
 
 } // namespace swordfish::crossbar
 

@@ -29,6 +29,18 @@ stateMapInverse(double f, double nl)
 
 } // namespace
 
+ConductanceMapper::ConductanceMapper(const DeviceConfig& device)
+    : device_(device)
+{
+    // Last line of defense: config readers validate and report the typed
+    // ConfigCheck before building tiles, so a degenerate config reaching
+    // this point is a caller bug — fail loudly instead of emitting NaN
+    // conductances that only surface as garbage accuracy.
+    const ConfigCheck check = validateDeviceConfig(device_);
+    if (!check.ok())
+        panic("ConductanceMapper: ", check.message);
+}
+
 double
 ConductanceMapper::quantizeConductance(double g) const
 {
@@ -40,7 +52,7 @@ ConductanceMapper::quantizeConductance(double g) const
     // Snap the *state* (not the conductance) to one of L levels; the
     // nonlinear map then spaces representable conductances unevenly.
     const double state = stateMapInverse(frac, device_.stateNonlinearity);
-    const int levels = std::max(2, device_.conductanceLevels);
+    const int levels = device_.conductanceLevels;
     const double snapped = std::round(state
         * static_cast<double>(levels - 1))
         / static_cast<double>(levels - 1);

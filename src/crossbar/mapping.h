@@ -44,9 +44,16 @@ struct ConductancePair
 class ConductanceMapper
 {
   public:
-    explicit ConductanceMapper(const DeviceConfig& device)
-        : device_(device)
-    {}
+    /**
+     * @param device device parameters; must satisfy validateDeviceConfig()
+     *               — a degenerate span (gMax <= gMin) or a single
+     *               conductance level would divide by zero in map().
+     *               Config readers are expected to validate first and
+     *               surface the typed ConfigCheck; reaching this
+     *               constructor with a bad config is a programming error
+     *               and panics.
+     */
+    explicit ConductanceMapper(const DeviceConfig& device);
 
     /**
      * Map a weight matrix to an ideal differential conductance pair

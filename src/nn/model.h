@@ -132,6 +132,21 @@ class SequenceModel
         backend().beginRead(read_stream);
     }
 
+    /**
+     * Offer every parameter to the backend's ahead-of-time compile hook
+     * and seal the result (see VmmBackend::prepareWeight). The evaluation
+     * entry points call this before the first read; it is idempotent, and
+     * a no-op for backends without per-weight setup.
+     */
+    void
+    compileBackend()
+    {
+        VmmBackend& b = backend();
+        for (Parameter* p : parameters())
+            b.prepareWeight(p->name, p->value);
+        b.finishCompile();
+    }
+
     std::size_t layerCount() const { return layers_.size(); }
     Module& layer(std::size_t i) { return *layers_[i]; }
     const Module& layer(std::size_t i) const { return *layers_[i]; }

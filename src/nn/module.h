@@ -125,6 +125,28 @@ class VmmBackend
     }
 
     /**
+     * Ahead-of-time compile hook: the evaluation entry points offer every
+     * model parameter to the backend before the first read, so backends
+     * with a per-weight setup cost (crossbar programming, int8 weight
+     * quantization, execution-plan lowering) can pay it up front instead
+     * of on the first matmul. Backends filter for the parameters they map
+     * (biases are offered too) and must produce state bitwise identical
+     * to what lazy first-use setup would have produced — programming
+     * seeds are pure in (run seed, name, tile), never in call order.
+     * Default: stateless backends ignore it.
+     */
+    virtual void prepareWeight(const std::string& /*name*/,
+                               const Matrix& /*w*/)
+    {}
+
+    /**
+     * Called once after the prepareWeight() sweep: backends that build an
+     * execution plan seal it here (the plan is immutable afterwards, which
+     * is what lets the hot path read it without locking). Default: no-op.
+     */
+    virtual void finishCompile() {}
+
+    /**
      * Health-epoch granularity in reads: > 0 when the backend runs a
      * self-healing maintenance loop (tile aging + probes + refresh) every
      * that-many reads. The evaluation loops align their processing blocks

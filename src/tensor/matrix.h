@@ -124,8 +124,10 @@ class Matrix
 
     /**
      * Reshape to rows x cols with all elements zeroed, reusing the existing
-     * allocation when capacity suffices — the scratch-buffer primitive of
-     * the hot VMM paths.
+     * allocation when capacity suffices. Use this for accumulation targets
+     * that rely on starting from zero; scratch that overwrites every
+     * element before reading should use resizeUninit() and skip the O(n)
+     * clear.
      */
     void
     resize(std::size_t rows, std::size_t cols)
@@ -133,6 +135,22 @@ class Matrix
         rows_ = rows;
         cols_ = cols;
         data_.assign(rows * cols, 0.0f);
+        checkAlignment();
+    }
+
+    /**
+     * Reshape to rows x cols WITHOUT clearing: existing element values are
+     * unspecified afterwards. The scratch-buffer primitive of the hot VMM
+     * paths — only valid when every element is written before it is read.
+     * Reuses the allocation when the element count is unchanged.
+     */
+    void
+    resizeUninit(std::size_t rows, std::size_t cols)
+    {
+        rows_ = rows;
+        cols_ = cols;
+        if (data_.size() != rows * cols)
+            data_.resize(rows * cols);
         checkAlignment();
     }
 

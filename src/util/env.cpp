@@ -51,7 +51,8 @@ RuntimeConfig::toJson() const
         << jsonEscape(artifacts) << "\",\"faults\":\""
         << jsonEscape(faults) << "\",\"refresh\":\""
         << jsonEscape(refresh) << "\",\"simd\":\""
-        << jsonEscape(simd) << "\"}";
+        << jsonEscape(simd) << "\",\"backend\":\""
+        << jsonEscape(backend) << "\"}";
     return out.str();
 }
 
@@ -70,6 +71,7 @@ RuntimeConfig::fromEnvironment()
     cfg.faults = envString("SWORDFISH_FAULTS");
     cfg.refresh = envString("SWORDFISH_REFRESH");
     cfg.simd = envString("SWORDFISH_SIMD");
+    cfg.backend = envString("SWORDFISH_BACKEND");
     return cfg;
 }
 

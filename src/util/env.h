@@ -61,6 +61,16 @@ struct RuntimeConfig
     std::string refresh;     ///< SWORDFISH_REFRESH; empty = healing off
     std::string simd;        ///< SWORDFISH_SIMD; empty = auto-detect
 
+    /**
+     * SWORDFISH_BACKEND: default execution-backend selector — mode token
+     * ("interpreter" / "compiled") and/or family token ("digital",
+     * "int8", "analytical", "measured"), separated by ':' when both are
+     * given. Empty = compiled mode with the family derived per request.
+     * Parsed by core::parseBackendSelector; EvalRequest::backend
+     * overrides it per call.
+     */
+    std::string backend;
+
     /** Pool width: the env override, else hardware concurrency (min 1). */
     std::size_t poolThreads() const;
 

@@ -1,0 +1,373 @@
+/** @file Backend registry and plan-compiler tests: selector parsing, the
+ *  typed compile-error surface (unknown backend, shape mismatch against a
+ *  cached plan, int8 with quantization disabled, degenerate device
+ *  configs, out-of-range remap fractions, scenario mismatches), registry
+ *  dispatch across all four families, and the crossbar-mapping edge-case
+ *  regressions that motivated the typed validation. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "basecall/bonito_lite.h"
+#include "core/evaluator.h"
+#include "core/plan.h"
+#include "core/registry.h"
+#include "core/vmm_backend.h"
+#include "crossbar/device.h"
+#include "crossbar/mapping.h"
+#include "genomics/dataset.h"
+
+using namespace swordfish;
+using namespace swordfish::core;
+
+namespace {
+
+/** Small model + dataset shared by the dispatch tests. */
+struct Fixture
+{
+    static Fixture&
+    get()
+    {
+        static Fixture f;
+        return f;
+    }
+
+    nn::SequenceModel model;
+    genomics::Dataset dataset;
+
+  private:
+    Fixture()
+    {
+        basecall::BonitoLiteConfig cfg;
+        cfg.convChannels = 8;
+        cfg.lstmHidden = 8;
+        cfg.lstmLayers = 1;
+        model = basecall::buildBonitoLite(cfg);
+        const genomics::PoreModel pore;
+        dataset = genomics::makeDataset(genomics::specById("D1"),
+                                        pore, 3);
+    }
+};
+
+NonIdealityConfig
+analyticalScenario()
+{
+    NonIdealityConfig scenario;
+    scenario.kind = NonIdealityKind::Combined;
+    scenario.crossbar.size = 64;
+    return scenario;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Selector parsing
+// ---------------------------------------------------------------------------
+
+TEST(BackendSelector, EmptyStringYieldsDefaults)
+{
+    BackendSelector sel;
+    const CompileError err = parseBackendSelector("", sel);
+    EXPECT_TRUE(err.ok());
+    EXPECT_EQ(sel.mode, ExecMode::Compiled);
+    EXPECT_TRUE(sel.family.empty());
+}
+
+TEST(BackendSelector, ParsesModeAndFamilyInAnyOrder)
+{
+    BackendSelector sel;
+    EXPECT_TRUE(parseBackendSelector("interpreter", sel).ok());
+    EXPECT_EQ(sel.mode, ExecMode::Interpreter);
+    EXPECT_TRUE(sel.family.empty());
+
+    EXPECT_TRUE(parseBackendSelector("measured:interpreter", sel).ok());
+    EXPECT_EQ(sel.mode, ExecMode::Interpreter);
+    EXPECT_EQ(sel.family, "measured");
+
+    EXPECT_TRUE(parseBackendSelector("compiled,int8", sel).ok());
+    EXPECT_EQ(sel.mode, ExecMode::Compiled);
+    EXPECT_EQ(sel.family, "int8");
+}
+
+TEST(BackendSelector, UnknownTokenIsTypedError)
+{
+    BackendSelector sel;
+    const CompileError err = parseBackendSelector("warpspeed", sel);
+    EXPECT_EQ(err.failure, CompileFailure::UnknownBackend);
+    EXPECT_NE(err.message.find("warpspeed"), std::string::npos);
+}
+
+TEST(BackendSelector, ConflictingFamiliesAreRejected)
+{
+    BackendSelector sel;
+    const CompileError err = parseBackendSelector("int8:digital", sel);
+    EXPECT_EQ(err.failure, CompileFailure::UnknownBackend);
+}
+
+// ---------------------------------------------------------------------------
+// Typed validation
+// ---------------------------------------------------------------------------
+
+TEST(TypedValidation, DegenerateDeviceConfigsAreRejected)
+{
+    crossbar::DeviceConfig device;
+    EXPECT_TRUE(crossbar::validateDeviceConfig(device).ok());
+
+    device.gMax = device.gMin; // empty conductance span -> NaN mapping
+    EXPECT_FALSE(crossbar::validateDeviceConfig(device).ok());
+
+    device = crossbar::DeviceConfig{};
+    device.conductanceLevels = 1; // quantization span of zero levels
+    EXPECT_FALSE(crossbar::validateDeviceConfig(device).ok());
+
+    device = crossbar::DeviceConfig{};
+    device.gMin = -1e-6;
+    EXPECT_FALSE(crossbar::validateDeviceConfig(device).ok());
+}
+
+TEST(TypedValidation, CrossbarBackendRejectsDegenerateDevice)
+{
+    BackendSpec spec;
+    spec.scenario = analyticalScenario();
+    spec.scenario.crossbar.device.gMax = spec.scenario.crossbar.device.gMin;
+    auto api = BackendRegistry::instance().create("analytical", spec);
+    ASSERT_NE(api, nullptr);
+    const CompileError err = api->initialize();
+    EXPECT_EQ(err.failure, CompileFailure::InvalidDeviceConfig);
+}
+
+TEST(TypedValidation, RemapFractionOutsideUnitIntervalIsTypedError)
+{
+    SramRemapConfig remap;
+    remap.fraction = 1.05;
+    EXPECT_EQ(validateRemapConfig(remap).failure,
+              CompileFailure::InvalidRemapFraction);
+    remap.fraction = -0.01;
+    EXPECT_EQ(validateRemapConfig(remap).failure,
+              CompileFailure::InvalidRemapFraction);
+    remap.fraction = 1.0;
+    EXPECT_TRUE(validateRemapConfig(remap).ok());
+
+    BackendSpec spec;
+    spec.scenario = analyticalScenario();
+    spec.remap.fraction = 2.0;
+    auto api = BackendRegistry::instance().create("analytical", spec);
+    ASSERT_NE(api, nullptr);
+    EXPECT_EQ(api->initialize().failure,
+              CompileFailure::InvalidRemapFraction);
+}
+
+TEST(TypedValidation, Int8WithIdentityQuantIsTypedError)
+{
+    BackendSpec spec;
+    spec.quant = QuantConfig{}; // float baseline: weight quant disabled
+    auto api = BackendRegistry::instance().create("int8", spec);
+    ASSERT_NE(api, nullptr);
+    const CompileError err = api->initialize();
+    EXPECT_EQ(err.failure, CompileFailure::QuantizationDisabled);
+}
+
+TEST(TypedValidation, FamilyScenarioMismatchIsTypedError)
+{
+    BackendSpec spec;
+    spec.scenario = analyticalScenario(); // no measurement library
+    auto api = BackendRegistry::instance().create("measured", spec);
+    ASSERT_NE(api, nullptr);
+    EXPECT_EQ(api->initialize().failure,
+              CompileFailure::ScenarioMismatch);
+
+    spec.scenario.kind = NonIdealityKind::Measured;
+    api = BackendRegistry::instance().create("analytical", spec);
+    ASSERT_NE(api, nullptr);
+    EXPECT_EQ(api->initialize().failure,
+              CompileFailure::ScenarioMismatch);
+}
+
+TEST(TypedValidation, CompileWeightShapeMismatchIsTypedError)
+{
+    CrossbarVmmBackend backend(analyticalScenario(), 5);
+    Matrix w(16, 24);
+    EXPECT_TRUE(backend.compileWeight("layer.w", w).ok());
+    Matrix other(16, 32);
+    const CompileError err = backend.compileWeight("layer.w", other);
+    EXPECT_EQ(err.failure, CompileFailure::ShapeMismatch);
+    EXPECT_NE(err.message.find("layer.w"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Crossbar-mapping edge-case regressions
+// ---------------------------------------------------------------------------
+
+TEST(RemapEdgeCases, FullFractionRemapsEveryCellWithoutUb)
+{
+    // fraction = 1.0 selects k = every cell; the unclamped k used to hand
+    // nth_element a pivot past order.end() (UB). Under ASan/UBSan this
+    // test is the regression guard; functionally every weight must land
+    // in SRAM, which makes the tiles exact.
+    CrossbarVmmBackend backend(analyticalScenario(), 3);
+    SramRemapConfig remap;
+    remap.fraction = 1.0;
+    backend.setSramRemap(remap);
+
+    Matrix w(48, 80);
+    for (std::size_t r = 0; r < w.rows(); ++r)
+        for (std::size_t c = 0; c < w.cols(); ++c)
+            w(r, c) = 0.01f * static_cast<float>(r + 1)
+                - 0.02f * static_cast<float>(c);
+    Matrix x(2, 80);
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+        x(0, c) = 0.5f;
+        x(1, c) = -0.25f;
+    }
+    Matrix y;
+    backend.matmul("probe.w", w, x, y);
+    ASSERT_EQ(y.rows(), 2u);
+    ASSERT_EQ(y.cols(), 48u);
+
+    const auto& masks = backend.sramMasks().at("probe.w");
+    EXPECT_EQ(std::count(masks.begin(), masks.end(), 1),
+              static_cast<std::ptrdiff_t>(w.size()));
+}
+
+TEST(RemapEdgeCases, SetterPanicsOnOutOfRangeFraction)
+{
+    CrossbarVmmBackend backend(analyticalScenario(), 3);
+    SramRemapConfig remap;
+    remap.fraction = 1.5;
+    EXPECT_DEATH(backend.setSramRemap(remap), "within \\[0, 1\\]");
+}
+
+TEST(RemapEdgeCases, MapperPanicsOnDegenerateDeviceConfig)
+{
+    crossbar::DeviceConfig device;
+    device.conductanceLevels = 1;
+    EXPECT_DEATH(crossbar::ConductanceMapper mapper(device),
+                 "conductanceLevels");
+}
+
+// ---------------------------------------------------------------------------
+// Registry dispatch
+// ---------------------------------------------------------------------------
+
+TEST(BackendRegistry, ListsAllBuiltInFamilies)
+{
+    const auto names = BackendRegistry::instance().names();
+    for (const char* family :
+         {"digital", "int8", "analytical", "measured"})
+        EXPECT_NE(std::find(names.begin(), names.end(), family),
+                  names.end())
+            << family;
+}
+
+TEST(BackendRegistry, UnknownFamilyIsTypedError)
+{
+    CompileError err;
+    auto api = BackendRegistry::instance().create("hal9000",
+                                                  BackendSpec{}, &err);
+    EXPECT_EQ(api, nullptr);
+    EXPECT_EQ(err.failure, CompileFailure::UnknownBackend);
+    EXPECT_NE(err.message.find("hal9000"), std::string::npos);
+    EXPECT_NE(err.message.find("analytical"), std::string::npos);
+}
+
+TEST(BackendRegistry, DispatchesEveryFamilyEndToEnd)
+{
+    Fixture& f = Fixture::get();
+    for (const std::string& family :
+         {std::string("digital"), std::string("int8"),
+          std::string("analytical"), std::string("measured")}) {
+        SCOPED_TRACE(family);
+        BackendSpec spec;
+        spec.seed = 9;
+        if (family == "digital" || family == "int8") {
+            spec.quant = QuantConfig{8, 8};
+        } else {
+            spec.scenario = analyticalScenario();
+            if (family == "measured")
+                spec.scenario.kind = NonIdealityKind::Measured;
+        }
+        CompileError err;
+        auto api = BackendRegistry::instance().create(family, spec, &err);
+        ASSERT_NE(api, nullptr) << err.message;
+        ASSERT_TRUE(api->initialize().ok());
+
+        nn::SequenceModel deployed = api->deployModel(f.model);
+        const CompileResult compiled = api->compile(deployed);
+        ASSERT_TRUE(compiled.success()) << compiled.error.message;
+        EXPECT_GT(compiled.weightsCompiled, 0u);
+        EXPECT_GE(compiled.seconds, 0.0);
+
+        const auto acc = api->runProgram(
+            deployed, basecall::EvalOptions(f.dataset).maxReads(2));
+        api->waitForIdle();
+        EXPECT_EQ(acc.readsEvaluated, 2u);
+        EXPECT_GT(acc.basesCalled, 0u);
+    }
+}
+
+TEST(BackendRegistry, CompiledPlanCoversEveryMappedWeight)
+{
+    Fixture& f = Fixture::get();
+    BackendSpec spec;
+    spec.scenario = analyticalScenario();
+    spec.seed = 4;
+    spec.mode = ExecMode::Compiled;
+    auto api = BackendRegistry::instance().create("analytical", spec);
+    ASSERT_NE(api, nullptr);
+    ASSERT_TRUE(api->initialize().ok());
+    const CompileResult compiled = api->compile(f.model);
+    ASSERT_TRUE(compiled.success());
+    EXPECT_GT(compiled.tilesCompiled, 0u);
+
+    auto& backend = static_cast<CrossbarVmmBackend&>(api->execution());
+    EXPECT_EQ(backend.plan().weightCount(), compiled.weightsCompiled);
+    EXPECT_GT(backend.plan().totalTiles, 0u);
+    for (nn::Parameter* p : f.model.parameters()) {
+        const WeightPlan* wp = backend.plan().find(p->name);
+        if (wp != nullptr) {
+            EXPECT_EQ(wp->rows, p->value.rows());
+            EXPECT_EQ(wp->cols, p->value.cols());
+        }
+    }
+}
+
+TEST(BackendRegistry, InterpreterModeBuildsNoPlan)
+{
+    Fixture& f = Fixture::get();
+    BackendSpec spec;
+    spec.scenario = analyticalScenario();
+    spec.seed = 4;
+    spec.mode = ExecMode::Interpreter;
+    auto api = BackendRegistry::instance().create("analytical", spec);
+    ASSERT_NE(api, nullptr);
+    ASSERT_TRUE(api->initialize().ok());
+    ASSERT_TRUE(api->compile(f.model).success());
+    auto& backend = static_cast<CrossbarVmmBackend&>(api->execution());
+    EXPECT_EQ(backend.execMode(), ExecMode::Interpreter);
+    EXPECT_EQ(backend.plan().weightCount(), 0u);
+}
+
+TEST(BackendRegistry, PerRequestSelectorOverridesDefault)
+{
+    // EvalRequest::backend pins the engine per call; the two engines must
+    // agree bitwise end to end (the broader grid lives in
+    // test_determinism).
+    Fixture& f = Fixture::get();
+    auto eval_with = [&](const char* selector) {
+        return evaluateNonIdealAccuracy(
+            f.model, analyticalScenario(),
+            EvalOptions(f.dataset).runs(2).maxReads(2).seedBase(11)
+                .backend(selector));
+    };
+    const AccuracySummary compiled = eval_with("compiled");
+    const AccuracySummary interpreted = eval_with("interpreter");
+    std::uint64_t cb = 0, ib = 0;
+    std::memcpy(&cb, &compiled.mean, sizeof(cb));
+    std::memcpy(&ib, &interpreted.mean, sizeof(ib));
+    EXPECT_EQ(cb, ib);
+    EXPECT_EQ(compiled.runs, interpreted.runs);
+}

@@ -96,9 +96,11 @@ evalWithThreads(std::size_t threads, NonIdealityKind kind)
         EvalOptions(f.dataset).runs(3).maxReads(3).seedBase(7));
 }
 
-/** Full-request evaluation over the 5-read dataset: batch x threads. */
+/** Full-request evaluation over the 5-read dataset: batch x threads,
+ *  optionally pinning a backend selector ("interpreter" / "compiled"). */
 AccuracySummary
-evalBatched(std::size_t threads, std::size_t batch, NonIdealityKind kind)
+evalBatched(std::size_t threads, std::size_t batch, NonIdealityKind kind,
+            const std::string& selector = std::string())
 {
     Fixture& f = Fixture::get();
     NonIdealityConfig scenario;
@@ -109,7 +111,7 @@ evalBatched(std::size_t threads, std::size_t batch, NonIdealityKind kind)
     return evaluateNonIdealAccuracy(
         f.model, {scenario, remap},
         EvalOptions(f.dataset5).runs(2).maxReads(5).seedBase(7)
-            .batch(batch).threads(threads));
+            .batch(batch).threads(threads).backend(selector));
 }
 
 } // namespace
@@ -393,6 +395,57 @@ TEST(Determinism, MeasuredScenarioIndependentOfSimdLevel)
         avx2 = evalBatched(2, 3, NonIdealityKind::Measured);
     }
     expectBitwiseEqual(scalar, avx2);
+}
+
+TEST(Determinism, CompiledEngineBitwiseIdenticalToInterpreter)
+{
+    // The plan-compiler invariant: the AOT ExecPlan dispatch must
+    // reproduce the interpretive per-call path bit for bit — it only
+    // removes lock/lookup/grid-arithmetic overhead, never reorders a
+    // float operation or an rng draw. Checked for both modeling
+    // approaches across the full batch x thread grid.
+    for (const NonIdealityKind kind : {NonIdealityKind::Combined,
+                                       NonIdealityKind::Measured}) {
+        const AccuracySummary ref =
+            evalBatched(1, 1, kind, "interpreter");
+        for (std::size_t batch : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{8}}) {
+            for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                        std::size_t{4}}) {
+                SCOPED_TRACE(std::string("kind=")
+                             + nonIdealityName(kind)
+                             + " batch=" + std::to_string(batch)
+                             + " threads=" + std::to_string(threads));
+                expectBitwiseEqual(
+                    ref, evalBatched(threads, batch, kind, "compiled"));
+                expectBitwiseEqual(
+                    ref, evalBatched(threads, batch, kind, "interpreter"));
+            }
+        }
+    }
+}
+
+TEST(Determinism, CompiledEngineMatchesInterpreterAcrossSimdLevels)
+{
+    // Crossing the engines with the SIMD dispatch: scalar-interpreter is
+    // the reference; both engines must match it at both levels.
+    if (!cpuSupportsAvx2())
+        GTEST_SKIP() << "host lacks AVX2";
+    AccuracySummary ref;
+    {
+        const ScopedSimdLevel scoped(SimdLevel::Scalar);
+        ref = evalBatched(1, 1, NonIdealityKind::Combined, "interpreter");
+    }
+    for (const SimdLevel level : {SimdLevel::Scalar, SimdLevel::Avx2}) {
+        const ScopedSimdLevel scoped(level);
+        for (const char* engine : {"interpreter", "compiled"}) {
+            SCOPED_TRACE(std::string("simd=") + simdLevelName(level)
+                         + " engine=" + engine);
+            expectBitwiseEqual(
+                ref,
+                evalBatched(2, 3, NonIdealityKind::Combined, engine));
+        }
+    }
 }
 
 TEST(Determinism, QuantizedBatchedMatchesSerial)
