@@ -354,8 +354,7 @@ evaluateAccuracy(nn::SequenceModel& model, const EvalRequest& req)
     static const Counter kOutcomeRetried =
         metrics().counter("fault.outcome.retried");
 
-    if (req.dataset == nullptr)
-        panic("evaluateAccuracy: EvalRequest has no dataset");
+    requireValid(req, "evaluateAccuracy");
     const genomics::Dataset& dataset = *req.dataset;
     applyRequestThreads(req);
     // AOT setup: offer every weight to the installed backend before the
@@ -439,8 +438,33 @@ evaluateAccuracy(nn::SequenceModel& model, const EvalRequest& req)
     // stop budget. Otherwise the whole range runs as one pass, bitwise
     // identical to the pre-block evaluator.
     const std::size_t epoch_reads = model.backend().healthEpochReads();
+    // Streaming sinks and per-request stop flags also need block
+    // boundaries; both are observe-only, so engaging block mode for them
+    // keeps results bitwise identical to the single-pass run.
     const bool block_mode = epoch_reads > 0 || !req.checkpointPath.empty()
-        || req.stopAfterReads > 0;
+        || req.stopAfterReads > 0 || req.onBlock != nullptr
+        || req.stopFlag != nullptr;
+
+    // Running progress snapshot over the completed prefix [0, done).
+    auto emit_block = [&](std::size_t done) {
+        if (!req.onBlock)
+            return;
+        BlockEvent ev;
+        ev.done = done;
+        ev.total = n;
+        double sum = 0.0;
+        for (std::size_t i = 0; i < done; ++i) {
+            if (survives(outcomes[i])) {
+                ++ev.survivors;
+                sum += identity[i];
+            } else {
+                ++ev.skipped;
+            }
+        }
+        ev.meanIdentity = ev.survivors > 0
+            ? sum / static_cast<double>(ev.survivors) : 0.0;
+        req.onBlock(ev);
+    };
 
     std::size_t done = 0;
     if (!block_mode) {
@@ -466,6 +490,9 @@ evaluateAccuracy(nn::SequenceModel& model, const EvalRequest& req)
                 for (std::size_t e = 0; e < done / block; ++e)
                     backend.healthEpochAdvance();
             }
+            // A restored prefix is progress too — announce it so a
+            // streaming consumer sees the resume point immediately.
+            emit_block(done);
         }
         while (done < n) {
             const std::size_t r1 = std::min(n, done + block);
@@ -486,7 +513,10 @@ evaluateAccuracy(nn::SequenceModel& model, const EvalRequest& req)
                 writeCheckpoint(req.checkpointPath, fp, done,
                                 identity.data(), bases.data(),
                                 outcomes.data());
-            if (shutdownRequested()
+            // The event fires after the checkpoint write, so a consumer
+            // that saw progress knows it is durable.
+            emit_block(done);
+            if (shutdownRequested() || req.stopRequested()
                 || (req.stopAfterReads > 0 && done >= req.stopAfterReads)) {
                 res.interrupted = done < n;
                 break;

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * The serializable request surface: typed error vocabulary, the backend
+ * selector token grammar, EvalRequest validation, and the schema-versioned
+ * JSON round-trip shared by the CLI entry points, bench drivers, and the
+ * swordfishd admission path.
+ */
+
+#include "eval_request.h"
+
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace swordfish::basecall {
+
+const char*
+jobErrorName(JobErrorKind kind)
+{
+    switch (kind) {
+      case JobErrorKind::None: return "none";
+      case JobErrorKind::BadJson: return "bad_json";
+      case JobErrorKind::BadVersion: return "bad_version";
+      case JobErrorKind::MissingField: return "missing_field";
+      case JobErrorKind::UnknownField: return "unknown_field";
+      case JobErrorKind::BadValue: return "bad_value";
+      case JobErrorKind::NoDataset: return "no_dataset";
+      case JobErrorKind::BadRuns: return "bad_runs";
+      case JobErrorKind::BadBatch: return "bad_batch";
+      case JobErrorKind::BadThreads: return "bad_threads";
+      case JobErrorKind::BadBeamWidth: return "bad_beam_width";
+      case JobErrorKind::BadBackend: return "bad_backend";
+      case JobErrorKind::BadCheckpoint: return "bad_checkpoint";
+      case JobErrorKind::BadFaultSpec: return "bad_fault_spec";
+      case JobErrorKind::BadRefreshSpec: return "bad_refresh_spec";
+      case JobErrorKind::QueueFull: return "queue_full";
+      case JobErrorKind::QuotaExceeded: return "quota_exceeded";
+      case JobErrorKind::UnknownJob: return "unknown_job";
+      case JobErrorKind::Draining: return "draining";
+      case JobErrorKind::BadRequest: return "bad_request";
+    }
+    return "unknown";
+}
+
+JobError
+parseBackendTokens(const std::string& text, ParsedBackend& out)
+{
+    out = ParsedBackend{};
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t sep = text.find_first_of(":,+", pos);
+        const std::string token = text.substr(
+            pos, sep == std::string::npos ? std::string::npos : sep - pos);
+        pos = sep == std::string::npos ? text.size() : sep + 1;
+        if (token.empty())
+            continue;
+        if (token == "interpreter" || token == "interpreted") {
+            out.interpreter = true;
+        } else if (token == "compiled") {
+            out.interpreter = false;
+        } else if (token == "digital" || token == "int8"
+                   || token == "analytical" || token == "measured") {
+            if (!out.family.empty() && out.family != token)
+                return {JobErrorKind::BadBackend, "backend",
+                        "backend selector '" + text
+                            + "' names two families ('" + out.family
+                            + "' and '" + token + "')"};
+            out.family = token;
+        } else {
+            return {JobErrorKind::BadBackend, "backend",
+                    "unknown backend token '" + token + "' in '" + text
+                        + "' (modes: interpreter, compiled; families: "
+                          "digital, int8, analytical, measured)"};
+        }
+    }
+    return {};
+}
+
+std::vector<JobError>
+EvalRequest::validate() const
+{
+    std::vector<JobError> errors;
+    auto add = [&](JobErrorKind kind, const char* field, std::string msg) {
+        errors.push_back({kind, field, std::move(msg)});
+    };
+    if (dataset == nullptr)
+        add(JobErrorKind::NoDataset, "dataset",
+            "EvalRequest has no dataset");
+    if (runs == 0)
+        add(JobErrorKind::BadRuns, "runs", "runs must be >= 1");
+    if (batch > kMaxBatchCapacity)
+        add(JobErrorKind::BadBatch, "batch",
+            "batch capacity " + std::to_string(batch)
+                + " exceeds the maximum "
+                + std::to_string(kMaxBatchCapacity));
+    // threads == 0 is a valid override: a zero-worker pool runs serially.
+    if (threads != kInheritThreads && threads > kMaxRequestThreads)
+        add(JobErrorKind::BadThreads, "threads",
+            "thread override must be <= "
+                + std::to_string(kMaxRequestThreads) + " (0 = serial)");
+    if (decoder == Decoder::Beam && beamWidth == 0)
+        add(JobErrorKind::BadBeamWidth, "beam_width",
+            "beam decoder requires beam_width >= 1");
+    ParsedBackend parsed;
+    if (JobError err = parseBackendTokens(backend, parsed))
+        errors.push_back(std::move(err));
+    // Note: checkpointEvery without a checkpointPath is legal — it sizes
+    // the blocks of a block-mode run without persisting anything.
+    return errors;
+}
+
+void
+requireValid(const EvalRequest& req, const char* where)
+{
+    const std::vector<JobError> errors = req.validate();
+    if (errors.empty())
+        return;
+    // The CLI failure style: first violation, loudly. Daemon admission
+    // reports the full typed list over the wire instead.
+    panic(where, ": ", errors.front().message, " [",
+          jobErrorName(errors.front().kind), "]");
+}
+
+// ---------------------------------------------------------------------------
+// JSON round-trip (schema version 1)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::int64_t kSchemaVersion = 1;
+
+/** Read a non-negative integral field into a size_t. */
+bool
+readCount(const JsonValue& v, std::size_t& out)
+{
+    if (!v.isIntegral() || v.asI64(-1) < 0)
+        return false;
+    out = static_cast<std::size_t>(v.asU64());
+    return true;
+}
+
+} // namespace
+
+std::string
+EvalRequest::toJson() const
+{
+    // threads serializes as -1 for "inherit" so the sentinel is readable
+    // in spool files; every other count is a plain non-negative integer.
+    return JsonWriter()
+        .field("version", kSchemaVersion)
+        .field("runs", static_cast<std::uint64_t>(runs))
+        .field("max_reads", static_cast<std::uint64_t>(maxReads))
+        .field("seed_base", seedBase)
+        .field("batch", static_cast<std::uint64_t>(batch))
+        .field("threads", threads == kInheritThreads
+                   ? std::int64_t{-1} : static_cast<std::int64_t>(threads))
+        .field("decoder", decoder == Decoder::Beam ? "beam" : "greedy")
+        .field("beam_width", static_cast<std::uint64_t>(beamWidth))
+        .field("checkpoint_path", checkpointPath)
+        .field("checkpoint_every",
+               static_cast<std::uint64_t>(checkpointEvery))
+        .field("stop_after_reads",
+               static_cast<std::uint64_t>(stopAfterReads))
+        .field("int8_kernel", int8Kernel)
+        .field("backend", backend)
+        .str();
+}
+
+JobError
+EvalRequest::fromJson(const std::string& text, EvalRequest& out)
+{
+    JsonValue doc;
+    if (const JsonError err = JsonValue::parse(text, doc))
+        return {JobErrorKind::BadJson, "", err.message};
+    if (!doc.isObject())
+        return {JobErrorKind::BadJson, "",
+                "request document must be a JSON object"};
+    if (!doc.has("version"))
+        return {JobErrorKind::MissingField, "version",
+                "missing schema version"};
+    const JsonValue& ver = doc.get("version");
+    if (!ver.isIntegral() || ver.asI64() != kSchemaVersion)
+        return {JobErrorKind::BadVersion, "version",
+                "unsupported schema version (expected "
+                    + std::to_string(kSchemaVersion) + ")"};
+
+    // Parse into a copy so `out` keeps its runtime-only bindings (dataset
+    // pointer, hooks) and is untouched when any field is rejected.
+    EvalRequest req = out;
+    auto bad = [](const std::string& key) {
+        return JobError{JobErrorKind::BadValue, key,
+                        "field '" + key + "' has the wrong type or range"};
+    };
+    for (const auto& [key, value] : doc.members()) {
+        if (key == "version") {
+            continue;
+        } else if (key == "runs") {
+            if (!readCount(value, req.runs))
+                return bad(key);
+        } else if (key == "max_reads") {
+            if (!readCount(value, req.maxReads))
+                return bad(key);
+        } else if (key == "seed_base") {
+            // Exact u64: seeds above 2^53 must survive the round-trip.
+            if (!value.isIntegral() || value.asDouble(-1.0) < 0.0)
+                return bad(key);
+            req.seedBase = value.asU64();
+        } else if (key == "batch") {
+            if (!readCount(value, req.batch))
+                return bad(key);
+        } else if (key == "threads") {
+            if (!value.isIntegral())
+                return bad(key);
+            const std::int64_t t = value.asI64(-2);
+            if (t < -1)
+                return bad(key);
+            req.threads = t < 0 ? kInheritThreads
+                                : static_cast<std::size_t>(t);
+        } else if (key == "decoder") {
+            if (value.asString() == "greedy")
+                req.decoder = Decoder::Greedy;
+            else if (value.asString() == "beam")
+                req.decoder = Decoder::Beam;
+            else
+                return bad(key);
+        } else if (key == "beam_width") {
+            if (!readCount(value, req.beamWidth))
+                return bad(key);
+        } else if (key == "checkpoint_path") {
+            if (!value.isString())
+                return bad(key);
+            req.checkpointPath = value.asString();
+        } else if (key == "checkpoint_every") {
+            if (!readCount(value, req.checkpointEvery))
+                return bad(key);
+        } else if (key == "stop_after_reads") {
+            if (!readCount(value, req.stopAfterReads))
+                return bad(key);
+        } else if (key == "int8_kernel") {
+            if (!value.isBool())
+                return bad(key);
+            req.int8Kernel = value.asBool();
+        } else if (key == "backend") {
+            if (!value.isString())
+                return bad(key);
+            req.backend = value.asString();
+        } else {
+            return {JobErrorKind::UnknownField, key,
+                    "unknown field '" + key + "'"};
+        }
+    }
+    out = std::move(req);
+    return {};
+}
+
+} // namespace swordfish::basecall

@@ -13,9 +13,12 @@
 #ifndef SWORDFISH_BASECALL_EVAL_REQUEST_H
 #define SWORDFISH_BASECALL_EVAL_REQUEST_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "util/env.h"
 
@@ -24,6 +27,87 @@ struct Dataset;
 }
 
 namespace swordfish::basecall {
+
+// ---------------------------------------------------------------------------
+// Typed request/job errors (shared by CLI validation and daemon admission)
+// ---------------------------------------------------------------------------
+
+/**
+ * Why a request, JobSpec, or service operation was rejected. One enum for
+ * the whole request surface so the CLI panic path, the daemon admission
+ * path, and the wire protocol all speak the same typed vocabulary.
+ */
+enum class JobErrorKind
+{
+    None,          ///< success
+    // JSON / schema layer
+    BadJson,       ///< document does not parse
+    BadVersion,    ///< unsupported schema version
+    MissingField,  ///< required field absent
+    UnknownField,  ///< field not in the schema (strict rejection)
+    BadValue,      ///< field present but semantically invalid
+    // request validation
+    NoDataset,     ///< EvalRequest has no dataset
+    BadRuns,       ///< zero Monte-Carlo runs
+    BadBatch,      ///< batch capacity out of range
+    BadThreads,    ///< thread override out of range / not allowed here
+    BadBeamWidth,  ///< beam decoder with zero beam width
+    BadBackend,    ///< malformed backend selector
+    BadCheckpoint, ///< checkpoint knobs inconsistent
+    BadFaultSpec,  ///< malformed fault-injection spec
+    BadRefreshSpec,///< malformed refresh/healing spec
+    // service admission / operations
+    QueueFull,     ///< admission queue at capacity
+    QuotaExceeded, ///< tenant already at its in-flight quota
+    UnknownJob,    ///< no such job id
+    Draining,      ///< daemon is draining; no new admissions
+    BadRequest,    ///< malformed wire request (op/frame level)
+};
+
+/** Stable label for an error kind (wire protocol, test assertions). */
+const char* jobErrorName(JobErrorKind kind);
+
+/** A typed request error: kind, offending field, readable message. */
+struct JobError
+{
+    JobErrorKind kind = JobErrorKind::None;
+    std::string field;   ///< dotted path of the offending field ("" = whole)
+    std::string message;
+
+    bool ok() const { return kind == JobErrorKind::None; }
+    explicit operator bool() const { return !ok(); } ///< true on *error*
+};
+
+/**
+ * The backend-selector token grammar, owned by the request surface so
+ * EvalRequest::validate() and core::parseBackendSelector share one
+ * implementation. Up to two tokens separated by ':', ',' or '+', in any
+ * order: a mode ("interpreter" | "compiled") and/or a registry family
+ * ("digital" | "int8" | "analytical" | "measured"). Empty = defaults.
+ */
+struct ParsedBackend
+{
+    std::string family;       ///< empty = derive from the request
+    bool interpreter = false; ///< mode token; false = compiled (default)
+};
+
+/** Parse a selector; unknown/conflicting tokens yield BadBackend. */
+JobError parseBackendTokens(const std::string& text, ParsedBackend& out);
+
+/**
+ * Per-block progress snapshot streamed out of a block-mode evaluation.
+ * Observe-only: emitting events never changes what is computed, so a
+ * streaming run stays bitwise identical to a silent one.
+ */
+struct BlockEvent
+{
+    std::size_t run = 0;       ///< Monte-Carlo run index (0 outside MC)
+    std::size_t done = 0;      ///< reads completed so far
+    std::size_t total = 0;     ///< reads in this evaluation
+    std::size_t survivors = 0; ///< completed reads contributing to accuracy
+    std::size_t skipped = 0;   ///< completed reads excluded by degradation
+    double meanIdentity = 0.0; ///< running mean identity over survivors
+};
 
 /** Decoder selection for turning logits into bases. */
 enum class Decoder { Greedy, Beam };
@@ -102,6 +186,13 @@ struct DegradedResult
 /** Sentinel: keep whatever global thread-pool width is already in effect. */
 inline constexpr std::size_t kInheritThreads = static_cast<std::size_t>(-1);
 
+/** Largest batch capacity validate() accepts (sanity bound, not a tuning
+ *  limit — real batches are two to three orders of magnitude smaller). */
+inline constexpr std::size_t kMaxBatchCapacity = 1u << 16;
+
+/** Largest explicit thread override validate() accepts. */
+inline constexpr std::size_t kMaxRequestThreads = 4096;
+
 /**
  * Everything an evaluation entry point needs, in one value object.
  * Build it with EvalOptions; entry points take it as the last argument so
@@ -158,7 +249,64 @@ struct EvalRequest
      * evaluation entry point.
      */
     std::string backend;
+
+    /**
+     * Per-block progress sink (observe-only). Setting it engages block
+     * mode so events fire at block boundaries; results stay bitwise
+     * identical to a silent run. Concurrent Monte-Carlo runs may invoke
+     * the sink from different workers (events within one run arrive in
+     * order), so the sink must be thread-safe. Not serialized.
+     */
+    std::function<void(const BlockEvent&)> onBlock;
+
+    /**
+     * Cooperative stop signal scoped to this request: when it reads true
+     * at a block boundary the evaluation checkpoints (if configured) and
+     * returns with `interrupted = true`, exactly like a process-wide
+     * graceful shutdown — but without affecting sibling requests. The
+     * daemon drives per-job cancellation through this. Not serialized.
+     */
+    const std::atomic<bool>* stopFlag = nullptr;
+
+    /** True when this request's cooperative stop signal is raised. */
+    bool
+    stopRequested() const
+    {
+        return stopFlag != nullptr
+            && stopFlag->load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Validate every knob, returning all violations (empty = valid):
+     * missing dataset, zero runs, beam decoder without a beam, malformed
+     * backend selector, out-of-range batch/thread overrides. The CLI
+     * entry points panic on the first
+     * error via requireValid(); daemon admission returns them typed — one
+     * validator, two failure styles.
+     */
+    std::vector<JobError> validate() const;
+
+    /**
+     * Serialize the scalar knobs (schema-versioned; the dataset pointer
+     * and runtime-only hooks are excluded — a JobSpec names the dataset
+     * declaratively instead).
+     */
+    std::string toJson() const;
+
+    /**
+     * Parse a toJson() document back into `out`. Strict: unknown fields,
+     * a missing/unsupported version, and type mismatches are typed
+     * errors, and `out` is left untouched on failure.
+     */
+    static JobError fromJson(const std::string& text, EvalRequest& out);
 };
+
+/**
+ * Panic on the first validation error, prefixed with the entry-point name
+ * — the one-shot CLI failure style. Daemon admission calls validate()
+ * directly instead; a test asserts the two paths agree.
+ */
+void requireValid(const EvalRequest& req, const char* where);
 
 /** The effective batch capacity of a request (>= 1). */
 inline std::size_t
@@ -282,6 +430,20 @@ class EvalOptions
     backend(std::string selector)
     {
         req_.backend = std::move(selector);
+        return *this;
+    }
+
+    EvalOptions&
+    onBlock(std::function<void(const BlockEvent&)> sink)
+    {
+        req_.onBlock = std::move(sink);
+        return *this;
+    }
+
+    EvalOptions&
+    stopFlag(const std::atomic<bool>* flag)
+    {
+        req_.stopFlag = flag;
         return *this;
     }
 

@@ -20,8 +20,7 @@ runPipeline(nn::SequenceModel& model, const EvalRequest& req)
     static const Counter kSkippedReads =
         metrics().counter("pipeline.skipped_reads");
 
-    if (req.dataset == nullptr)
-        panic("runPipeline: EvalRequest has no dataset");
+    requireValid(req, "runPipeline");
     const genomics::Dataset& dataset = *req.dataset;
     applyRequestThreads(req);
     // AOT setup, as in evaluateAccuracy (idempotent per backend).

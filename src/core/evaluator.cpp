@@ -43,8 +43,7 @@ evaluateNonIdealAccuracy(nn::SequenceModel& model, const NonIdealSetup& setup,
     static const SpanStat kMcRunSpan = metrics().span("mc_run");
     static const Counter kMcRuns = metrics().counter("mc.runs");
 
-    if (req.dataset == nullptr)
-        panic("evaluateNonIdealAccuracy: EvalRequest has no dataset");
+    basecall::requireValid(req, "evaluateNonIdealAccuracy");
     basecall::applyRequestThreads(req);
     const std::size_t runs = req.runs;
 
@@ -68,7 +67,9 @@ evaluateNonIdealAccuracy(nn::SequenceModel& model, const NonIdealSetup& setup,
     auto run_one = [&](nn::SequenceModel& m, std::size_t r) {
         // A graceful-shutdown request stops a checkpointed sweep before
         // starting further runs; the in-flight ones checkpoint themselves.
-        if (checkpointing && shutdownRequested())
+        // A per-request stop flag (daemon cancellation) skips further runs
+        // unconditionally — a cancelled sweep's summary is discarded.
+        if ((checkpointing && shutdownRequested()) || req.stopRequested())
             return;
         TraceSpan trace(kMcRunSpan);
         kMcRuns.add();
@@ -86,6 +87,15 @@ evaluateNonIdealAccuracy(nn::SequenceModel& model, const NonIdealSetup& setup,
         if (checkpointing)
             this_run.checkpointPath =
                 req.checkpointPath + ".run" + std::to_string(r);
+        if (req.onBlock) {
+            // Stamp the Monte-Carlo run index onto each event. Runs may
+            // stream concurrently; the sink contract is thread-safe.
+            this_run.onBlock = [&req, r](const basecall::BlockEvent& ev) {
+                basecall::BlockEvent stamped = ev;
+                stamped.run = r;
+                req.onBlock(stamped);
+            };
+        }
         const auto acc = api->runProgram(m, this_run);
         run_mean[r] = acc.meanIdentity;
         run_degraded[r] = acc.degraded;
@@ -141,8 +151,7 @@ double
 evaluateQuantizedAccuracy(const nn::SequenceModel& model,
                           const QuantConfig& quant, const EvalRequest& req)
 {
-    if (req.dataset == nullptr)
-        panic("evaluateQuantizedAccuracy: EvalRequest has no dataset");
+    basecall::requireValid(req, "evaluateQuantizedAccuracy");
 
     // Registry dispatch: "int8" maps the *unquantized* weights onto the
     // ±127 grid itself (the simulated-quantization pre-pass would

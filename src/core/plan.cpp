@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "basecall/eval_request.h"
 #include "util/env.h"
 #include "util/logging.h"
 
@@ -34,34 +35,16 @@ execModeName(ExecMode mode)
 CompileError
 parseBackendSelector(const std::string& text, BackendSelector& out)
 {
-    out = BackendSelector{};
-    std::size_t pos = 0;
-    while (pos < text.size()) {
-        const std::size_t sep = text.find_first_of(":,+", pos);
-        const std::string token = text.substr(
-            pos, sep == std::string::npos ? std::string::npos : sep - pos);
-        pos = sep == std::string::npos ? text.size() : sep + 1;
-        if (token.empty())
-            continue;
-        if (token == "interpreter" || token == "interpreted") {
-            out.mode = ExecMode::Interpreter;
-        } else if (token == "compiled") {
-            out.mode = ExecMode::Compiled;
-        } else if (token == "digital" || token == "int8"
-                   || token == "analytical" || token == "measured") {
-            if (!out.family.empty() && out.family != token)
-                return {CompileFailure::UnknownBackend,
-                        "backend selector '" + text
-                            + "' names two families ('" + out.family
-                            + "' and '" + token + "')"};
-            out.family = token;
-        } else {
-            return {CompileFailure::UnknownBackend,
-                    "unknown backend token '" + token + "' in '" + text
-                        + "' (modes: interpreter, compiled; families: "
-                          "digital, int8, analytical, measured)"};
-        }
-    }
+    // The token grammar lives with the request surface
+    // (basecall::parseBackendTokens) so EvalRequest::validate() and this
+    // typed compile-error wrapper cannot drift apart.
+    basecall::ParsedBackend parsed;
+    if (const basecall::JobError err =
+            basecall::parseBackendTokens(text, parsed))
+        return {CompileFailure::UnknownBackend, err.message};
+    out.family = parsed.family;
+    out.mode = parsed.interpreter ? ExecMode::Interpreter
+                                  : ExecMode::Compiled;
     return {};
 }
 
@@ -70,13 +53,19 @@ defaultBackendSelector()
 {
     static const BackendSelector selector = [] {
         BackendSelector sel;
-        const CompileError err =
-            parseBackendSelector(runtimeConfig().backend, sel);
+        const CompileError err = checkedDefaultBackendSelector(sel);
         if (err)
             panic("SWORDFISH_BACKEND: ", err.message);
         return sel;
     }();
     return selector;
+}
+
+CompileError
+checkedDefaultBackendSelector(BackendSelector& out)
+{
+    out = BackendSelector{};
+    return parseBackendSelector(runtimeConfig().backend, out);
 }
 
 std::string

@@ -118,10 +118,19 @@ CompileError parseBackendSelector(const std::string& text,
 /**
  * The process-default selector from SWORDFISH_BACKEND (util::RuntimeConfig)
  * — parsed once; a malformed value panics at first use with the parse
- * message, since an env typo should fail loudly rather than silently run
- * the wrong engine.
+ * message, since an env typo in a one-shot CLI run should fail loudly
+ * rather than silently run the wrong engine. Long-running daemons call
+ * checkedDefaultBackendSelector() at startup instead.
  */
 const BackendSelector& defaultBackendSelector();
+
+/**
+ * Typed variant of the SWORDFISH_BACKEND parse for servers: re-parses the
+ * env selector into `out` and returns the error instead of panicking, so
+ * swordfishd can refuse to start with a diagnostic on its own error
+ * channel. On success `out` matches what defaultBackendSelector() yields.
+ */
+CompileError checkedDefaultBackendSelector(BackendSelector& out);
 
 // ---------------------------------------------------------------------------
 // The execution plan

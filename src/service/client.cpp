@@ -1,0 +1,88 @@
+#include "client.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace swordfish::service {
+
+ServiceClient::ServiceClient(const std::string& socket_path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path))
+        return;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr))
+        < 0) {
+        ::close(fd);
+        return;
+    }
+    fd_ = fd;
+}
+
+ServiceClient::~ServiceClient()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+ServiceClient::sendLine(const std::string& line)
+{
+    if (fd_ < 0)
+        return false;
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t off = 0;
+    while (off < framed.size()) {
+        const ssize_t n =
+            ::write(fd_, framed.data() + off, framed.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+ServiceClient::recvLine(std::string& out, int timeout_ms)
+{
+    if (fd_ < 0)
+        return false;
+    for (;;) {
+        const std::size_t nl = buffer_.find('\n');
+        if (nl != std::string::npos) {
+            out = buffer_.substr(0, nl);
+            buffer_.erase(0, nl + 1);
+            return true;
+        }
+        struct pollfd pfd = {fd_, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, timeout_ms);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (ready == 0)
+            return false; // timeout
+        char chunk[4096];
+        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n <= 0)
+            return false; // EOF or error
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace swordfish::service

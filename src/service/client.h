@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Minimal blocking client for the swordfishd wire protocol, shared by the
+ * swordfish_submit example and the service tests: connect to the AF_UNIX
+ * socket, send request lines, read response lines.
+ */
+
+#ifndef SWORDFISH_SERVICE_CLIENT_H
+#define SWORDFISH_SERVICE_CLIENT_H
+
+#include <string>
+
+namespace swordfish::service {
+
+class ServiceClient
+{
+  public:
+    /** Connect to a swordfishd socket; connected() reports success. */
+    explicit ServiceClient(const std::string& socket_path);
+    ~ServiceClient();
+
+    ServiceClient(const ServiceClient&) = delete;
+    ServiceClient& operator=(const ServiceClient&) = delete;
+
+    bool connected() const { return fd_ >= 0; }
+
+    /** Send one request line (newline appended). */
+    bool sendLine(const std::string& line);
+
+    /**
+     * Read the next response line into `out` (newline stripped), waiting
+     * up to `timeout_ms` (-1 = forever). False on timeout/EOF/error.
+     */
+    bool recvLine(std::string& out, int timeout_ms = -1);
+
+  private:
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+} // namespace swordfish::service
+
+#endif // SWORDFISH_SERVICE_CLIENT_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Job lifecycle types shared by the JobManager, the wire protocol, and the
+ * spool: states, streamed progress events, and status snapshots.
+ */
+
+#ifndef SWORDFISH_SERVICE_JOB_H
+#define SWORDFISH_SERVICE_JOB_H
+
+#include <string>
+
+#include "service/job_spec.h"
+
+namespace swordfish::service {
+
+/**
+ * Lifecycle of one job. Queued -> Running -> {Completed, Failed,
+ * Cancelled}; a Running job interrupted by a daemon shutdown goes back to
+ * Queued (persisted), so a restarted daemon resumes it from its checkpoint.
+ */
+enum class JobState
+{
+    Queued,
+    Running,
+    Completed,
+    Failed,
+    Cancelled,
+};
+
+/** Stable wire/spool label for a state. */
+const char* jobStateName(JobState state);
+
+/** Parse a spool label; false on unknown names. */
+bool parseJobState(const std::string& name, JobState& out);
+
+/** True for states no transition leaves. */
+inline bool
+isTerminal(JobState state)
+{
+    return state == JobState::Completed || state == JobState::Failed
+        || state == JobState::Cancelled;
+}
+
+/** One streamed progress line: a block event with a per-job sequence. */
+struct JobEvent
+{
+    std::size_t seq = 0; ///< 0-based, dense per job
+    basecall::BlockEvent block;
+
+    std::string toJson() const;
+};
+
+/** Snapshot of one job for status/list responses and spool records. */
+struct JobStatus
+{
+    std::string id;
+    JobState state = JobState::Queued;
+    JobSpec spec;
+    JobResult result;   ///< meaningful once terminal (or re-queued)
+    std::string error;  ///< Failed detail
+    std::size_t events = 0; ///< progress events emitted so far
+
+    std::string toJson() const;
+};
+
+} // namespace swordfish::service
+
+#endif // SWORDFISH_SERVICE_JOB_H

@@ -1,0 +1,511 @@
+#include "job_manager.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/serialize.h"
+#include "util/shutdown.h"
+
+namespace swordfish::service {
+
+using basecall::JobError;
+using basecall::JobErrorKind;
+
+const char*
+jobStateName(JobState state)
+{
+    switch (state) {
+      case JobState::Queued: return "queued";
+      case JobState::Running: return "running";
+      case JobState::Completed: return "completed";
+      case JobState::Failed: return "failed";
+      case JobState::Cancelled: return "cancelled";
+    }
+    return "unknown";
+}
+
+bool
+parseJobState(const std::string& name, JobState& out)
+{
+    if (name == "queued")
+        out = JobState::Queued;
+    else if (name == "running")
+        out = JobState::Running;
+    else if (name == "completed")
+        out = JobState::Completed;
+    else if (name == "failed")
+        out = JobState::Failed;
+    else if (name == "cancelled")
+        out = JobState::Cancelled;
+    else
+        return false;
+    return true;
+}
+
+std::string
+JobEvent::toJson() const
+{
+    return JsonWriter()
+        .field("seq", static_cast<std::uint64_t>(seq))
+        .field("run", static_cast<std::uint64_t>(block.run))
+        .field("done", static_cast<std::uint64_t>(block.done))
+        .field("total", static_cast<std::uint64_t>(block.total))
+        .field("survivors", static_cast<std::uint64_t>(block.survivors))
+        .field("skipped", static_cast<std::uint64_t>(block.skipped))
+        .field("mean_identity", block.meanIdentity)
+        .str();
+}
+
+std::string
+JobStatus::toJson() const
+{
+    return JsonWriter()
+        .field("id", id)
+        .field("state", jobStateName(state))
+        .field("tenant", spec.tenant)
+        .field("kind", jobKindName(spec.kind))
+        .field("events", static_cast<std::uint64_t>(events))
+        .field("error", error)
+        .raw("spec", spec.toJson())
+        .raw("result", result.toJson())
+        .str();
+}
+
+// ---------------------------------------------------------------------------
+// Construction / teardown
+// ---------------------------------------------------------------------------
+
+JobManager::JobManager(JobManagerConfig cfg) : cfg_(std::move(cfg))
+{
+    if (!cfg_.spoolDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(cfg_.spoolDir, ec);
+        if (ec)
+            fatal("JobManager: cannot create spool dir ", cfg_.spoolDir,
+                  ": ", ec.message());
+    }
+    workers_.reserve(cfg_.workers);
+    for (std::size_t w = 0; w < cfg_.workers; ++w)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+JobManager::~JobManager()
+{
+    shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Spool
+// ---------------------------------------------------------------------------
+
+std::string
+JobManager::spoolPath(const std::string& id) const
+{
+    return cfg_.spoolDir + "/" + id + ".json";
+}
+
+std::string
+JobManager::checkpointPath(const std::string& id) const
+{
+    return cfg_.spoolDir.empty() ? std::string()
+                                 : cfg_.spoolDir + "/" + id + ".ckpt";
+}
+
+void
+JobManager::persistLocked(const Job& job)
+{
+    if (cfg_.spoolDir.empty())
+        return;
+    const std::string record = JsonWriter()
+        .field("version", 1)
+        .field("id", job.id)
+        .field("state", jobStateName(job.state))
+        .field("error", job.error)
+        .raw("spec", job.spec.toJson())
+        .raw("result", job.result.toJson())
+        .str();
+    if (!atomicWriteFile(spoolPath(job.id), record))
+        warn("JobManager: failed to persist ", spoolPath(job.id));
+}
+
+void
+JobManager::removeCheckpoints(const Job& job)
+{
+    const std::string base = checkpointPath(job.id);
+    if (base.empty())
+        return;
+    std::remove(base.c_str());
+    // Monte-Carlo sweeps checkpoint per run under <base>.run<r>.
+    for (std::size_t r = 0; r < job.spec.request.runs; ++r)
+        std::remove((base + ".run" + std::to_string(r)).c_str());
+}
+
+std::size_t
+JobManager::resumeSpooled()
+{
+    if (cfg_.spoolDir.empty())
+        return 0;
+    struct Loaded
+    {
+        std::uint64_t ordinal;
+        std::string id;
+        JobState state;
+        JobSpec spec;
+        JobResult result;
+        std::string error;
+    };
+    std::vector<Loaded> loaded;
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(cfg_.spoolDir, ec)) {
+        const std::filesystem::path& p = entry.path();
+        if (p.extension() != ".json")
+            continue;
+        std::ifstream in(p);
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        JsonValue doc;
+        if (JsonValue::parse(buffer.str(), doc) || !doc.isObject()) {
+            warn("JobManager: skipping unreadable spool record ",
+                 p.string());
+            continue;
+        }
+        Loaded rec;
+        rec.id = doc.get("id").asString();
+        if (rec.id.empty() || !parseJobState(doc.get("state").asString(),
+                                             rec.state)) {
+            warn("JobManager: skipping malformed spool record ",
+                 p.string());
+            continue;
+        }
+        if (JobSpec::fromJsonValue(doc.get("spec"), rec.spec)
+            || JobResult::fromJsonValue(doc.get("result"), rec.result)) {
+            warn("JobManager: skipping malformed spool record ",
+                 p.string());
+            continue;
+        }
+        rec.error = doc.get("error").asString();
+        // Ids are "j<N>"; the ordinal restores admission order and seeds
+        // the id counter past every persisted job.
+        rec.ordinal = std::strtoull(rec.id.c_str() + 1, nullptr, 10);
+        loaded.push_back(std::move(rec));
+    }
+    std::sort(loaded.begin(), loaded.end(),
+              [](const Loaded& a, const Loaded& b) {
+                  return a.ordinal < b.ordinal;
+              });
+
+    std::lock_guard<std::mutex> lk(mu_);
+    std::size_t readmitted = 0;
+    for (Loaded& rec : loaded) {
+        auto job = std::make_unique<Job>();
+        job->id = rec.id;
+        job->spec = std::move(rec.spec);
+        job->result = rec.result;
+        job->error = std::move(rec.error);
+        if (isTerminal(rec.state)) {
+            job->state = rec.state;
+        } else if (const std::vector<JobError> errs = job->spec.validate();
+                   !errs.empty()) {
+            // A spool record that no longer validates (e.g. hand-edited)
+            // must not reach a worker — runJobSpec would panic the daemon.
+            job->state = JobState::Failed;
+            job->error = errs.front().message;
+            persistLocked(*job);
+        } else {
+            // Queued or Running at crash/shutdown time: run it (again).
+            // A Running job left a checkpoint, so the resumed execution
+            // continues bitwise from the last completed block.
+            job->state = JobState::Queued;
+            ++readmitted;
+        }
+        nextId_ = std::max(nextId_, rec.ordinal + 1);
+        jobs_.push_back(std::move(job));
+    }
+    if (readmitted > 0)
+        workCv_.notify_all();
+    return readmitted;
+}
+
+// ---------------------------------------------------------------------------
+// Admission
+// ---------------------------------------------------------------------------
+
+JobError
+JobManager::submit(const JobSpec& spec, std::string& id_out)
+{
+    const std::vector<JobError> errors = spec.validate();
+    if (!errors.empty())
+        return errors.front();
+    if (spec.request.threads != basecall::kInheritThreads)
+        return {JobErrorKind::BadThreads, "request.threads",
+                "daemon jobs inherit the service thread pool; thread "
+                "overrides are not allowed"};
+
+    std::lock_guard<std::mutex> lk(mu_);
+    if (draining_ || stopping_)
+        return {JobErrorKind::Draining, "",
+                "daemon is draining; not accepting jobs"};
+    std::size_t queued = 0;
+    std::size_t tenant_active = 0;
+    for (const auto& job : jobs_) {
+        if (job->state == JobState::Queued)
+            ++queued;
+        if (!isTerminal(job->state) && job->spec.tenant == spec.tenant)
+            ++tenant_active;
+    }
+    if (queued >= cfg_.queueCapacity)
+        return {JobErrorKind::QueueFull, "",
+                "admission queue is full ("
+                    + std::to_string(cfg_.queueCapacity) + " jobs)"};
+    if (tenant_active >= cfg_.tenantQuota)
+        return {JobErrorKind::QuotaExceeded, "tenant",
+                "tenant '" + spec.tenant + "' already has "
+                    + std::to_string(tenant_active) + " jobs in flight"};
+
+    auto job = std::make_unique<Job>();
+    job->id = "j" + std::to_string(nextId_++);
+    job->spec = spec;
+    id_out = job->id;
+    persistLocked(*job);
+    jobs_.push_back(std::move(job));
+    workCv_.notify_one();
+    return {};
+}
+
+// ---------------------------------------------------------------------------
+// Queries / control
+// ---------------------------------------------------------------------------
+
+JobManager::Job*
+JobManager::findLocked(const std::string& id)
+{
+    for (const auto& job : jobs_) {
+        if (job->id == id)
+            return job.get();
+    }
+    return nullptr;
+}
+
+const JobManager::Job*
+JobManager::findLocked(const std::string& id) const
+{
+    for (const auto& job : jobs_) {
+        if (job->id == id)
+            return job.get();
+    }
+    return nullptr;
+}
+
+JobStatus
+JobManager::snapshotLocked(const Job& job) const
+{
+    JobStatus status;
+    status.id = job.id;
+    status.state = job.state;
+    status.spec = job.spec;
+    status.result = job.result;
+    status.error = job.error;
+    status.events = job.events.size();
+    return status;
+}
+
+JobError
+JobManager::status(const std::string& id, JobStatus& out) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const Job* job = findLocked(id);
+    if (job == nullptr)
+        return {JobErrorKind::UnknownJob, "id", "no such job '" + id + "'"};
+    out = snapshotLocked(*job);
+    return {};
+}
+
+std::vector<JobStatus>
+JobManager::list() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<JobStatus> out;
+    out.reserve(jobs_.size());
+    for (const auto& job : jobs_)
+        out.push_back(snapshotLocked(*job));
+    return out;
+}
+
+JobError
+JobManager::cancel(const std::string& id)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    Job* job = findLocked(id);
+    if (job == nullptr)
+        return {JobErrorKind::UnknownJob, "id", "no such job '" + id + "'"};
+    if (isTerminal(job->state))
+        return {}; // cancelling a finished job is a no-op
+    job->userCancelled = true;
+    job->stop.store(true, std::memory_order_relaxed);
+    if (job->state == JobState::Queued) {
+        job->state = JobState::Cancelled;
+        persistLocked(*job);
+        removeCheckpoints(*job);
+        eventCv_.notify_all();
+    }
+    return {};
+}
+
+JobError
+JobManager::stream(const std::string& id, std::size_t from,
+                   std::vector<JobEvent>& out, bool& done_out,
+                   std::chrono::milliseconds wait)
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    const Job* job = findLocked(id);
+    if (job == nullptr)
+        return {JobErrorKind::UnknownJob, "id", "no such job '" + id + "'"};
+    eventCv_.wait_for(lk, wait, [&] {
+        return job->events.size() > from || isTerminal(job->state)
+            || stopping_;
+    });
+    out.clear();
+    for (std::size_t i = from; i < job->events.size(); ++i)
+        out.push_back(job->events[i]);
+    done_out = (isTerminal(job->state) || stopping_)
+        && from + out.size() == job->events.size();
+    return {};
+}
+
+void
+JobManager::drain()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    draining_ = true;
+}
+
+bool
+JobManager::draining() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return draining_ || stopping_;
+}
+
+bool
+JobManager::idle() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& job : jobs_) {
+        if (!isTerminal(job->state))
+            return false;
+    }
+    return true;
+}
+
+void
+JobManager::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (stopped_)
+            return;
+        stopping_ = true;
+        // Running jobs stop at their next block boundary and checkpoint;
+        // the worker re-queues them below.
+        for (const auto& job : jobs_) {
+            if (job->state == JobState::Running)
+                job->stop.store(true, std::memory_order_relaxed);
+        }
+        workCv_.notify_all();
+        eventCv_.notify_all();
+    }
+    for (std::thread& t : workers_)
+        t.join();
+    std::lock_guard<std::mutex> lk(mu_);
+    workers_.clear();
+    stopped_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler / workers
+// ---------------------------------------------------------------------------
+
+JobManager::Job*
+JobManager::runnableHeadLocked()
+{
+    // Strict FIFO: only the first queued job is a candidate, and it runs
+    // only when admissible — an exclusive job needs an empty machine and
+    // blocks later jobs until it finishes. FIFO order makes scheduling
+    // deterministic and starvation-free.
+    for (const auto& job : jobs_) {
+        if (job->state != JobState::Queued)
+            continue;
+        if (job->spec.exclusive())
+            return runningCount_ == 0 ? job.get() : nullptr;
+        return exclusiveRunning_ ? nullptr : job.get();
+    }
+    return nullptr;
+}
+
+void
+JobManager::workerLoop()
+{
+    for (;;) {
+        Job* job = nullptr;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            workCv_.wait(lk, [&] {
+                return stopping_ || runnableHeadLocked() != nullptr;
+            });
+            if (stopping_)
+                return;
+            job = runnableHeadLocked();
+            job->state = JobState::Running;
+            ++runningCount_;
+            if (job->spec.exclusive())
+                exclusiveRunning_ = true;
+            persistLocked(*job);
+        }
+
+        // The streaming sink appends under the lock; events are
+        // observe-only, so this cannot affect the evaluation itself.
+        auto sink = [this, job](const basecall::BlockEvent& block) {
+            std::lock_guard<std::mutex> lk(mu_);
+            JobEvent ev;
+            ev.seq = job->events.size();
+            ev.block = block;
+            job->events.push_back(ev);
+            eventCv_.notify_all();
+        };
+
+        const JobResult result = runJobSpec(
+            job->spec, sink, &job->stop, checkpointPath(job->id));
+
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            --runningCount_;
+            if (job->spec.exclusive())
+                exclusiveRunning_ = false;
+            job->result = result;
+            if (job->userCancelled) {
+                job->state = JobState::Cancelled;
+                removeCheckpoints(*job);
+            } else if (result.interrupted
+                       && (stopping_ || shutdownRequested())) {
+                // Graceful daemon shutdown mid-job: the evaluation
+                // checkpointed at its last block boundary. Back to
+                // Queued — the restarted daemon resumes it bitwise.
+                job->state = JobState::Queued;
+                job->events.clear();
+            } else {
+                job->state = JobState::Completed;
+                removeCheckpoints(*job);
+            }
+            persistLocked(*job);
+            workCv_.notify_all();
+            eventCv_.notify_all();
+        }
+    }
+}
+
+} // namespace swordfish::service

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * JobManager: the daemon's core — typed admission (validation, bounded
+ * queue, per-tenant quotas), a FIFO scheduler with exclusive-job barriers,
+ * a worker pool, per-job progress streams, and a crash-safe spool.
+ *
+ * Concurrency / determinism contract:
+ *  - Jobs are fully isolated: each worker materializes its own dataset,
+ *    model, and registry backend (seeded from the spec), so any scheduler
+ *    interleaving produces bitwise-identical per-job results.
+ *  - Jobs carrying fault/refresh specs mutate process-global state; the
+ *    scheduler runs them exclusively (strict FIFO: the head of the queue
+ *    waits until it is admissible, so exclusive jobs cannot starve).
+ *  - Thread-width overrides are rejected at admission: resizing the global
+ *    pool is not safe while sibling jobs share it.
+ *
+ * Crash safety: every state transition persists the job's spool record
+ * atomically; running jobs checkpoint at block boundaries under
+ * spool/<id>.ckpt. A daemon killed mid-job re-admits the job on restart
+ * and resumes from the checkpoint, bitwise-identical to an uninterrupted
+ * run.
+ */
+
+#ifndef SWORDFISH_SERVICE_JOB_MANAGER_H
+#define SWORDFISH_SERVICE_JOB_MANAGER_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/job.h"
+
+namespace swordfish::service {
+
+/** Sizing and placement knobs for a JobManager. */
+struct JobManagerConfig
+{
+    std::size_t workers = 1;       ///< concurrent job slots; 0 = admit
+                                   ///< only, never run (tests/inspection)
+    std::size_t queueCapacity = 16;///< max jobs waiting in Queued
+    std::size_t tenantQuota = 8;   ///< max queued+running jobs per tenant
+    std::string spoolDir;          ///< "" = no persistence / no checkpoints
+};
+
+class JobManager
+{
+  public:
+    explicit JobManager(JobManagerConfig cfg);
+    ~JobManager(); ///< shuts down gracefully if still running
+
+    JobManager(const JobManager&) = delete;
+    JobManager& operator=(const JobManager&) = delete;
+
+    /**
+     * Re-admit persisted jobs from the spool (call once, before serving).
+     * Queued/Running records become Queued again (Running ones resume
+     * from their checkpoints); terminal records are kept for status/list.
+     * Returns the number of re-admitted jobs.
+     */
+    std::size_t resumeSpooled();
+
+    /**
+     * Validate and enqueue a job. On success fills `id_out` and returns
+     * ok; otherwise a typed error (validation, Draining, QueueFull,
+     * QuotaExceeded, BadThreads) and no state change.
+     */
+    basecall::JobError submit(const JobSpec& spec, std::string& id_out);
+
+    /** Request cancellation: a queued job cancels immediately, a running
+     *  one stops at its next block boundary. */
+    basecall::JobError cancel(const std::string& id);
+
+    basecall::JobError status(const std::string& id, JobStatus& out) const;
+
+    /** All jobs, admission order. */
+    std::vector<JobStatus> list() const;
+
+    /**
+     * Copy events with seq >= `from` into `out`, waiting up to `wait` for
+     * new ones. `done_out` reports whether the job is terminal AND every
+     * event has been delivered — the stream's end-of-file condition.
+     */
+    basecall::JobError stream(const std::string& id, std::size_t from,
+                              std::vector<JobEvent>& out, bool& done_out,
+                              std::chrono::milliseconds wait);
+
+    /** Stop admitting; queued/running jobs still run to completion. */
+    void drain();
+
+    bool draining() const;
+
+    /** True when no job is queued or running. */
+    bool idle() const;
+
+    /**
+     * Graceful shutdown: stop admission, ask running jobs to stop (they
+     * checkpoint at the next block boundary), persist them back to
+     * Queued, and join the workers. Idempotent.
+     */
+    void shutdown();
+
+  private:
+    struct Job
+    {
+        std::string id;
+        JobSpec spec;
+        JobState state = JobState::Queued;
+        JobResult result;
+        std::string error;
+        std::atomic<bool> stop{false}; ///< per-job cooperative stop
+        bool userCancelled = false;    ///< distinguishes Cancelled from
+                                       ///< a shutdown re-queue
+        std::vector<JobEvent> events;
+    };
+
+    void workerLoop();
+    Job* findLocked(const std::string& id);
+    const Job* findLocked(const std::string& id) const;
+    /** The queue head when it is admissible right now, else nullptr. */
+    Job* runnableHeadLocked();
+    void persistLocked(const Job& job);
+    void removeCheckpoints(const Job& job);
+    std::string checkpointPath(const std::string& id) const;
+    std::string spoolPath(const std::string& id) const;
+    JobStatus snapshotLocked(const Job& job) const;
+
+    JobManagerConfig cfg_;
+    mutable std::mutex mu_;
+    std::condition_variable workCv_;  ///< workers: runnable head / stop
+    std::condition_variable eventCv_; ///< streamers: new events / state
+    std::vector<std::unique_ptr<Job>> jobs_; ///< admission order
+    std::vector<std::thread> workers_;
+    std::uint64_t nextId_ = 1;
+    std::size_t runningCount_ = 0;
+    bool exclusiveRunning_ = false;
+    bool draining_ = false;
+    bool stopping_ = false;
+    bool stopped_ = false;
+};
+
+} // namespace swordfish::service
+
+#endif // SWORDFISH_SERVICE_JOB_MANAGER_H

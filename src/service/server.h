@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The swordfishd socket front end: an AF_UNIX stream listener that speaks
+ * the newline-delimited JSON wire protocol and drives a JobManager.
+ *
+ * The accept loop polls so it can notice a graceful-shutdown request
+ * (SIGTERM via util::installShutdownHandler, or a "shutdown" op) between
+ * connections; on shutdown it stops accepting, closes the listener, asks
+ * the manager to stop (running jobs checkpoint and re-queue), and joins
+ * every connection thread before returning.
+ */
+
+#ifndef SWORDFISH_SERVICE_SERVER_H
+#define SWORDFISH_SERVICE_SERVER_H
+
+#include <string>
+
+#include "service/job_manager.h"
+
+namespace swordfish::service {
+
+/** Listener configuration. */
+struct ServerConfig
+{
+    std::string socketPath; ///< AF_UNIX path; replaced if stale
+};
+
+/**
+ * Serve until a shutdown is requested. Returns false when the socket
+ * could not be created/bound (diagnostic on stderr), true otherwise.
+ */
+bool runServer(const ServerConfig& cfg, JobManager& manager);
+
+} // namespace swordfish::service
+
+#endif // SWORDFISH_SERVICE_SERVER_H

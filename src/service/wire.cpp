@@ -1,0 +1,145 @@
+#include "wire.h"
+
+namespace swordfish::service {
+
+using basecall::JobError;
+using basecall::JobErrorKind;
+
+namespace {
+
+bool
+parseOp(const std::string& name, WireOp& out)
+{
+    if (name == "ping")
+        out = WireOp::Ping;
+    else if (name == "submit")
+        out = WireOp::Submit;
+    else if (name == "status")
+        out = WireOp::Status;
+    else if (name == "list")
+        out = WireOp::List;
+    else if (name == "stream")
+        out = WireOp::Stream;
+    else if (name == "cancel")
+        out = WireOp::Cancel;
+    else if (name == "drain")
+        out = WireOp::Drain;
+    else if (name == "shutdown")
+        out = WireOp::Shutdown;
+    else
+        return false;
+    return true;
+}
+
+bool
+needsId(WireOp op)
+{
+    return op == WireOp::Status || op == WireOp::Stream
+        || op == WireOp::Cancel;
+}
+
+} // namespace
+
+JobError
+parseWireRequest(const std::string& line, WireRequest& out)
+{
+    if (line.size() > kMaxWireLine)
+        return {JobErrorKind::BadRequest, "",
+                "request line exceeds " + std::to_string(kMaxWireLine)
+                    + " bytes"};
+    JsonValue doc;
+    if (const JsonError err = JsonValue::parse(line, doc))
+        return {JobErrorKind::BadRequest, "", err.message};
+    if (!doc.isObject())
+        return {JobErrorKind::BadRequest, "",
+                "request must be a JSON object"};
+
+    WireRequest req;
+    bool have_op = false;
+    for (const auto& [key, value] : doc.members()) {
+        if (key == "op") {
+            if (!value.isString() || !parseOp(value.asString(), req.op))
+                return {JobErrorKind::BadRequest, "op",
+                        "unknown op '" + value.asString() + "'"};
+            have_op = true;
+        } else if (key == "id") {
+            if (!value.isString() || value.asString().empty())
+                return {JobErrorKind::BadRequest, "id",
+                        "'id' must be a non-empty string"};
+            req.id = value.asString();
+        } else if (key == "from") {
+            if (!value.isIntegral() || value.asI64(-1) < 0)
+                return {JobErrorKind::BadRequest, "from",
+                        "'from' must be a non-negative integer"};
+            req.from = static_cast<std::size_t>(value.asU64());
+        } else if (key == "spec") {
+            if (JobError err = JobSpec::fromJsonValue(value, req.spec)) {
+                err.field = err.field.empty() ? "spec"
+                                              : "spec." + err.field;
+                return err;
+            }
+        } else {
+            return {JobErrorKind::BadRequest, key,
+                    "unknown field '" + key + "'"};
+        }
+    }
+    if (!have_op)
+        return {JobErrorKind::BadRequest, "op", "missing 'op'"};
+    if (needsId(req.op) && req.id.empty())
+        return {JobErrorKind::BadRequest, "id",
+                "op requires an 'id' field"};
+    if (req.op == WireOp::Submit && !doc.has("spec"))
+        return {JobErrorKind::BadRequest, "spec",
+                "submit requires a 'spec' field"};
+    out = std::move(req);
+    return {};
+}
+
+std::string
+errorResponse(const JobError& error)
+{
+    return JsonWriter()
+        .field("ok", false)
+        .field("error", jobErrorName(error.kind))
+        .field("field", error.field)
+        .field("message", error.message)
+        .str();
+}
+
+std::string
+okResponse()
+{
+    return JsonWriter().field("ok", true).str();
+}
+
+std::string
+okResponse(const std::string& key, const std::string& value)
+{
+    return JsonWriter().field("ok", true).field(key, value).str();
+}
+
+std::string
+eventResponse(const JobEvent& event)
+{
+    return JsonWriter().field("ok", true).raw("event", event.toJson())
+        .str();
+}
+
+std::string
+streamEndResponse(const JobStatus& status)
+{
+    return JsonWriter()
+        .field("ok", true)
+        .field("done", true)
+        .raw("status", status.toJson())
+        .str();
+}
+
+std::string
+statusResponse(const JobStatus& status)
+{
+    return JsonWriter().field("ok", true).raw("status", status.toJson())
+        .str();
+}
+
+} // namespace swordfish::service

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The swordfishd wire protocol: newline-delimited JSON over a local
+ * stream socket. One request object per line; one or more response
+ * objects per line each in reply (stream requests produce many).
+ *
+ * Requests:  {"op":"ping"}
+ *            {"op":"submit","spec":{...JobSpec...}}
+ *            {"op":"status","id":"j1"}
+ *            {"op":"list"}
+ *            {"op":"stream","id":"j1","from":0}
+ *            {"op":"cancel","id":"j1"}
+ *            {"op":"drain"}
+ *            {"op":"shutdown"}
+ * Responses: {"ok":true,...} | {"ok":false,"error":"<kind>","message":...}
+ *
+ * Parsing is pure (no I/O, no state) so the fuzz-style protocol tests can
+ * drive it with mangled documents directly; a parse failure never leaves
+ * partial request state.
+ */
+
+#ifndef SWORDFISH_SERVICE_WIRE_H
+#define SWORDFISH_SERVICE_WIRE_H
+
+#include <string>
+
+#include "service/job.h"
+
+namespace swordfish::service {
+
+/** Oversized-line bound: a frame longer than this is rejected whole. */
+inline constexpr std::size_t kMaxWireLine = 1u << 20;
+
+/** The operations a request line can carry. */
+enum class WireOp
+{
+    Ping,
+    Submit,
+    Status,
+    List,
+    Stream,
+    Cancel,
+    Drain,
+    Shutdown,
+};
+
+/** A parsed request line. */
+struct WireRequest
+{
+    WireOp op = WireOp::Ping;
+    std::string id;       ///< status/stream/cancel
+    std::size_t from = 0; ///< stream: first event sequence wanted
+    JobSpec spec;         ///< submit
+};
+
+/**
+ * Parse one request line. Strict: unknown ops/fields, oversized lines,
+ * and malformed specs are typed errors; `out` is untouched on failure.
+ */
+basecall::JobError parseWireRequest(const std::string& line,
+                                    WireRequest& out);
+
+/** {"ok":false,...} from a typed error. */
+std::string errorResponse(const basecall::JobError& error);
+
+/** {"ok":true} with an optional extra payload field. */
+std::string okResponse();
+std::string okResponse(const std::string& key, const std::string& value);
+
+/** {"ok":true,"event":{...}} — one streamed progress line. */
+std::string eventResponse(const JobEvent& event);
+
+/** {"ok":true,"done":true,"status":{...}} — end of a stream. */
+std::string streamEndResponse(const JobStatus& status);
+
+/** {"ok":true,"status":{...}} */
+std::string statusResponse(const JobStatus& status);
+
+} // namespace swordfish::service
+
+#endif // SWORDFISH_SERVICE_WIRE_H

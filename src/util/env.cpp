@@ -1,7 +1,8 @@
 #include "env.h"
 
-#include <sstream>
 #include <thread>
+
+#include "util/json.h"
 
 namespace swordfish {
 
@@ -12,20 +13,6 @@ envString(const char* name)
 {
     const char* v = std::getenv(name);
     return v == nullptr ? std::string() : std::string(v);
-}
-
-/** Escape the two characters that can break a JSON string literal. */
-std::string
-jsonEscape(const std::string& s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-        if (c == '"' || c == '\\')
-            out.push_back('\\');
-        out.push_back(c);
-    }
-    return out;
 }
 
 } // namespace
@@ -42,18 +29,22 @@ RuntimeConfig::poolThreads() const
 std::string
 RuntimeConfig::toJson() const
 {
-    std::ostringstream out;
-    out << "{\"threads\":" << threads << ",\"batch\":" << batch
-        << ",\"fast\":" << (fast ? "true" : "false")
-        << ",\"eval_reads\":" << evalReads << ",\"eval_runs\":" << evalRuns
-        << ",\"retrain_epochs\":" << retrainEpochs << ",\"metrics_out\":\""
-        << jsonEscape(metricsOut) << "\",\"artifacts\":\""
-        << jsonEscape(artifacts) << "\",\"faults\":\""
-        << jsonEscape(faults) << "\",\"refresh\":\""
-        << jsonEscape(refresh) << "\",\"simd\":\""
-        << jsonEscape(simd) << "\",\"backend\":\""
-        << jsonEscape(backend) << "\"}";
-    return out.str();
+    // Shared JSON writer so metrics snapshots, JobSpecs, and wire frames
+    // all escape and format identically.
+    return JsonWriter()
+        .field("threads", static_cast<std::int64_t>(threads))
+        .field("batch", static_cast<std::int64_t>(batch))
+        .field("fast", fast)
+        .field("eval_reads", static_cast<std::int64_t>(evalReads))
+        .field("eval_runs", static_cast<std::int64_t>(evalRuns))
+        .field("retrain_epochs", static_cast<std::int64_t>(retrainEpochs))
+        .field("metrics_out", metricsOut)
+        .field("artifacts", artifacts)
+        .field("faults", faults)
+        .field("refresh", refresh)
+        .field("simd", simd)
+        .field("backend", backend)
+        .str();
 }
 
 RuntimeConfig

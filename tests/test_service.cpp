@@ -1,0 +1,404 @@
+/**
+ * @file
+ * JobManager lifecycle and the daemon determinism contract: typed
+ * admission (validation, queue bounds, tenant quotas, thread-override
+ * rejection), cancellation of queued and running jobs, ordered progress
+ * streams, crash-safe spool persistence with checkpoint resume after a
+ * shutdown mid-job, and bitwise agreement between a daemon-run job and the
+ * direct CLI-style runJobSpec path across {interpreter, compiled} x
+ * {scalar, avx2}.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/job_manager.h"
+#include "tensor/simd.h"
+#include "util/shutdown.h"
+
+using namespace swordfish;
+using namespace std::chrono_literals;
+using basecall::JobError;
+using basecall::JobErrorKind;
+using service::JobManager;
+using service::JobManagerConfig;
+using service::JobSpec;
+using service::JobState;
+using service::JobStatus;
+
+namespace {
+
+/** Fresh scratch directory per test (spool + checkpoints). */
+std::filesystem::path
+freshSpool(const std::string& name)
+{
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / ("swordfish_" + name);
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+/** A small, fast digital-eval job (sub-second on this machine). */
+JobSpec
+quickSpec()
+{
+    JobSpec spec;
+    spec.kind = service::JobKind::Eval;
+    spec.datasetId = "D1";
+    spec.datasetReads = 4;
+    spec.request.runs = 1;
+    spec.request.checkpointEvery = 2;
+    return spec;
+}
+
+/** Poll status until the job reaches a terminal state (or time out). */
+JobStatus
+awaitTerminal(JobManager& manager, const std::string& id,
+              std::chrono::seconds deadline = 120s)
+{
+    const auto until = std::chrono::steady_clock::now() + deadline;
+    JobStatus status;
+    while (std::chrono::steady_clock::now() < until) {
+        if (manager.status(id, status))
+            break; // unknown id: report whatever we last saw
+        if (service::isTerminal(status.state))
+            return status;
+        std::this_thread::sleep_for(20ms);
+    }
+    return status;
+}
+
+std::uint64_t
+bits(double value)
+{
+    std::uint64_t out;
+    std::memcpy(&out, &value, sizeof(out));
+    return out;
+}
+
+} // namespace
+
+TEST(JobManager, SubmitRunsToCompletion)
+{
+    JobManagerConfig cfg;
+    cfg.spoolDir = freshSpool("jm_complete").string();
+    JobManager manager(cfg);
+
+    std::string id;
+    const JobError err = manager.submit(quickSpec(), id);
+    ASSERT_FALSE(err) << err.message;
+    EXPECT_EQ(id, "j1");
+
+    const JobStatus status = awaitTerminal(manager, id);
+    EXPECT_EQ(status.state, JobState::Completed);
+    EXPECT_EQ(status.result.completedReads, 4u);
+    EXPECT_FALSE(status.result.interrupted);
+    EXPECT_GT(status.result.mean, 0.0);
+    EXPECT_GT(status.events, 0u);
+}
+
+TEST(JobManager, AdmissionRejectsInvalidSpecsTyped)
+{
+    JobManagerConfig cfg;
+    cfg.workers = 0; // admission-only: nothing must ever run
+    cfg.spoolDir = freshSpool("jm_admission").string();
+    JobManager manager(cfg);
+
+    std::string id;
+    JobSpec bad = quickSpec();
+    bad.datasetId = "D9";
+    EXPECT_EQ(manager.submit(bad, id).kind, JobErrorKind::BadValue);
+
+    bad = quickSpec();
+    bad.request.runs = 0;
+    EXPECT_EQ(manager.submit(bad, id).kind, JobErrorKind::BadRuns);
+
+    // Thread overrides are daemon-specific rejections: resizing the global
+    // pool under sibling jobs is unsafe, so admission refuses what the CLI
+    // would accept.
+    bad = quickSpec();
+    bad.request.threads = 2;
+    EXPECT_EQ(manager.submit(bad, id).kind, JobErrorKind::BadThreads);
+
+    EXPECT_TRUE(manager.list().empty());
+    EXPECT_TRUE(manager.idle());
+}
+
+TEST(JobManager, QueueBoundsAndTenantQuotas)
+{
+    JobManagerConfig cfg;
+    cfg.workers = 0; // keep everything Queued: bounds are then exact
+    cfg.queueCapacity = 3;
+    cfg.tenantQuota = 2;
+    cfg.spoolDir = freshSpool("jm_bounds").string();
+    JobManager manager(cfg);
+
+    std::string id;
+    JobSpec spec = quickSpec();
+    spec.tenant = "labA";
+    ASSERT_FALSE(manager.submit(spec, id));
+    ASSERT_FALSE(manager.submit(spec, id));
+    EXPECT_EQ(manager.submit(spec, id).kind, JobErrorKind::QuotaExceeded);
+
+    spec.tenant = "labB";
+    ASSERT_FALSE(manager.submit(spec, id)); // queue now at capacity 3
+    EXPECT_EQ(manager.submit(spec, id).kind, JobErrorKind::QueueFull);
+
+    // A cancelled job frees its queue slot and quota.
+    ASSERT_FALSE(manager.cancel("j1"));
+    JobStatus status;
+    ASSERT_FALSE(manager.status("j1", status));
+    EXPECT_EQ(status.state, JobState::Cancelled);
+    spec.tenant = "labA";
+    EXPECT_FALSE(manager.submit(spec, id));
+}
+
+TEST(JobManager, DrainStopsAdmission)
+{
+    JobManagerConfig cfg;
+    cfg.workers = 0;
+    cfg.spoolDir = freshSpool("jm_drain").string();
+    JobManager manager(cfg);
+
+    EXPECT_FALSE(manager.draining());
+    manager.drain();
+    EXPECT_TRUE(manager.draining());
+    std::string id;
+    EXPECT_EQ(manager.submit(quickSpec(), id).kind,
+              JobErrorKind::Draining);
+}
+
+TEST(JobManager, UnknownIdsAreTyped)
+{
+    JobManagerConfig cfg;
+    cfg.workers = 0;
+    cfg.spoolDir = freshSpool("jm_unknown").string();
+    JobManager manager(cfg);
+
+    JobStatus status;
+    EXPECT_EQ(manager.status("j9", status).kind, JobErrorKind::UnknownJob);
+    EXPECT_EQ(manager.cancel("j9").kind, JobErrorKind::UnknownJob);
+    std::vector<service::JobEvent> events;
+    bool done = false;
+    EXPECT_EQ(manager.stream("j9", 0, events, done, 0ms).kind,
+              JobErrorKind::UnknownJob);
+}
+
+TEST(JobManager, CancelRunningJobStopsAtBlockBoundary)
+{
+    JobManagerConfig cfg;
+    cfg.spoolDir = freshSpool("jm_cancel_running").string();
+    JobManager manager(cfg);
+
+    JobSpec spec = quickSpec();
+    spec.datasetReads = 16; // long enough to still be running when we act
+    spec.request.checkpointEvery = 1;
+    std::string id;
+    ASSERT_FALSE(manager.submit(spec, id));
+
+    // Wait for the first progress event so the job is provably mid-run.
+    std::vector<service::JobEvent> events;
+    bool done = false;
+    const auto until = std::chrono::steady_clock::now() + 120s;
+    while (events.empty() && std::chrono::steady_clock::now() < until)
+        ASSERT_FALSE(manager.stream(id, 0, events, done, 250ms));
+    ASSERT_FALSE(events.empty());
+
+    ASSERT_FALSE(manager.cancel(id));
+    const JobStatus status = awaitTerminal(manager, id);
+    EXPECT_EQ(status.state, JobState::Cancelled);
+    // Cancellation must not leave a checkpoint behind.
+    EXPECT_FALSE(std::filesystem::exists(
+        std::filesystem::path(cfg.spoolDir) / (id + ".ckpt")));
+}
+
+TEST(JobManager, StreamDeliversOrderedDenseEvents)
+{
+    JobManagerConfig cfg;
+    cfg.spoolDir = freshSpool("jm_stream").string();
+    JobManager manager(cfg);
+
+    JobSpec spec = quickSpec();
+    spec.request.checkpointEvery = 1; // one event per read
+    std::string id;
+    ASSERT_FALSE(manager.submit(spec, id));
+
+    std::vector<service::JobEvent> all;
+    bool done = false;
+    const auto until = std::chrono::steady_clock::now() + 120s;
+    while (!done && std::chrono::steady_clock::now() < until) {
+        std::vector<service::JobEvent> batch;
+        ASSERT_FALSE(manager.stream(id, all.size(), batch, done, 250ms));
+        all.insert(all.end(), batch.begin(), batch.end());
+    }
+    ASSERT_TRUE(done);
+    ASSERT_EQ(all.size(), 4u); // 4 reads, block length 1
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        EXPECT_EQ(all[i].seq, i); // dense, ordered
+        EXPECT_EQ(all[i].block.done, i + 1);
+        EXPECT_EQ(all[i].block.total, 4u);
+    }
+
+    // Replays from an arbitrary offset work after completion.
+    std::vector<service::JobEvent> tail;
+    ASSERT_FALSE(manager.stream(id, 2, tail, done, 0ms));
+    ASSERT_EQ(tail.size(), 2u);
+    EXPECT_EQ(tail[0].seq, 2u);
+    EXPECT_TRUE(done);
+}
+
+TEST(JobManager, SpoolPersistsQueuedJobsAcrossRestart)
+{
+    const std::filesystem::path spool = freshSpool("jm_spool");
+    std::string id;
+    {
+        JobManagerConfig cfg;
+        cfg.workers = 0; // job must still be Queued at shutdown
+        cfg.spoolDir = spool.string();
+        JobManager manager(cfg);
+        ASSERT_FALSE(manager.submit(quickSpec(), id));
+        manager.shutdown();
+    }
+
+    JobManagerConfig cfg;
+    cfg.spoolDir = spool.string();
+    JobManager manager(cfg);
+    EXPECT_EQ(manager.resumeSpooled(), 1u);
+    const JobStatus status = awaitTerminal(manager, id);
+    EXPECT_EQ(status.state, JobState::Completed);
+    EXPECT_EQ(status.id, "j1"); // id survives the restart
+
+    // A new submission continues the id sequence instead of colliding.
+    std::string id2;
+    ASSERT_FALSE(manager.submit(quickSpec(), id2));
+    EXPECT_EQ(id2, "j2");
+}
+
+TEST(JobManager, ShutdownMidJobResumesFromCheckpointBitwise)
+{
+    // Reference: the same spec run uninterrupted, directly.
+    JobSpec spec = quickSpec();
+    spec.datasetReads = 10;
+    spec.request.checkpointEvery = 2;
+    spec.request.seedBase = 7;
+    const service::JobResult reference = service::runJobSpec(spec);
+
+    const std::filesystem::path spool = freshSpool("jm_resume");
+    std::string id;
+    {
+        JobManagerConfig cfg;
+        cfg.spoolDir = spool.string();
+        JobManager manager(cfg);
+        ASSERT_FALSE(manager.submit(spec, id));
+
+        // Let it make some progress, then shut the daemon down mid-job.
+        std::vector<service::JobEvent> events;
+        bool done = false;
+        const auto until = std::chrono::steady_clock::now() + 120s;
+        while (events.empty() && std::chrono::steady_clock::now() < until)
+            ASSERT_FALSE(manager.stream(id, 0, events, done, 250ms));
+        ASSERT_FALSE(events.empty());
+        manager.shutdown();
+
+        // If the job was still running it must now be re-queued with its
+        // checkpoint kept; if it won the race and completed, the resume
+        // phase below degenerates to a plain restart (still valid).
+        JobStatus status;
+        ASSERT_FALSE(manager.status(id, status));
+        EXPECT_TRUE(status.state == JobState::Queued
+                    || status.state == JobState::Completed);
+    }
+
+    JobManagerConfig cfg;
+    cfg.spoolDir = spool.string();
+    JobManager manager(cfg);
+    manager.resumeSpooled();
+    const JobStatus status = awaitTerminal(manager, id);
+    EXPECT_EQ(status.state, JobState::Completed);
+    EXPECT_FALSE(status.result.interrupted);
+    EXPECT_EQ(status.result.completedReads, reference.completedReads);
+    // The resumed run is bitwise identical to the uninterrupted one.
+    EXPECT_EQ(bits(status.result.mean), bits(reference.mean));
+}
+
+TEST(JobManager, ExclusiveJobsNeverOverlapOthers)
+{
+    JobManagerConfig cfg;
+    cfg.workers = 2;
+    cfg.spoolDir = freshSpool("jm_exclusive").string();
+    JobManager manager(cfg);
+
+    JobSpec normal = quickSpec();
+    JobSpec exclusive = quickSpec();
+    exclusive.faults = "seed=1,decode=0.0"; // global knob => exclusive
+    ASSERT_TRUE(exclusive.exclusive());
+
+    std::string id1, id2, id3;
+    ASSERT_FALSE(manager.submit(normal, id1));
+    ASSERT_FALSE(manager.submit(exclusive, id2));
+    ASSERT_FALSE(manager.submit(normal, id3));
+
+    // All three must complete despite the exclusivity barrier (strict FIFO
+    // means the exclusive job waits for j1, then runs alone, then j3).
+    EXPECT_EQ(awaitTerminal(manager, id1).state, JobState::Completed);
+    EXPECT_EQ(awaitTerminal(manager, id2).state, JobState::Completed);
+    EXPECT_EQ(awaitTerminal(manager, id3).state, JobState::Completed);
+}
+
+/**
+ * The tentpole determinism contract: a daemon-submitted job produces
+ * bitwise-identical results to the direct CLI-style path — same seed, any
+ * scheduler interleaving — across {interpreter, compiled} x {scalar,
+ * avx2}. The daemon adds only observe-only hooks (streaming sink, stop
+ * flag, checkpoint path), so not a single bit may move.
+ */
+TEST(ServiceDeterminism, DaemonJobMatchesDirectRunBitwise)
+{
+    JobSpec spec;
+    spec.kind = service::JobKind::NonIdeal;
+    spec.datasetId = "D1";
+    spec.datasetReads = 4;
+    spec.scenarioKind = "combined";
+    spec.crossbarSize = 32;
+    spec.request.runs = 2;
+    spec.request.seedBase = 11;
+    spec.request.checkpointEvery = 2;
+
+    std::vector<SimdLevel> levels = {SimdLevel::Scalar};
+    if (cpuSupportsAvx2())
+        levels.push_back(SimdLevel::Avx2);
+
+    for (const char* backend : {"interpreter:analytical",
+                                "compiled:analytical"}) {
+        spec.request.backend = backend;
+        for (const SimdLevel level : levels) {
+            SCOPED_TRACE(std::string(backend) + " / "
+                         + simdLevelName(level));
+            ScopedSimdLevel scoped(level);
+
+            const service::JobResult direct = service::runJobSpec(spec);
+
+            JobManagerConfig cfg;
+            cfg.spoolDir = freshSpool("jm_determinism").string();
+            JobManager manager(cfg);
+            std::string id;
+            ASSERT_FALSE(manager.submit(spec, id));
+            const JobStatus status = awaitTerminal(manager, id);
+            ASSERT_EQ(status.state, JobState::Completed);
+
+            EXPECT_EQ(bits(status.result.mean), bits(direct.mean));
+            EXPECT_EQ(bits(status.result.stddev), bits(direct.stddev));
+            EXPECT_EQ(status.result.runs, direct.runs);
+            EXPECT_EQ(status.result.survivors, direct.survivors);
+            EXPECT_EQ(status.result.skipped, direct.skipped);
+        }
+    }
+}
