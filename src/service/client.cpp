@@ -44,8 +44,10 @@ ServiceClient::sendLine(const std::string& line)
     framed.push_back('\n');
     std::size_t off = 0;
     while (off < framed.size()) {
-        const ssize_t n =
-            ::write(fd_, framed.data() + off, framed.size() - off);
+        // MSG_NOSIGNAL: a daemon that went away mid-send must surface as
+        // a false return, not a SIGPIPE killing the client process.
+        const ssize_t n = ::send(fd_, framed.data() + off,
+                                 framed.size() - off, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;

@@ -189,8 +189,18 @@ JobManager::resumeSpooled()
             continue;
         }
         rec.error = doc.get("error").asString();
-        // Ids are "j<N>"; the ordinal restores admission order and seeds
-        // the id counter past every persisted job.
+        // Ids minted here are "j<N>"; the ordinal restores admission
+        // order and seeds the id counter past every persisted job. A
+        // record whose id has any other shape (hand-edited or foreign
+        // file) would yield ordinal 0, not advance the counter, and let
+        // a later submit silently overwrite its spool file — skip it.
+        if (rec.id.size() < 2 || rec.id[0] != 'j'
+            || rec.id.find_first_not_of("0123456789", 1)
+                   != std::string::npos) {
+            warn("JobManager: skipping spool record with foreign id '",
+                 rec.id, "' (", p.string(), ")");
+            continue;
+        }
         rec.ordinal = std::strtoull(rec.id.c_str() + 1, nullptr, 10);
         loaded.push_back(std::move(rec));
     }
@@ -372,8 +382,11 @@ JobManager::stream(const std::string& id, std::size_t from,
     out.clear();
     for (std::size_t i = from; i < job->events.size(); ++i)
         out.push_back(job->events[i]);
+    // ">=" — an out-of-range `from` (client typo, or events cleared by a
+    // shutdown re-queue) on a terminal job is end-of-stream, not grounds
+    // for the caller to poll forever waiting for events that never come.
     done_out = (isTerminal(job->state) || stopping_)
-        && from + out.size() == job->events.size();
+        && from + out.size() >= job->events.size();
     return {};
 }
 

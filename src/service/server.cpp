@@ -5,8 +5,11 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstring>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -18,7 +21,12 @@ namespace swordfish::service {
 
 namespace {
 
-/** Write the full buffer plus newline; false when the peer went away. */
+/**
+ * Write the full buffer plus newline; false when the peer went away.
+ * MSG_NOSIGNAL turns a disconnected peer into EPIPE instead of a
+ * process-killing SIGPIPE — a mid-stream client hangup must never take
+ * the daemon (and every queued job) down with it.
+ */
 bool
 writeLine(int fd, const std::string& line)
 {
@@ -26,8 +34,8 @@ writeLine(int fd, const std::string& line)
     framed.push_back('\n');
     std::size_t off = 0;
     while (off < framed.size()) {
-        const ssize_t n =
-            ::write(fd, framed.data() + off, framed.size() - off);
+        const ssize_t n = ::send(fd, framed.data() + off,
+                                 framed.size() - off, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -219,7 +227,27 @@ runServer(const ServerConfig& cfg, JobManager& manager)
     }
     inform("swordfishd: listening on ", cfg.socketPath);
 
-    std::vector<std::thread> connections;
+    // Each connection gets a thread plus a done flag the thread sets on
+    // exit; the accept loop reaps finished threads so a long-running
+    // daemon does not accumulate one joinable thread per connection ever
+    // accepted.
+    struct Connection
+    {
+        std::thread thread;
+        std::shared_ptr<std::atomic<bool>> done;
+    };
+    std::vector<Connection> connections;
+    const auto reapFinished = [&connections] {
+        connections.erase(
+            std::remove_if(connections.begin(), connections.end(),
+                           [](Connection& c) {
+                               if (!c.done->load(std::memory_order_acquire))
+                                   return false;
+                               c.thread.join();
+                               return true;
+                           }),
+            connections.end());
+    };
     while (!shutdownRequested()) {
         struct pollfd pfd = {listen_fd, POLLIN, 0};
         const int ready = ::poll(&pfd, 1, 200);
@@ -229,13 +257,18 @@ runServer(const ServerConfig& cfg, JobManager& manager)
             warn("swordfishd: poll(): ", std::strerror(errno));
             break;
         }
+        reapFinished();
         if (ready == 0)
             continue;
         const int fd = ::accept(listen_fd, nullptr, nullptr);
         if (fd < 0)
             continue;
-        connections.emplace_back(
-            [fd, &manager] { serveConnection(fd, manager); });
+        auto done = std::make_shared<std::atomic<bool>>(false);
+        std::thread thread([fd, &manager, done] {
+            serveConnection(fd, manager);
+            done->store(true, std::memory_order_release);
+        });
+        connections.push_back({std::move(thread), std::move(done)});
     }
 
     // Graceful teardown: no new connections, stop the manager (running
@@ -244,8 +277,8 @@ runServer(const ServerConfig& cfg, JobManager& manager)
     ::close(listen_fd);
     ::unlink(cfg.socketPath.c_str());
     manager.shutdown();
-    for (std::thread& t : connections)
-        t.join();
+    for (Connection& c : connections)
+        c.thread.join();
     inform("swordfishd: shut down cleanly");
     return true;
 }

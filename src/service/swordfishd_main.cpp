@@ -12,6 +12,7 @@
  *              [--workers N] [--queue N] [--quota N]
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -123,6 +124,10 @@ main(int argc, char** argv)
         return 2;
     }
 
+    // A client that disconnects while we stream to it must not raise a
+    // process-killing SIGPIPE; writes already use MSG_NOSIGNAL, this
+    // covers any future plain write on a socket.
+    std::signal(SIGPIPE, SIG_IGN);
     installShutdownHandler();
 
     service::JobManager manager(cfg);

@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -255,6 +257,27 @@ TEST(JobManager, StreamDeliversOrderedDenseEvents)
     EXPECT_TRUE(done);
 }
 
+TEST(JobManager, StreamPastEndOfTerminalJobIsDone)
+{
+    JobManagerConfig cfg;
+    cfg.spoolDir = freshSpool("jm_stream_past_end").string();
+    JobManager manager(cfg);
+
+    std::string id;
+    ASSERT_FALSE(manager.submit(quickSpec(), id));
+    const JobStatus status = awaitTerminal(manager, id);
+    ASSERT_EQ(status.state, JobState::Completed);
+
+    // A `from` beyond the event log (client typo, or events cleared by a
+    // shutdown re-queue) on a finished job must read as end-of-stream,
+    // not trap the serving thread in an endless poll loop.
+    std::vector<service::JobEvent> events;
+    bool done = false;
+    ASSERT_FALSE(manager.stream(id, status.events + 5, events, done, 0ms));
+    EXPECT_TRUE(events.empty());
+    EXPECT_TRUE(done);
+}
+
 TEST(JobManager, SpoolPersistsQueuedJobsAcrossRestart)
 {
     const std::filesystem::path spool = freshSpool("jm_spool");
@@ -277,6 +300,48 @@ TEST(JobManager, SpoolPersistsQueuedJobsAcrossRestart)
     EXPECT_EQ(status.id, "j1"); // id survives the restart
 
     // A new submission continues the id sequence instead of colliding.
+    std::string id2;
+    ASSERT_FALSE(manager.submit(quickSpec(), id2));
+    EXPECT_EQ(id2, "j2");
+}
+
+TEST(JobManager, ResumeSkipsSpoolRecordsWithForeignIds)
+{
+    const std::filesystem::path spool = freshSpool("jm_foreign_id");
+    std::string id;
+    {
+        JobManagerConfig cfg;
+        cfg.workers = 0;
+        cfg.spoolDir = spool.string();
+        JobManager manager(cfg);
+        ASSERT_FALSE(manager.submit(quickSpec(), id));
+        manager.shutdown();
+    }
+
+    // Forge a record whose id is not of the minted "j<N>" shape (as a
+    // hand-edited or foreign spool file would be): clone j1's record and
+    // rewrite its id.
+    {
+        std::ifstream in(spool / (id + ".json"));
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        std::string forged = buffer.str();
+        const std::string needle = "\"id\":\"" + id + "\"";
+        const std::size_t at = forged.find(needle);
+        ASSERT_NE(at, std::string::npos);
+        forged.replace(at, needle.size(), "\"id\":\"zzz\"");
+        std::ofstream out(spool / "zzz.json");
+        out << forged;
+    }
+
+    JobManagerConfig cfg;
+    cfg.workers = 0;
+    cfg.spoolDir = spool.string();
+    JobManager manager(cfg);
+    // Only the well-formed record is readmitted; the foreign id must not
+    // reset the counter and let a fresh submit collide with "zzz".
+    EXPECT_EQ(manager.resumeSpooled(), 1u);
+    EXPECT_EQ(manager.list().size(), 1u);
     std::string id2;
     ASSERT_FALSE(manager.submit(quickSpec(), id2));
     EXPECT_EQ(id2, "j2");
