@@ -38,9 +38,14 @@ struct AreaReport
  * @param params        area constants
  * @param sram_fraction fraction of weights remapped to SRAM by RSA
  * @param weight_bits   deployed weight precision (16 in the paper)
+ * @param ensemble_k    layer-ensemble replicas per tile: arrays and row
+ *                      drivers scale with K, the column ADCs do not (one
+ *                      shared converter bank quantizes the averaged
+ *                      analog output)
  */
 AreaReport computeArea(const PartitionMap& map, const AreaParams& params,
-                       double sram_fraction, int weight_bits = 16);
+                       double sram_fraction, int weight_bits = 16,
+                       std::size_t ensemble_k = 1);
 
 } // namespace swordfish::arch
 

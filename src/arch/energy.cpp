@@ -7,7 +7,8 @@ namespace swordfish::arch {
 EnergyResult
 estimateEnergy(Variant variant, const PartitionMap& map,
                const TimingParams& timing, const EnergyParams& energy,
-               const WorkloadProfile& workload, double sram_fraction)
+               const WorkloadProfile& workload, double sram_fraction,
+               std::size_t ensemble_k)
 {
     EnergyResult res;
     const double steps_per_base = workload.samplesPerBase
@@ -20,15 +21,18 @@ estimateEnergy(Variant variant, const PartitionMap& map,
         return res;
     }
 
-    // Per-timestep dynamic energy of the mapped fabric.
+    // Per-timestep dynamic energy of the mapped fabric. Ensemble
+    // replicas each integrate charge and drive their rows; the averaged
+    // current is quantized by one shared ADC pass.
+    const double k = static_cast<double>(ensemble_k > 0 ? ensemble_k : 1);
     double pj_per_step = 0.0;
     for (const VmmSite& site : map.sites) {
         // Every mapped cell integrates charge once per VMM (differential
         // pair: two devices per weight).
-        pj_per_step += 2.0 * static_cast<double>(site.weightCount())
+        pj_per_step += k * 2.0 * static_cast<double>(site.weightCount())
             * energy.crossbarReadPjPerCell;
         // Each tile converts its active rows (DAC) and columns (ADC).
-        pj_per_step += static_cast<double>(site.cols)
+        pj_per_step += k * static_cast<double>(site.cols)
             * energy.dacPjPerConversion;
         pj_per_step += static_cast<double>(site.rows)
             * energy.adcPjPerConversion;

@@ -54,13 +54,16 @@ struct EnergyResult
  * conversions (tile columns through shared converters), DAC conversions
  * (tile rows), digital post-processing, host I/O, and the maintenance
  * energy of the mitigation (R-V-W refresh writes, RSA SRAM traffic and
- * retraining updates).
+ * retraining updates). With layer-ensemble averaging (`ensemble_k` > 1)
+ * every replica integrates and drives its rows, so cell-read and DAC
+ * energy scale with K while the shared post-average ADC pass does not.
  */
 EnergyResult estimateEnergy(Variant variant, const PartitionMap& map,
                             const TimingParams& timing,
                             const EnergyParams& energy,
                             const WorkloadProfile& workload,
-                            double sram_fraction = -1.0);
+                            double sram_fraction = -1.0,
+                            std::size_t ensemble_k = 1);
 
 } // namespace swordfish::arch
 

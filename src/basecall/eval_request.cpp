@@ -32,6 +32,8 @@ jobErrorName(JobErrorKind kind)
       case JobErrorKind::BadCheckpoint: return "bad_checkpoint";
       case JobErrorKind::BadFaultSpec: return "bad_fault_spec";
       case JobErrorKind::BadRefreshSpec: return "bad_refresh_spec";
+      case JobErrorKind::BadNoiseSpec: return "bad_noise_spec";
+      case JobErrorKind::BadEnsemble: return "bad_ensemble";
       case JobErrorKind::QueueFull: return "queue_full";
       case JobErrorKind::QuotaExceeded: return "quota_exceeded";
       case JobErrorKind::UnknownJob: return "unknown_job";
@@ -103,6 +105,12 @@ EvalRequest::validate() const
     ParsedBackend parsed;
     if (JobError err = parseBackendTokens(backend, parsed))
         errors.push_back(std::move(err));
+    // Bound kept in agreement with core::kMaxEnsembleReplicas (basecall/
+    // cannot include core/); a core-side test asserts the two match.
+    if (ensembleK == 0 || ensembleK > 16)
+        add(JobErrorKind::BadEnsemble, "ensemble_k",
+            "ensemble_k must be within [1, 16], got "
+                + std::to_string(ensembleK));
     // Note: checkpointEvery without a checkpointPath is legal — it sizes
     // the blocks of a block-mode run without persisting anything.
     return errors;
@@ -162,6 +170,8 @@ EvalRequest::toJson() const
                static_cast<std::uint64_t>(stopAfterReads))
         .field("int8_kernel", int8Kernel)
         .field("backend", backend)
+        .field("ensemble_k", static_cast<std::uint64_t>(ensembleK))
+        .field("ensemble_layers", ensembleLayers)
         .str();
 }
 
@@ -243,6 +253,13 @@ EvalRequest::fromJson(const std::string& text, EvalRequest& out)
             if (!value.isString())
                 return bad(key);
             req.backend = value.asString();
+        } else if (key == "ensemble_k") {
+            if (!readCount(value, req.ensembleK))
+                return bad(key);
+        } else if (key == "ensemble_layers") {
+            if (!value.isString())
+                return bad(key);
+            req.ensembleLayers = value.asString();
         } else {
             return {JobErrorKind::UnknownField, key,
                     "unknown field '" + key + "'"};

@@ -56,6 +56,8 @@ enum class JobErrorKind
     BadCheckpoint, ///< checkpoint knobs inconsistent
     BadFaultSpec,  ///< malformed fault-injection spec
     BadRefreshSpec,///< malformed refresh/healing spec
+    BadNoiseSpec,  ///< malformed composable-noise spec
+    BadEnsemble,   ///< ensemble replica count out of range
     // service admission / operations
     QueueFull,     ///< admission queue at capacity
     QuotaExceeded, ///< tenant already at its in-flight quota
@@ -251,6 +253,20 @@ struct EvalRequest
     std::string backend;
 
     /**
+     * Layer ensemble averaging: program K tile replicas per selected
+     * crossbar layer and average their analog outputs before the shared
+     * ADC (core::EnsembleConfig). 1 = off (bitwise the single-tile path);
+     * validate() bounds K to [1, 16]. Only crossbar families read it.
+     */
+    std::size_t ensembleK = 1;
+
+    /**
+     * Substring filter selecting which layers get ensemble replicas
+     * (empty = all crossbar-mapped layers when ensembleK > 1).
+     */
+    std::string ensembleLayers;
+
+    /**
      * Per-block progress sink (observe-only). Setting it engages block
      * mode so events fire at block boundaries; results stay bitwise
      * identical to a silent run. Concurrent Monte-Carlo runs may invoke
@@ -430,6 +446,20 @@ class EvalOptions
     backend(std::string selector)
     {
         req_.backend = std::move(selector);
+        return *this;
+    }
+
+    EvalOptions&
+    ensembleK(std::size_t k)
+    {
+        req_.ensembleK = k;
+        return *this;
+    }
+
+    EvalOptions&
+    ensembleLayers(std::string filter)
+    {
+        req_.ensembleLayers = std::move(filter);
         return *this;
     }
 

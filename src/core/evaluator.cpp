@@ -79,6 +79,8 @@ evaluateNonIdealAccuracy(nn::SequenceModel& model, const NonIdealSetup& setup,
         spec.quant = setup.scenario.quant;
         spec.seed = req.seedBase + r;
         spec.mode = selector.mode;
+        spec.ensemble.k = req.ensembleK;
+        spec.ensemble.layers = req.ensembleLayers;
         auto api = makeBackend("evaluateNonIdealAccuracy", family, spec);
         const CompileResult compiled = api->compile(m);
         if (!compiled.success())

@@ -335,9 +335,20 @@ TileHealthMonitor::ageTile(const std::string& name, WeightState& ws,
     const double hours = config_.epochHours();
     if (hours <= 0.0)
         return;
-    Rng rng(hashSeed({backend_.runSeed_, std::hash<std::string>{}(name),
-                      idx, e, kAgeTag}));
+    const std::uint64_t name_hash = std::hash<std::string>{}(name);
+    Rng rng(hashSeed({backend_.runSeed_, name_hash, idx, e, kAgeTag}));
     liveTile(name, ws, idx).applyDrift(hours, config_.drift, rng);
+    // Ensemble replicas age alongside the primary, each on its own
+    // replica-keyed stream (independent hardware, independent drift).
+    auto it = backend_.weights_.find(name);
+    if (it == backend_.weights_.end() || it->second.extras.empty())
+        return;
+    auto& reps = it->second.extras[idx / ws.colTiles][idx % ws.colTiles];
+    for (std::size_t j = 0; j < reps.size(); ++j) {
+        Rng rep_rng(hashSeed({backend_.runSeed_, name_hash, idx, e,
+                              kAgeTag, kEnsembleTag, j + 1}));
+        reps[j].applyDrift(hours, config_.drift, rep_rng);
+    }
 }
 
 double
@@ -424,13 +435,32 @@ TileHealthMonitor::attemptRefresh(const std::string& name, WeightState& ws,
     const std::uint64_t seed = hashSeed({backend_.runSeed_, name_hash, idx,
                                          ts.generation, ts.attempts, e,
                                          kReprogramTag});
+    // Re-programming samples the backend's resolved NoiseModel (toggles
+    // plus extended sources), matching what programAnalytical built.
     crossbar::CrossbarTile fresh(backend_.config_.crossbar, sub,
                                  it->second.absMax,
-                                 backend_.config_.toggles(), seed);
+                                 backend_.noise_.toggles,
+                                 backend_.noise_.extended, seed);
     const std::vector<std::uint8_t> mask = tile.sramMask();
     if (!mask.empty())
         fresh.remapCellsToSram(mask);
     tile = std::move(fresh);
+    // A refresh re-programs the whole replica group: each extra replica
+    // redraws its programming noise from the same replica-seed convention
+    // used at initial programming.
+    if (!it->second.extras.empty()) {
+        auto& reps =
+            it->second.extras[idx / ws.colTiles][idx % ws.colTiles];
+        for (std::size_t j = 0; j < reps.size(); ++j) {
+            crossbar::CrossbarTile rep(
+                backend_.config_.crossbar, sub, it->second.absMax,
+                backend_.noise_.toggles, backend_.noise_.extended,
+                hashSeed({seed, kEnsembleTag, j + 1}));
+            if (!mask.empty())
+                rep.remapCellsToSram(mask);
+            reps[j] = std::move(rep);
+        }
+    }
     captureReference(name, ws, idx);
 
     // Post-refresh verify probe: threshold-less (interval-only) configs

@@ -62,6 +62,15 @@ struct NonIdealityConfig
     crossbar::LibraryStats library;    ///< Measured-mode statistics
     QuantConfig quant = QuantConfig::deployment();
 
+    /**
+     * Explicit composed noise spec (the SWORDFISH_NOISE grammar, see
+     * core::NoiseModel::parse). Empty = the preset implied by `kind`,
+     * subject to the process-wide SWORDFISH_NOISE override. A non-empty
+     * spec always wins, which is how the golden snapshot pins its presets.
+     * Its deltas compose onto the preset of `kind`.
+     */
+    std::string noise;
+
     /** Map the kind to crossbar noise toggles (analytical approaches). */
     crossbar::NoiseToggles
     toggles() const

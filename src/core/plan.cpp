@@ -22,6 +22,8 @@ compileFailureName(CompileFailure failure)
       case CompileFailure::InvalidRemapFraction:
         return "invalid_remap_fraction";
       case CompileFailure::ScenarioMismatch: return "scenario_mismatch";
+      case CompileFailure::InvalidNoiseSpec: return "invalid_noise_spec";
+      case CompileFailure::InvalidEnsemble: return "invalid_ensemble";
     }
     return "unknown";
 }
@@ -78,8 +80,12 @@ ExecPlan::describe() const
 WeightPlan
 buildAnalyticalWeightPlan(
     std::size_t rows, std::size_t cols, std::size_t tile_size,
-    const std::vector<std::vector<crossbar::CrossbarTile>>& tiles)
+    const std::vector<std::vector<crossbar::CrossbarTile>>& tiles,
+    const std::vector<std::vector<std::vector<crossbar::CrossbarTile>>>*
+        extras)
 {
+    if (extras != nullptr && extras->empty())
+        extras = nullptr;
     WeightPlan plan;
     plan.rows = rows;
     plan.cols = cols;
@@ -97,7 +103,9 @@ buildAnalyticalWeightPlan(
         slice.width = std::min(cols, slice.colBegin + s) - slice.colBegin;
         slice.opBegin = plan.ops.size();
         for (std::size_t rt = 0; rt < row_tiles; ++rt)
-            plan.ops.push_back({&tiles[rt][ct], rt * s});
+            plan.ops.push_back(
+                {&tiles[rt][ct], rt * s,
+                 extras != nullptr ? &(*extras)[rt][ct] : nullptr});
         slice.opCount = plan.ops.size() - slice.opBegin;
         plan.maxSliceWidth = std::max(plan.maxSliceWidth, slice.width);
         plan.slices.push_back(slice);

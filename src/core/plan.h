@@ -50,6 +50,8 @@ enum class CompileFailure
     InvalidDeviceConfig,  ///< degenerate memristor device parameters
     InvalidRemapFraction, ///< RSA remap fraction outside [0, 1]
     ScenarioMismatch,     ///< backend family contradicts the scenario
+    InvalidNoiseSpec,     ///< malformed composed-noise spec (SWORDFISH_NOISE grammar)
+    InvalidEnsemble,      ///< ensemble replica count outside [1, kMaxEnsembleReplicas]
 };
 
 /** Stable label for a failure kind (test assertions, log lines). */
@@ -141,6 +143,10 @@ struct PlanTileOp
 {
     const crossbar::CrossbarTile* tile = nullptr;
     std::size_t rowBegin = 0; ///< y-column origin of this tile's outputs
+
+    /** Ensemble replicas 1..K-1 of this tile (layer ensemble averaging);
+     *  nullptr or empty = the plain single-tile path. */
+    const std::vector<crossbar::CrossbarTile>* extras = nullptr;
 };
 
 /**
@@ -219,13 +225,18 @@ struct ExecPlan
  * the column-slice table and emit the flat tile-op list in interpretive
  * execution order (column tile outer, row tile inner).
  *
- * @param tiles tile grid indexed [rowTile][colTile]; pointers into it are
- *              cached, so it must outlive the plan.
+ * @param tiles  tile grid indexed [rowTile][colTile]; pointers into it are
+ *               cached, so it must outlive the plan.
+ * @param extras ensemble replica grid indexed [rowTile][colTile] (layer
+ *               ensemble averaging); nullptr or empty = no ensemble.
+ *               Pointers into it are cached like `tiles`.
  */
 WeightPlan
 buildAnalyticalWeightPlan(
     std::size_t rows, std::size_t cols, std::size_t tile_size,
-    const std::vector<std::vector<crossbar::CrossbarTile>>& tiles);
+    const std::vector<std::vector<crossbar::CrossbarTile>>& tiles,
+    const std::vector<std::vector<std::vector<crossbar::CrossbarTile>>>*
+        extras = nullptr);
 
 /**
  * Lower one measured-library weight: cache the effective-matrix and gain

@@ -108,6 +108,10 @@ class CrossbarBackendApi : public BackendApi
             return {CompileFailure::InvalidDeviceConfig, check.message};
         if (const CompileError err = validateRemapConfig(spec_.remap))
             return err;
+        if (const CompileError err = validateNoiseSpec(spec_.scenario))
+            return err;
+        if (const CompileError err = validateEnsembleConfig(spec_.ensemble))
+            return err;
         const bool wants_library = name_ == "measured";
         if (spec_.scenario.usesLibrary() != wants_library)
             return {CompileFailure::ScenarioMismatch,
@@ -120,6 +124,7 @@ class CrossbarBackendApi : public BackendApi
             std::make_unique<CrossbarVmmBackend>(spec_.scenario, spec_.seed);
         backend_->setSramRemap(spec_.remap);
         backend_->setExecMode(spec_.mode);
+        backend_->setEnsemble(spec_.ensemble);
         return {};
     }
 

@@ -46,6 +46,7 @@ struct BackendSpec
     QuantConfig quant;               ///< digital / int8 families
     std::uint64_t seed = 1;          ///< programming seed (one per MC run)
     ExecMode mode = ExecMode::Compiled; ///< execution engine
+    EnsembleConfig ensemble;         ///< crossbar families (replica K)
 };
 
 /**

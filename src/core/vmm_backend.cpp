@@ -165,8 +165,8 @@ vmmCounters()
 
 CrossbarVmmBackend::CrossbarVmmBackend(const NonIdealityConfig& config,
                                        std::uint64_t run_seed)
-    : config_(config), runSeed_(run_seed),
-      instanceId_(next_instance_id.fetch_add(1)),
+    : config_(config), noise_(resolveNoiseModel(config)),
+      runSeed_(run_seed), instanceId_(next_instance_id.fetch_add(1)),
       activationQuant_(config.quant.activationBits)
 {
     mode_ = defaultBackendSelector().mode;
@@ -348,14 +348,25 @@ CrossbarVmmBackend::programAnalytical(MappedWeight& mw,
     const std::size_t s = config_.crossbar.size;
     const std::size_t row_tiles = (mw.rows + s - 1) / s;
     const std::size_t col_tiles = (mw.cols + s - 1) / s;
-    const auto toggles = config_.toggles();
+    // The resolved NoiseModel, not config_.toggles(): explicit spec >
+    // SWORDFISH_NOISE override > the kind's preset (which is bitwise the
+    // legacy toggle set, with the extended sources off).
+    const crossbar::NoiseToggles toggles = noise_.toggles;
+    const crossbar::ExtendedNoise& extended = noise_.extended;
     auto& masks = sramMasks_[name];
+
+    // Layer ensemble averaging: replicas 1..K-1 are programmed alongside
+    // replica 0 with independent seeds keyed off the tile seed.
+    const std::size_t replicas =
+        ensemble_.applies(name) ? ensemble_.k : 1;
 
     // Each tile's build is independent given its precomputed seed, so the
     // builds fan out across the pool (inline when already on a worker).
     // Tiles land in indexed slots and masks in disjoint regions, keeping
     // the result identical to the serial order.
     std::vector<std::optional<crossbar::CrossbarTile>> built(
+        row_tiles * col_tiles);
+    std::vector<std::vector<crossbar::CrossbarTile>> built_extras(
         row_tiles * col_tiles);
     if (truths != nullptr)
         truths->resize(row_tiles * col_tiles);
@@ -390,16 +401,32 @@ CrossbarVmmBackend::programAnalytical(MappedWeight& mw,
         const std::uint64_t tile_seed = hashSeed(
             {runSeed_, std::hash<std::string>{}(name), rt, ct});
         crossbar::CrossbarTile tile(config_.crossbar, sub, mw.absMax,
-                                    toggles, tile_seed);
+                                    toggles, extended, tile_seed);
 
+        std::vector<std::uint8_t> mask;
         if (remap_.fraction > 0.0) {
-            const auto mask = selectSramCells(
-                tile.cellErrorMagnitude(), name, idx);
+            mask = selectSramCells(tile.cellErrorMagnitude(), name, idx);
             tile.remapCellsToSram(mask);
             for (std::size_t r = r0; r < r1; ++r)
                 for (std::size_t c = c0; c < c1; ++c)
                     masks[r * mw.cols + c] = mask[
                         (r - r0) * (c1 - c0) + (c - c0)];
+        }
+
+        // Ensemble replicas share the digital sub-matrix and the SRAM
+        // remap (SRAM cells are one digital store, not re-programmed per
+        // replica) but draw programming noise from their own seeds.
+        if (replicas > 1) {
+            auto& reps = built_extras[idx];
+            reps.reserve(replicas - 1);
+            for (std::size_t j = 1; j < replicas; ++j) {
+                crossbar::CrossbarTile rep(
+                    config_.crossbar, sub, mw.absMax, toggles, extended,
+                    hashSeed({tile_seed, kEnsembleTag, j}));
+                if (!mask.empty())
+                    rep.remapCellsToSram(mask);
+                reps.push_back(std::move(rep));
+            }
         }
         built[idx].emplace(std::move(tile));
     });
@@ -410,8 +437,17 @@ CrossbarVmmBackend::programAnalytical(MappedWeight& mw,
         for (std::size_t ct = 0; ct < col_tiles; ++ct)
             mw.tiles[rt].push_back(std::move(*built[rt * col_tiles + ct]));
     }
-    tileCount_ += row_tiles * col_tiles;
-    kProgramTiles.add(row_tiles * col_tiles);
+    if (replicas > 1) {
+        mw.extras.resize(row_tiles);
+        for (std::size_t rt = 0; rt < row_tiles; ++rt) {
+            mw.extras[rt].reserve(col_tiles);
+            for (std::size_t ct = 0; ct < col_tiles; ++ct)
+                mw.extras[rt].push_back(
+                    std::move(built_extras[rt * col_tiles + ct]));
+        }
+    }
+    tileCount_ += row_tiles * col_tiles * replicas;
+    kProgramTiles.add(row_tiles * col_tiles * replicas);
 }
 
 void
@@ -595,7 +631,12 @@ CrossbarVmmBackend::matmul(const std::string& name, const Matrix& w,
                 x_sub(t, c - c0) = x(t, c);
 
         for (std::size_t rt = 0; rt < mw.tiles.size(); ++rt) {
-            mw.tiles[rt][ct].vmmFast(x_sub, rng, tls_scratch.tile);
+            if (mw.extras.empty())
+                mw.tiles[rt][ct].vmmFast(x_sub, rng, tls_scratch.tile);
+            else
+                mw.tiles[rt][ct].vmmFastEnsemble(x_sub, rng,
+                                                 tls_scratch.tile,
+                                                 mw.extras[rt][ct]);
             const Matrix& part = tls_scratch.tile.y;
             const std::size_t r0 = rt * s;
             ++tile_vmms;
@@ -693,8 +734,13 @@ CrossbarVmmBackend::matmulBatched(const std::string& name, const Matrix& w,
                 x_sub(t, c - c0) = x(t, c);
 
         for (std::size_t rt = 0; rt < mw.tiles.size(); ++rt) {
-            mw.tiles[rt][ct].vmmFastLanes(x_sub, layout, rngs.data(),
-                                          tls_scratch.tile);
+            if (mw.extras.empty())
+                mw.tiles[rt][ct].vmmFastLanes(x_sub, layout, rngs.data(),
+                                              tls_scratch.tile);
+            else
+                mw.tiles[rt][ct].vmmFastLanesEnsemble(
+                    x_sub, layout, rngs.data(), tls_scratch.tile,
+                    mw.extras[rt][ct]);
             const Matrix& part = tls_scratch.tile.y;
             const std::size_t r0 = rt * s;
             ++tile_vmms;
@@ -737,7 +783,11 @@ CrossbarVmmBackend::runAnalyticalPlan(const WeightPlan& wp, const Matrix& x,
 
         for (std::size_t i = 0; i < slice.opCount; ++i) {
             const PlanTileOp& op = wp.ops[slice.opBegin + i];
-            op.tile->vmmFast(x_sub, rng, tls_scratch.tile);
+            if (op.extras == nullptr)
+                op.tile->vmmFast(x_sub, rng, tls_scratch.tile);
+            else
+                op.tile->vmmFastEnsemble(x_sub, rng, tls_scratch.tile,
+                                         *op.extras);
             const Matrix& part = tls_scratch.tile.y;
             // Digital accumulation of partial sums across column tiles.
             for (std::size_t t = 0; t < part.rows(); ++t)
@@ -791,8 +841,13 @@ CrossbarVmmBackend::runAnalyticalPlanLanes(const WeightPlan& wp,
 
         for (std::size_t i = 0; i < slice.opCount; ++i) {
             const PlanTileOp& op = wp.ops[slice.opBegin + i];
-            op.tile->vmmFastLanes(x_sub, layout, rngs.data(),
-                                  tls_scratch.tile);
+            if (op.extras == nullptr)
+                op.tile->vmmFastLanes(x_sub, layout, rngs.data(),
+                                      tls_scratch.tile);
+            else
+                op.tile->vmmFastLanesEnsemble(x_sub, layout, rngs.data(),
+                                              tls_scratch.tile,
+                                              *op.extras);
             const Matrix& part = tls_scratch.tile.y;
             for (std::size_t t = 0; t < part.rows(); ++t)
                 for (std::size_t r = 0; r < part.cols(); ++r)
@@ -876,7 +931,9 @@ CrossbarVmmBackend::compileWeight(const std::string& name, const Matrix& w)
                                   mw.measuredGain, mw.measuredOffset,
                                   mw.absMax)
         : buildAnalyticalWeightPlan(mw.rows, mw.cols, config_.crossbar.size,
-                                    mw.tiles);
+                                    mw.tiles,
+                                    mw.extras.empty() ? nullptr
+                                                      : &mw.extras);
     plan_.totalTiles += wp.measured ? 0 : wp.ops.size();
     plan_.weights.emplace(name, std::move(wp));
     return {};

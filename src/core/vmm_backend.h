@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/health.h"
+#include "core/noise_model.h"
 #include "core/nonideality.h"
 #include "core/plan.h"
 #include "nn/module.h"
@@ -46,6 +47,50 @@ struct SramRemapConfig
     double fraction = 0.0;      ///< fraction of weights held in SRAM
     bool useErrorKnowledge = true; ///< top-error cells vs. random cells
 };
+
+/** Upper bound on ensemble replicas per layer (area sanity limit). */
+inline constexpr std::size_t kMaxEnsembleReplicas = 16;
+
+/** Seed-stream tag for ensemble replica j: replica seeds are
+ *  hashSeed({tile_seed, kEnsembleTag, j}) both at initial programming and
+ *  at health-monitor re-programming, so refresh reproduces the same
+ *  hardware sampling convention. */
+inline constexpr std::uint64_t kEnsembleTag = 0xe75e3b1eULL;
+
+/**
+ * Layer ensemble averaging (the mitigation from PAPERS.md): selected
+ * layers are programmed onto K tile replicas with independent noise
+ * draws; at read time the replica currents are averaged in the analog
+ * domain and one shared ADC quantizes the mean. K=1 is exactly the
+ * plain single-tile path, bitwise.
+ */
+struct EnsembleConfig
+{
+    std::size_t k = 1;  ///< replicas per selected layer, in [1, 16]
+    std::string layers; ///< substring filter on weight names; empty = all
+
+    bool enabled() const { return k > 1; }
+
+    /** Whether this weight gets replicated under the config. */
+    bool
+    applies(const std::string& name) const
+    {
+        return enabled()
+            && (layers.empty() || name.find(layers) != std::string::npos);
+    }
+};
+
+/** Typed validation of an ensemble config (registry admission). */
+inline CompileError
+validateEnsembleConfig(const EnsembleConfig& ensemble)
+{
+    if (ensemble.k == 0 || ensemble.k > kMaxEnsembleReplicas)
+        return {CompileFailure::InvalidEnsemble,
+                "ensemble replica count must be within [1, "
+                    + std::to_string(kMaxEnsembleReplicas) + "], got "
+                    + std::to_string(ensemble.k)};
+    return {};
+}
 
 /**
  * Typed validation of an RSA remap config, for the places that read it
@@ -99,6 +144,25 @@ class CrossbarVmmBackend : public nn::VmmBackend
     void setExecMode(ExecMode mode) { mode_ = mode; }
 
     ExecMode execMode() const { return mode_; }
+
+    /**
+     * Configure layer ensemble averaging for weights programmed later.
+     * Config readers validate with validateEnsembleConfig() first; an
+     * out-of-range replica count reaching this setter panics.
+     */
+    void
+    setEnsemble(const EnsembleConfig& ensemble)
+    {
+        if (const CompileError err = validateEnsembleConfig(ensemble))
+            panic("CrossbarVmmBackend::setEnsemble: ", err.message);
+        ensemble_ = ensemble;
+    }
+
+    const EnsembleConfig& ensemble() const { return ensemble_; }
+
+    /** The resolved noise composition this backend programs tiles with
+     *  (explicit spec > SWORDFISH_NOISE override > kind preset). */
+    const NoiseModel& noiseModel() const { return noise_; }
 
     /**
      * Ahead-of-time compile: program every crossbar-mapped weight of the
@@ -219,6 +283,11 @@ class CrossbarVmmBackend : public nn::VmmBackend
         std::size_t cols = 0;
         // Analytical tiles, indexed [rowTile][colTile].
         std::vector<std::vector<crossbar::CrossbarTile>> tiles;
+        // Ensemble replicas 1..K-1 per tile, indexed [rowTile][colTile]
+        // (empty when the ensemble is off for this weight). `tiles` is
+        // replica 0 and owns the shared ADC pass.
+        std::vector<std::vector<std::vector<crossbar::CrossbarTile>>>
+            extras;
         // Measured mode: one effective weight matrix (profile applied),
         // plus per-output gain/offset.
         Matrix measuredWeights;
@@ -253,6 +322,8 @@ class CrossbarVmmBackend : public nn::VmmBackend
     Rng& conversionRng() const;
 
     NonIdealityConfig config_;
+    NoiseModel noise_; ///< resolved composition (see noiseModel())
+    EnsembleConfig ensemble_;
     std::uint64_t runSeed_;
     std::uint64_t instanceId_; ///< process-unique; keys the tls streams
     Quantizer activationQuant_;

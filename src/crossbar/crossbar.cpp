@@ -11,7 +11,16 @@ namespace swordfish::crossbar {
 CrossbarTile::CrossbarTile(const CrossbarConfig& config,
                            const Matrix& weights, float abs_max,
                            const NoiseToggles& toggles, std::uint64_t seed)
-    : config_(config), toggles_(toggles), ideal_(weights),
+    : CrossbarTile(config, weights, abs_max, toggles, ExtendedNoise{}, seed)
+{
+}
+
+CrossbarTile::CrossbarTile(const CrossbarConfig& config,
+                           const Matrix& weights, float abs_max,
+                           const NoiseToggles& toggles,
+                           const ExtendedNoise& extended, std::uint64_t seed)
+    : config_(config), toggles_(toggles), extended_(extended),
+      ideal_(weights),
       absMax_(abs_max > 0.0f ? abs_max : weights.absMax())
 {
     if (weights.rows() > config.size || weights.cols() > config.size)
@@ -63,6 +72,13 @@ CrossbarTile::buildEffectiveWeights(const NoiseToggles& toggles,
         perturb(pair.gPos);
         perturb(pair.gNeg);
     }
+
+    // Extended composable sources (NoiseModel layer) perturb the
+    // conductances next. When every source is off this is branch-free
+    // no-op territory — zero extra RNG draws — which is what keeps the
+    // legacy presets bitwise identical to the pre-NoiseModel code.
+    if (extended_.any())
+        applyExtendedNoise(pair, device, seed);
 
     effective_ = Matrix(out, in);
     for (std::size_t i = 0; i < effective_.size(); ++i)
@@ -120,6 +136,87 @@ CrossbarTile::buildEffectiveWeights(const NoiseToggles& toggles,
         * std::sqrt(static_cast<double>(in));
     adc_.emplace(config_.adc, hashSeed({seed, 2}), range,
                  !toggles.adcNonideal);
+}
+
+void
+CrossbarTile::applyExtendedNoise(ConductancePair& pair,
+                                 const DeviceConfig& device,
+                                 std::uint64_t seed)
+{
+    const std::size_t out = ideal_.rows();
+    const std::size_t in = ideal_.cols();
+    const ExtendedNoise& ext = extended_;
+    Matrix* devices[2] = {&pair.gPos, &pair.gNeg};
+
+    // Per-source stream tags: every source keys its own stream off
+    // (tileSeed, tag, row, col[, device half]), so compositions are
+    // order-free and enabling one source never shifts another's draws.
+    // The tile seed already folds (runSeed, weight, tile, epoch).
+    constexpr std::uint64_t kCorrelatedTag = 0x5c0441e1a7edULL;
+    constexpr std::uint64_t kRtnTag = 0x47e1e94a9ULL;
+    constexpr std::uint64_t kThermalTag = 0x7d4177ab1eULL;
+
+    // Fixed physical application order: write-time process gradient, then
+    // the trap snapshot, then operating-time wearout (read disturb,
+    // thermal retention loss).
+    if (ext.cwrite.enabled()) {
+        const CorrelatedField field(out, in, ext.cwrite.lengthCells,
+                                    hashSeed({seed, kCorrelatedTag}));
+        for (std::size_t o = 0; o < out; ++o) {
+            for (std::size_t i = 0; i < in; ++i) {
+                // The differential pair sits at the same die location, so
+                // the process gradient scales both halves coherently.
+                const double factor =
+                    std::exp(ext.cwrite.sigma * field.value(o, i));
+                for (Matrix* g : devices)
+                    (*g)(o, i) = static_cast<float>(
+                        std::clamp(static_cast<double>((*g)(o, i)) * factor,
+                                   device.gMin, device.gMax));
+            }
+        }
+    }
+    if (ext.rtn.enabled()) {
+        const double occ = rtnOccupancy(ext.rtn);
+        for (std::size_t d = 0; d < 2; ++d) {
+            Matrix& g = *devices[d];
+            for (std::size_t o = 0; o < out; ++o) {
+                for (std::size_t i = 0; i < in; ++i) {
+                    Rng cell(hashSeed({seed, kRtnTag, o, i, d}));
+                    const double f =
+                        rtnTrapFactor(ext.rtn, cell.bernoulli(occ));
+                    g(o, i) = static_cast<float>(
+                        std::clamp(static_cast<double>(g(o, i)) * f,
+                                   device.gMin, device.gMax));
+                }
+            }
+        }
+    }
+    if (ext.disturb.enabled()) {
+        const double f = readDisturbFactor(ext.disturb);
+        for (Matrix* g : devices)
+            for (float& v : g->raw())
+                v = static_cast<float>(
+                    device.gMin
+                    + (static_cast<double>(v) - device.gMin) * f);
+    }
+    if (ext.tdrift.enabled()) {
+        for (std::size_t d = 0; d < 2; ++d) {
+            Matrix& g = *devices[d];
+            for (std::size_t o = 0; o < out; ++o) {
+                for (std::size_t i = 0; i < in; ++i) {
+                    Rng cell(hashSeed({seed, kThermalTag, o, i, d}));
+                    const double nu = std::max(
+                        0.0,
+                        cell.gauss(ext.tdrift.nu, ext.tdrift.nuSigma));
+                    const double f = thermalDriftFactor(ext.tdrift, nu);
+                    float& v = g(o, i);
+                    v = static_cast<float>(
+                        device.gMin
+                        + (static_cast<double>(v) - device.gMin) * f);
+                }
+            }
+        }
+    }
 }
 
 Matrix
@@ -246,6 +343,156 @@ CrossbarTile::vmmFastLanes(const Matrix& x, const BatchLayout& layout,
                 for (std::size_t o = 0; o < y.cols(); ++o)
                     yrow[o] += colSneak_[o] * mean_abs;
             }
+            if (!adc_->isIdeal()) {
+                for (std::size_t o = 0; o < y.cols(); ++o)
+                    yrow[o] = adc_->convert(yrow[o], rng);
+            }
+            for (std::size_t o = 0; o < y.cols(); ++o)
+                yrow[o] *= scales[l];
+        }
+        row += layout[l].rows;
+    }
+}
+
+void
+CrossbarTile::accumulateAnalog(const Matrix& xn, VmmScratch& scratch) const
+{
+    // Adds this replica's pre-ADC analog response to the shared
+    // normalized input into scratch.ySum (sized and zeroed by the
+    // caller); scratch.xd is clobbered when the replica's DAC is
+    // non-ideal.
+    const Matrix* xd = &xn;
+    if (!dac_->isIdeal()) {
+        Matrix& tmp = scratch.xd;
+        tmp.resizeUninit(xn.rows(), xn.cols());
+        for (std::size_t i = 0; i < xn.size(); ++i)
+            tmp.raw()[i] = dac_->convert(xn.raw()[i]);
+        xd = &tmp;
+    }
+    gemmBT(*xd, effective_, scratch.ySum, /*accumulate=*/true);
+
+    const bool sneak = !colSneak_.empty()
+        && std::any_of(colSneak_.begin(), colSneak_.end(),
+                       [](float v) { return v != 0.0f; });
+    if (!sneak)
+        return;
+    Matrix& y = scratch.ySum;
+    for (std::size_t t = 0; t < y.rows(); ++t) {
+        const float* xrow = xd->rowPtr(t);
+        float mean_abs = 0.0f;
+        for (std::size_t i = 0; i < xd->cols(); ++i)
+            mean_abs += std::fabs(xrow[i]);
+        mean_abs /= static_cast<float>(xd->cols());
+        float* yrow = y.rowPtr(t);
+        for (std::size_t o = 0; o < y.cols(); ++o)
+            yrow[o] += colSneak_[o] * mean_abs;
+    }
+}
+
+void
+CrossbarTile::vmmFastEnsemble(const Matrix& x, Rng& rng,
+                              VmmScratch& scratch,
+                              const std::vector<CrossbarTile>& extras) const
+{
+    if (extras.empty()) {
+        vmmFast(x, rng, scratch);
+        return;
+    }
+    if (x.cols() != ideal_.cols())
+        panic("CrossbarTile::vmmFastEnsemble: input width ", x.cols(),
+              " != tile fan-in ", ideal_.cols());
+
+    float x_scale = x.absMax();
+    if (x_scale <= 0.0f)
+        x_scale = 1.0f;
+
+    // One shared normalized input; every replica applies its own DAC
+    // instance to it inside accumulateAnalog().
+    Matrix& xn = scratch.xn;
+    xn.resizeUninit(x.rows(), x.cols());
+    const float inv = 1.0f / x_scale;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        xn.raw()[i] = x.raw()[i] * inv;
+
+    Matrix& ySum = scratch.ySum;
+    ySum.resizeUninit(x.rows(), effective_.rows());
+    ySum.zero();
+    accumulateAnalog(xn, scratch);
+    for (const CrossbarTile& rep : extras)
+        rep.accumulateAnalog(xn, scratch);
+
+    // Average the replica currents in the analog domain, then run ONE
+    // shared ADC pass over the mean — the rng stream advances exactly as
+    // a plain vmmFast() call would, whatever K is.
+    const float inv_k = 1.0f / static_cast<float>(extras.size() + 1);
+    Matrix& y = scratch.y;
+    y.resizeUninit(x.rows(), effective_.rows());
+    for (std::size_t i = 0; i < y.size(); ++i)
+        y.raw()[i] = ySum.raw()[i] * inv_k;
+    if (!adc_->isIdeal()) {
+        for (std::size_t t = 0; t < y.rows(); ++t) {
+            float* yrow = y.rowPtr(t);
+            for (std::size_t o = 0; o < y.cols(); ++o)
+                yrow[o] = adc_->convert(yrow[o], rng);
+        }
+    }
+    for (float& v : y.raw())
+        v *= x_scale;
+}
+
+void
+CrossbarTile::vmmFastLanesEnsemble(
+    const Matrix& x, const BatchLayout& layout, Rng* const* lane_rngs,
+    VmmScratch& scratch, const std::vector<CrossbarTile>& extras) const
+{
+    if (extras.empty()) {
+        vmmFastLanes(x, layout, lane_rngs, scratch);
+        return;
+    }
+    if (x.cols() != ideal_.cols())
+        panic("CrossbarTile::vmmFastLanesEnsemble: input width ", x.cols(),
+              " != tile fan-in ", ideal_.cols());
+    if (layoutRows(layout) != x.rows())
+        panic("CrossbarTile::vmmFastLanesEnsemble: layout rows ",
+              layoutRows(layout), " != input rows ", x.rows());
+
+    // Per-lane normalization, exactly as vmmFastLanes().
+    std::vector<float>& scales = scratch.laneScales;
+    scales.resize(layout.size());
+    Matrix& xn = scratch.xn;
+    xn.resizeUninit(x.rows(), x.cols());
+    std::size_t row = 0;
+    for (std::size_t l = 0; l < layout.size(); ++l) {
+        const std::size_t count = layout[l].rows * x.cols();
+        const float* src = x.raw().data() + row * x.cols();
+        float x_scale = kernels::absMaxRange(src, count);
+        if (x_scale <= 0.0f)
+            x_scale = 1.0f;
+        scales[l] = x_scale;
+        const float inv = 1.0f / x_scale;
+        float* dst = xn.raw().data() + row * x.cols();
+        for (std::size_t i = 0; i < count; ++i)
+            dst[i] = src[i] * inv;
+        row += layout[l].rows;
+    }
+
+    Matrix& ySum = scratch.ySum;
+    ySum.resizeUninit(x.rows(), effective_.rows());
+    ySum.zero();
+    accumulateAnalog(xn, scratch);
+    for (const CrossbarTile& rep : extras)
+        rep.accumulateAnalog(xn, scratch);
+
+    const float inv_k = 1.0f / static_cast<float>(extras.size() + 1);
+    Matrix& y = scratch.y;
+    y.resizeUninit(x.rows(), effective_.rows());
+    for (std::size_t i = 0; i < y.size(); ++i)
+        y.raw()[i] = ySum.raw()[i] * inv_k;
+    row = 0;
+    for (std::size_t l = 0; l < layout.size(); ++l) {
+        Rng& rng = *lane_rngs[l];
+        for (std::size_t t = row; t < row + layout[l].rows; ++t) {
+            float* yrow = y.rowPtr(t);
             if (!adc_->isIdeal()) {
                 for (std::size_t o = 0; o < y.cols(); ++o)
                     yrow[o] = adc_->convert(yrow[o], rng);

@@ -25,6 +25,7 @@
 #include "crossbar/converters.h"
 #include "crossbar/device.h"
 #include "crossbar/mapping.h"
+#include "crossbar/noise_sources.h"
 #include "tensor/lanes.h"
 #include "tensor/matrix.h"
 #include "util/rng.h"
@@ -99,6 +100,8 @@ struct VmmScratch
     Matrix xn; ///< normalized (and DAC-converted) input copy
     Matrix y;  ///< tile output accumulator
     std::vector<float> laneScales; ///< per-lane input scales (batched path)
+    Matrix xd;   ///< per-replica DAC-converted input (ensemble path)
+    Matrix ySum; ///< pre-ADC analog accumulator (ensemble path)
 };
 
 /** One programmed crossbar tile holding a weight sub-matrix. */
@@ -118,6 +121,15 @@ class CrossbarTile
     CrossbarTile(const CrossbarConfig& config, const Matrix& weights,
                  float abs_max, const NoiseToggles& toggles,
                  std::uint64_t seed);
+
+    /**
+     * Same, with the extended noise sources of a composed NoiseModel
+     * applied on top of the toggles. An all-off ExtendedNoise is bitwise
+     * identical to the five-argument constructor.
+     */
+    CrossbarTile(const CrossbarConfig& config, const Matrix& weights,
+                 float abs_max, const NoiseToggles& toggles,
+                 const ExtendedNoise& extended, std::uint64_t seed);
 
     /**
      * Fast path: y[T x out] from x[T x in] through DAC -> effective
@@ -143,6 +155,22 @@ class CrossbarTile
      */
     void vmmFastLanes(const Matrix& x, const BatchLayout& layout,
                       Rng* const* lane_rngs, VmmScratch& scratch) const;
+
+    /**
+     * Ensemble-averaging fast path (layer ensemble averaging mitigation):
+     * this tile plus `extras` hold the same sub-matrix programmed with
+     * independent noise draws; their analog (pre-ADC) outputs are averaged
+     * and the mean goes through THIS tile's single shared ADC — so the
+     * conversion-noise stream advances exactly as a plain vmmFast() call
+     * would, and an empty `extras` is bitwise identical to vmmFast().
+     */
+    void vmmFastEnsemble(const Matrix& x, Rng& rng, VmmScratch& scratch,
+                         const std::vector<CrossbarTile>& extras) const;
+
+    /** Batched-lane twin of vmmFastEnsemble(). */
+    void vmmFastLanesEnsemble(const Matrix& x, const BatchLayout& layout,
+                              Rng* const* lane_rngs, VmmScratch& scratch,
+                              const std::vector<CrossbarTile>& extras) const;
 
     /** Reference path: explicit per-cell current summation (one vector). */
     std::vector<float> vmmCircuit(const std::vector<float>& x,
@@ -197,9 +225,13 @@ class CrossbarTile
   private:
     void buildEffectiveWeights(const NoiseToggles& toggles,
                                std::uint64_t seed);
+    void applyExtendedNoise(ConductancePair& pair,
+                            const DeviceConfig& device, std::uint64_t seed);
+    void accumulateAnalog(const Matrix& xn, VmmScratch& scratch) const;
 
     CrossbarConfig config_;
     NoiseToggles toggles_;
+    ExtendedNoise extended_;
     Matrix ideal_;             ///< digital weights as given
     Matrix effective_;         ///< what the analog tile actually computes
     float absMax_;

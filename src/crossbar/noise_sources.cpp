@@ -1,0 +1,157 @@
+#include "noise_sources.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace swordfish::crossbar {
+
+namespace {
+
+/** Boltzmann constant in eV/K. */
+constexpr double kBoltzmannEvPerK = 8.617333262e-5;
+
+} // namespace
+
+bool
+operator==(const RtnConfig& a, const RtnConfig& b)
+{
+    return a.amplitude == b.amplitude && a.dwellUp == b.dwellUp
+        && a.dwellDown == b.dwellDown;
+}
+
+bool
+operator==(const ReadDisturbConfig& a, const ReadDisturbConfig& b)
+{
+    return a.rate == b.rate && a.reads == b.reads;
+}
+
+bool
+operator==(const ThermalDriftConfig& a, const ThermalDriftConfig& b)
+{
+    return a.temperatureK == b.temperatureK
+        && a.activationEv == b.activationEv && a.hours == b.hours
+        && a.nu == b.nu && a.nuSigma == b.nuSigma;
+}
+
+bool
+operator==(const CorrelatedWriteConfig& a, const CorrelatedWriteConfig& b)
+{
+    return a.sigma == b.sigma && a.lengthCells == b.lengthCells;
+}
+
+bool
+operator==(const ExtendedNoise& a, const ExtendedNoise& b)
+{
+    return a.rtn == b.rtn && a.disturb == b.disturb && a.tdrift == b.tdrift
+        && a.cwrite == b.cwrite;
+}
+
+double
+rtnOccupancy(const RtnConfig& cfg)
+{
+    const double total = cfg.dwellUp + cfg.dwellDown;
+    if (total <= 0.0)
+        return 0.0;
+    return cfg.dwellDown / total;
+}
+
+double
+rtnTrapFactor(const RtnConfig& cfg, bool trap_occupied)
+{
+    return trap_occupied ? 1.0 - cfg.amplitude : 1.0;
+}
+
+std::vector<std::uint8_t>
+rtnTelegraphSequence(const RtnConfig& cfg, std::size_t steps, Rng& rng)
+{
+    if (cfg.dwellUp < 1.0 || cfg.dwellDown < 1.0)
+        panic("rtnTelegraphSequence: dwell times must be >= 1 step");
+    // Geometric dwell times: exit probability 1/dwell per step, so the
+    // mean dwell in each state is exactly dwellUp / dwellDown steps.
+    const double exit_up = 1.0 / cfg.dwellUp;
+    const double exit_down = 1.0 / cfg.dwellDown;
+    std::vector<std::uint8_t> seq(steps);
+    std::uint8_t state = rng.uniform(0.0, 1.0) < rtnOccupancy(cfg) ? 1 : 0;
+    for (std::size_t t = 0; t < steps; ++t) {
+        seq[t] = state;
+        const double exit = state ? exit_down : exit_up;
+        if (rng.uniform(0.0, 1.0) < exit)
+            state ^= 1;
+    }
+    return seq;
+}
+
+double
+readDisturbFactor(const ReadDisturbConfig& cfg)
+{
+    if (!cfg.enabled())
+        return 1.0;
+    return std::pow(1.0 + cfg.reads, -cfg.rate);
+}
+
+double
+thermalAcceleration(double temperature_k, double activation_ev,
+                    double ref_temperature_k)
+{
+    if (temperature_k <= 0.0 || ref_temperature_k <= 0.0)
+        panic("thermalAcceleration: temperatures must be positive");
+    return std::exp(activation_ev / kBoltzmannEvPerK
+                    * (1.0 / ref_temperature_k - 1.0 / temperature_k));
+}
+
+double
+thermalDriftFactor(const ThermalDriftConfig& cfg, double nu_cell)
+{
+    if (!cfg.enabled())
+        return 1.0;
+    const double accel =
+        thermalAcceleration(cfg.temperatureK, cfg.activationEv);
+    return std::pow(1.0 + accel * cfg.hours, -nu_cell);
+}
+
+CorrelatedField::CorrelatedField(std::size_t rows, std::size_t cols,
+                                 double length_cells, std::uint64_t seed)
+{
+    if (rows == 0 || cols == 0)
+        panic("CorrelatedField: empty tile");
+    spacing_ = length_cells >= 1.0 ? length_cells : 1.0;
+    // Nodes at multiples of the spacing; one extra so bilinear lookups at
+    // the far edge always have a right/bottom neighbor.
+    const std::size_t grid_rows =
+        static_cast<std::size_t>(static_cast<double>(rows - 1) / spacing_)
+        + 2;
+    gridCols_ =
+        static_cast<std::size_t>(static_cast<double>(cols - 1) / spacing_)
+        + 2;
+    grid_.resize(grid_rows * gridCols_);
+    Rng rng(seed);
+    for (double& v : grid_)
+        v = rng.gauss(0.0, 1.0);
+}
+
+double
+CorrelatedField::value(std::size_t row, std::size_t col) const
+{
+    const double r = static_cast<double>(row) / spacing_;
+    const double c = static_cast<double>(col) / spacing_;
+    const std::size_t r0 = static_cast<std::size_t>(r);
+    const std::size_t c0 = static_cast<std::size_t>(c);
+    const double fr = r - static_cast<double>(r0);
+    const double fc = c - static_cast<double>(c0);
+    const double w00 = (1.0 - fr) * (1.0 - fc);
+    const double w01 = (1.0 - fr) * fc;
+    const double w10 = fr * (1.0 - fc);
+    const double w11 = fr * fc;
+    const double raw = w00 * grid_[r0 * gridCols_ + c0]
+        + w01 * grid_[r0 * gridCols_ + c0 + 1]
+        + w10 * grid_[(r0 + 1) * gridCols_ + c0]
+        + w11 * grid_[(r0 + 1) * gridCols_ + c0 + 1];
+    // Bilinear mixing shrinks the variance between nodes; renormalize so
+    // every cell keeps a unit-variance marginal.
+    const double norm =
+        std::sqrt(w00 * w00 + w01 * w01 + w10 * w10 + w11 * w11);
+    return raw / norm;
+}
+
+} // namespace swordfish::crossbar

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Extended device-level noise sources for the composable NoiseModel layer.
+ *
+ * The six legacy non-ideality groups (NoiseToggles) stay exactly as they
+ * are — bitwise — and these four sources compose on top of them:
+ *
+ *  - random telegraph noise (RTN): a two-state trap per cell that
+ *    suppresses conductance while occupied; the program-time snapshot
+ *    samples each trap from its stationary occupancy,
+ *  - read disturb: cumulative depression toward gMin from repeated read
+ *    pulses,
+ *  - temperature-dependent conductance drift: Arrhenius-accelerated
+ *    power-law retention loss at a given operating temperature,
+ *  - spatially correlated write variation: a smooth die-level process
+ *    gradient on top of the i.i.d. write variation.
+ *
+ * Every source is applied in the conductance domain inside
+ * CrossbarTile::buildEffectiveWeights(), each drawing from its own keyed
+ * stream hash(tileSeed, sourceTag, row, col[, polarity]) — so enabling or
+ * disabling one source never shifts another's draws, any composition is
+ * order-free, and a disabled source costs zero RNG draws and zero FP ops
+ * (which is what keeps the legacy presets bitwise identical).
+ *
+ * The scalar model functions are exposed so the statistical tests can
+ * characterize each source in isolation.
+ */
+
+#ifndef SWORDFISH_CROSSBAR_NOISE_SOURCES_H
+#define SWORDFISH_CROSSBAR_NOISE_SOURCES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace swordfish::crossbar {
+
+/** Room temperature reference for the Arrhenius drift model. */
+inline constexpr double kThermalRefKelvin = 300.0;
+
+/**
+ * Random telegraph noise: each cell hosts one dominant trap that toggles
+ * the device between a high-conductance (trap empty) and a suppressed
+ * (trap occupied) state. Dwell times set the stationary occupancy; the
+ * program-time snapshot samples the trap state once per cell.
+ */
+struct RtnConfig
+{
+    double amplitude = 0.0; ///< relative conductance suppression, [0, 1)
+    double dwellUp = 1.0;   ///< mean dwell (a.u.) in the high-G state
+    double dwellDown = 1.0; ///< mean dwell (a.u.) in the suppressed state
+
+    bool enabled() const { return amplitude > 0.0; }
+};
+
+/** Cumulative read-disturb depression toward gMin. */
+struct ReadDisturbConfig
+{
+    double rate = 0.0;  ///< per-decade depression strength
+    double reads = 0.0; ///< accumulated read pulses at program time
+
+    bool enabled() const { return rate > 0.0 && reads > 0.0; }
+};
+
+/**
+ * Temperature-dependent conductance drift: the retention power law decays
+ * toward HRS with an Arrhenius acceleration factor relative to 300 K.
+ */
+struct ThermalDriftConfig
+{
+    double temperatureK = kThermalRefKelvin; ///< operating temperature
+    double activationEv = 0.0; ///< Arrhenius activation energy (eV)
+    double hours = 0.0;        ///< operating time at that temperature
+    double nu = 0.0;           ///< mean drift exponent
+    double nuSigma = 0.0;      ///< cell-to-cell exponent spread
+
+    bool enabled() const { return hours > 0.0 && nu > 0.0; }
+};
+
+/**
+ * Spatially correlated write variation: a smooth Gaussian process
+ * gradient multiplying both devices of a differential pair coherently
+ * (die-level gain variation), on top of the i.i.d. write variation.
+ */
+struct CorrelatedWriteConfig
+{
+    double sigma = 0.0;       ///< lognormal sigma of the correlated term
+    double lengthCells = 0.0; ///< correlation length, in cells
+
+    bool enabled() const { return sigma > 0.0 && lengthCells > 0.0; }
+};
+
+/** The four extended sources, all off by default. */
+struct ExtendedNoise
+{
+    RtnConfig rtn;
+    ReadDisturbConfig disturb;
+    ThermalDriftConfig tdrift;
+    CorrelatedWriteConfig cwrite;
+
+    bool any() const
+    {
+        return rtn.enabled() || disturb.enabled() || tdrift.enabled()
+            || cwrite.enabled();
+    }
+};
+
+bool operator==(const RtnConfig& a, const RtnConfig& b);
+bool operator==(const ReadDisturbConfig& a, const ReadDisturbConfig& b);
+bool operator==(const ThermalDriftConfig& a, const ThermalDriftConfig& b);
+bool operator==(const CorrelatedWriteConfig& a,
+                const CorrelatedWriteConfig& b);
+bool operator==(const ExtendedNoise& a, const ExtendedNoise& b);
+inline bool operator!=(const ExtendedNoise& a, const ExtendedNoise& b)
+{
+    return !(a == b);
+}
+
+/** Stationary probability that the RTN trap is occupied (G suppressed). */
+double rtnOccupancy(const RtnConfig& cfg);
+
+/** Conductance multiplier for a given trap state. */
+double rtnTrapFactor(const RtnConfig& cfg, bool trap_occupied);
+
+/**
+ * Sample the two-state telegraph process at unit time steps: a Markov
+ * chain whose dwell times in the empty (0) / occupied (1) states are
+ * geometric with means dwellUp / dwellDown, started from the stationary
+ * distribution. Used by the statistical tests to check occupancy, dwell
+ * means, and autocorrelation against theory.
+ */
+std::vector<std::uint8_t> rtnTelegraphSequence(const RtnConfig& cfg,
+                                               std::size_t steps, Rng& rng);
+
+/**
+ * Fraction of the above-gMin conductance surviving `reads` read pulses:
+ * (1 + reads)^(-rate). 1 at zero reads; monotone decreasing in both
+ * `reads` and `rate`.
+ */
+double readDisturbFactor(const ReadDisturbConfig& cfg);
+
+/**
+ * Arrhenius acceleration of drift at `temperature_k` relative to the
+ * reference: exp((Ea/kB) * (1/Tref - 1/T)). 1 at the reference
+ * temperature; monotone increasing in T for Ea > 0.
+ */
+double thermalAcceleration(double temperature_k, double activation_ev,
+                           double ref_temperature_k = kThermalRefKelvin);
+
+/**
+ * Fraction of the above-gMin conductance surviving the configured bake:
+ * (1 + accel * hours)^(-nu_cell) with the cell's own drift exponent.
+ */
+double thermalDriftFactor(const ThermalDriftConfig& cfg, double nu_cell);
+
+/**
+ * A smooth spatially correlated Gaussian field over one tile: i.i.d.
+ * standard-normal nodes on a coarse grid with spacing = the correlation
+ * length, bilinearly interpolated and re-normalized so every cell keeps
+ * an exactly N(0, 1) marginal. Cells closer than the correlation length
+ * are strongly correlated; cells much farther apart are nearly
+ * independent.
+ */
+class CorrelatedField
+{
+  public:
+    CorrelatedField(std::size_t rows, std::size_t cols, double length_cells,
+                    std::uint64_t seed);
+
+    /** The field value at one cell (standard-normal marginal). */
+    double value(std::size_t row, std::size_t col) const;
+
+  private:
+    std::size_t gridCols_;
+    double spacing_;
+    std::vector<double> grid_; ///< node values, row-major
+};
+
+} // namespace swordfish::crossbar
+
+#endif // SWORDFISH_CROSSBAR_NOISE_SOURCES_H

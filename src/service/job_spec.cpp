@@ -6,6 +6,7 @@
 #include "basecall/pipeline.h"
 #include "core/evaluator.h"
 #include "core/health.h"
+#include "core/noise_model.h"
 #include "genomics/dataset.h"
 #include "util/fault.h"
 #include "util/logging.h"
@@ -113,6 +114,13 @@ JobSpec::validate() const
         add(JobErrorKind::BadValue, "quant",
             "quantization bits must be in [2, 32]");
 
+    if (!noise.empty()) {
+        core::NoiseModel parsed_noise;
+        std::string err;
+        if (!core::NoiseModel::parse(noise, parsed_noise, err))
+            add(JobErrorKind::BadNoiseSpec, "scenario.noise", err);
+    }
+
     if (!faults.empty()) {
         FaultConfig cfg;
         std::string err;
@@ -209,6 +217,7 @@ JobSpec::toJson() const
         .field("remap_fraction", remapFraction)
         .field("weight_bits", weightBits)
         .field("activation_bits", activationBits)
+        .field("noise", noise)
         .str();
     const std::string dataset_json = JsonWriter()
         .field("id", datasetId)
@@ -318,6 +327,10 @@ JobSpec::fromJsonValue(const JsonValue& doc, JobSpec& out)
                 } else if (k2 == "activation_bits") {
                     if (!readBits(v2, spec.activationBits))
                         return badField("scenario." + k2);
+                } else if (k2 == "noise") {
+                    if (!v2.isString())
+                        return badField("scenario." + k2);
+                    spec.noise = v2.asString();
                 } else {
                     return {JobErrorKind::UnknownField, "scenario." + k2,
                             "unknown field 'scenario." + k2 + "'"};
@@ -487,6 +500,7 @@ runJobSpec(const JobSpec& spec,
         parseScenarioKind(spec.scenarioKind, scenario.kind);
         scenario.crossbar.size = spec.crossbarSize;
         scenario.quant = QuantConfig{spec.weightBits, spec.activationBits};
+        scenario.noise = spec.noise;
         core::SramRemapConfig remap;
         remap.fraction = spec.remapFraction;
         const core::AccuracySummary summary =

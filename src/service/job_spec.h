@@ -67,6 +67,14 @@ struct JobSpec
     std::size_t crossbarSize = 64;         ///< array size (64 / 256)
     double remapFraction = 0.0;            ///< RSA SRAM remap fraction
 
+    /**
+     * Composable-noise spec (core::NoiseModel::parse grammar), composed
+     * as a delta onto the scenario kind's preset. "" = the preset alone.
+     * Per-job (an explicit NonIdealityConfig::noise, not process state),
+     * so it never forces exclusive scheduling.
+     */
+    std::string noise;
+
     // Quantization: the scenario quant for NonIdeal, the evaluation quant
     // for Quantized. 32/32 = float baseline.
     int weightBits = 16;

@@ -43,6 +43,7 @@ RuntimeConfig::toJson() const
         .field("faults", faults)
         .field("refresh", refresh)
         .field("simd", simd)
+        .field("noise", noise)
         .field("backend", backend)
         .str();
 }
@@ -62,6 +63,7 @@ RuntimeConfig::fromEnvironment()
     cfg.faults = envString("SWORDFISH_FAULTS");
     cfg.refresh = envString("SWORDFISH_REFRESH");
     cfg.simd = envString("SWORDFISH_SIMD");
+    cfg.noise = envString("SWORDFISH_NOISE");
     cfg.backend = envString("SWORDFISH_BACKEND");
     return cfg;
 }

@@ -60,6 +60,7 @@ struct RuntimeConfig
     std::string faults;      ///< SWORDFISH_FAULTS; empty = no injection
     std::string refresh;     ///< SWORDFISH_REFRESH; empty = healing off
     std::string simd;        ///< SWORDFISH_SIMD; empty = auto-detect
+    std::string noise;       ///< SWORDFISH_NOISE; empty = per-scenario presets
 
     /**
      * SWORDFISH_BACKEND: default execution-backend selector — mode token

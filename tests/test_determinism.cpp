@@ -114,6 +114,30 @@ evalBatched(std::size_t threads, std::size_t batch, NonIdealityKind kind,
             .batch(batch).threads(threads).backend(selector));
 }
 
+/** Full composition of the four extended noise sources plus K=2 layer
+ *  ensemble averaging, over the 5-read dataset. */
+AccuracySummary
+evalComposedEnsemble(std::size_t threads, std::size_t batch,
+                     const std::string& selector)
+{
+    Fixture& f = Fixture::get();
+    NonIdealityConfig scenario;
+    scenario.kind = NonIdealityKind::Combined;
+    scenario.crossbar.size = 64;
+    scenario.noise = "rtn.amp=0.05,rtn.dwell_up=3,rtn.dwell_down=2,"
+                     "disturb.rate=0.02,disturb.reads=1000,"
+                     "tdrift.t=350,tdrift.ea=0.2,tdrift.hours=10,"
+                     "tdrift.nu=0.05,tdrift.nu_sigma=0.01,"
+                     "cwrite.sigma=0.1,cwrite.len=4";
+    SramRemapConfig remap;
+    remap.fraction = 0.05;
+    return evaluateNonIdealAccuracy(
+        f.model, {scenario, remap},
+        EvalOptions(f.dataset5).runs(2).maxReads(5).seedBase(7)
+            .batch(batch).threads(threads).backend(selector)
+            .ensembleK(2));
+}
+
 } // namespace
 
 TEST(Determinism, NonIdealAccuracyIndependentOfThreadCount)
@@ -444,6 +468,44 @@ TEST(Determinism, CompiledEngineMatchesInterpreterAcrossSimdLevels)
             expectBitwiseEqual(
                 ref,
                 evalBatched(2, 3, NonIdealityKind::Combined, engine));
+        }
+    }
+}
+
+TEST(Determinism, ComposedNoiseEnsembleBitwiseAcrossFullGrid)
+{
+    // The composable-noise-layer invariant: all four extended sources
+    // composed onto the Combined preset, plus K=2 layer-ensemble
+    // averaging, must stay bitwise across threads x batch x SIMD x
+    // engine — every source draws from its own (tile, source, cell)
+    // keyed stream, replica seeds key off the tile seed, and the replica
+    // average is quantized by one shared ADC pass.
+    AccuracySummary ref;
+    {
+        const ScopedSimdLevel scoped(SimdLevel::Scalar);
+        ref = evalComposedEnsemble(1, 1, "interpreter");
+    }
+    EXPECT_EQ(ref.runs, 2u);
+    std::vector<SimdLevel> levels = {SimdLevel::Scalar};
+    if (cpuSupportsAvx2())
+        levels.push_back(SimdLevel::Avx2);
+    for (const SimdLevel level : levels) {
+        const ScopedSimdLevel scoped(level);
+        for (const char* engine : {"interpreter", "compiled"}) {
+            for (std::size_t batch : {std::size_t{1}, std::size_t{3},
+                                      std::size_t{8}}) {
+                for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                            std::size_t{4}}) {
+                    SCOPED_TRACE(std::string("simd=")
+                                 + simdLevelName(level)
+                                 + " engine=" + engine
+                                 + " batch=" + std::to_string(batch)
+                                 + " threads=" + std::to_string(threads));
+                    expectBitwiseEqual(
+                        ref,
+                        evalComposedEnsemble(threads, batch, engine));
+                }
+            }
         }
     }
 }

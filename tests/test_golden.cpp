@@ -107,10 +107,16 @@ computeSnapshot()
     snap["ideal.reads"] = static_cast<double>(ideal.readsEvaluated);
     snap["ideal.bases"] = static_cast<double>(ideal.basesCalled);
 
-    // Non-ideal crossbars, fixed seed base, two Monte-Carlo runs.
+    // Non-ideal crossbars, fixed seed base, two Monte-Carlo runs. The
+    // explicit noise spec pins the scenario to the Combined preset
+    // through the composable-noise layer: it must reproduce the
+    // pre-NoiseModel numbers bitwise, and (explicit spec > process
+    // override) it makes the snapshot immune to a SWORDFISH_NOISE value
+    // set in the environment, e.g. by a CI matrix leg.
     core::NonIdealityConfig scenario;
     scenario.kind = core::NonIdealityKind::Combined;
     scenario.crossbar.size = 64;
+    scenario.noise = "preset=combined";
     const core::AccuracySummary nonideal = core::evaluateNonIdealAccuracy(
         model, {scenario},
         core::EvalOptions(dataset).runs(2).maxReads(4).seedBase(7));

@@ -237,11 +237,14 @@ TEST(JobSpecJson, RoundTripPreservesEveryField)
     spec.remapFraction = 0.25;
     spec.weightBits = 8;
     spec.activationBits = 8;
+    spec.noise = "rtn.amp=0.1,cwrite.sigma=0.2,cwrite.len=4";
     spec.faults = "seed=42,decode=0.1";
     spec.refresh = "threshold=0.25,spares=2";
     spec.request.runs = 3;
     spec.request.seedBase = 0xFFFFFFFFFFFFFFF5ull;
     spec.request.backend = "int8";
+    spec.request.ensembleK = 4;
+    spec.request.ensembleLayers = "lstm";
 
     JobSpec back;
     const JobError err = JobSpec::fromJson(spec.toJson(), back);
@@ -258,10 +261,13 @@ TEST(JobSpecJson, RoundTripPreservesEveryField)
     EXPECT_DOUBLE_EQ(back.remapFraction, spec.remapFraction);
     EXPECT_EQ(back.weightBits, spec.weightBits);
     EXPECT_EQ(back.activationBits, spec.activationBits);
+    EXPECT_EQ(back.noise, spec.noise);
     EXPECT_EQ(back.faults, spec.faults);
     EXPECT_EQ(back.refresh, spec.refresh);
     EXPECT_EQ(back.request.runs, spec.request.runs);
     EXPECT_EQ(back.request.seedBase, spec.request.seedBase);
+    EXPECT_EQ(back.request.ensembleK, spec.request.ensembleK);
+    EXPECT_EQ(back.request.ensembleLayers, spec.request.ensembleLayers);
     EXPECT_EQ(back.toJson(), spec.toJson());
 }
 
@@ -314,6 +320,28 @@ TEST(JobSpecValidate, TypedErrors)
     spec.refresh = "no_such_key=1";
     EXPECT_EQ(firstError(spec), JobErrorKind::BadRefreshSpec);
 
+    // Malformed composable-noise specs are typed admission errors with a
+    // dotted field path, not worker-side panics.
+    spec = JobSpec{};
+    spec.noise = "rtn.amp=2";
+    {
+        const std::vector<JobError> errors = spec.validate();
+        ASSERT_FALSE(errors.empty());
+        EXPECT_EQ(errors.front().kind, JobErrorKind::BadNoiseSpec);
+        EXPECT_EQ(errors.front().field, "scenario.noise");
+    }
+    spec.noise = "rtn.amp=0.1";
+    EXPECT_TRUE(spec.validate().empty());
+
+    // The embedded request's ensemble bound is enforced at admission too.
+    spec = JobSpec{};
+    spec.request.ensembleK = 0;
+    EXPECT_TRUE(hasError(spec, JobErrorKind::BadEnsemble));
+    spec.request.ensembleK = 17;
+    EXPECT_TRUE(hasError(spec, JobErrorKind::BadEnsemble));
+    spec.request.ensembleK = 2;
+    EXPECT_TRUE(spec.validate().empty());
+
     // Kind/family consistency: a digital family under a nonideal job (and
     // vice versa) is rejected at admission, not inside a worker.
     spec = JobSpec{};
@@ -336,6 +364,12 @@ TEST(JobSpecValidate, ExclusivityFollowsProcessGlobalKnobs)
     spec.faults.clear();
     spec.refresh = "threshold=0.5";
     EXPECT_TRUE(spec.exclusive());
+
+    // The noise spec is per-job (scenario-scoped, not process-global), so
+    // it never forces exclusive scheduling.
+    spec.refresh.clear();
+    spec.noise = "rtn.amp=0.1";
+    EXPECT_FALSE(spec.exclusive());
 }
 
 // ---------------------------------------------------------------------------
