@@ -12,11 +12,16 @@
  *   swordfish_submit --socket /tmp/swordfish.sock --spec job.json
  */
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "service/client.h"
 #include "service/job_spec.h"
@@ -44,12 +49,15 @@ sendAndReceive(service::ServiceClient& client, const std::string& request,
                JsonValue& reply)
 {
     if (!client.sendLine(request)) {
-        std::fprintf(stderr, "swordfish_submit: send failed\n");
+        std::fprintf(stderr, "swordfish_submit: send failed: %s\n",
+                     client.lastError().c_str());
         return false;
     }
     std::string line;
-    if (!client.recvLine(line, 10000)) {
-        std::fprintf(stderr, "swordfish_submit: no reply from daemon\n");
+    if (client.recvLine(line, 10000) != service::RecvStatus::Line) {
+        std::fprintf(stderr,
+                     "swordfish_submit: no reply from daemon (%s)\n",
+                     client.lastError().c_str());
         return false;
     }
     if (JsonValue::parse(line, reply)) {
@@ -145,19 +153,39 @@ main(int argc, char** argv)
         return 1;
     }
 
-    // Submit.
+    // Submit, honoring overload shedding: the daemon's retry_after_ms
+    // hint is scaled by a random jitter factor so a herd of shed clients
+    // does not reconverge on the same instant.
     const std::string submit = std::string("{\"op\":\"submit\",\"spec\":")
         + spec.toJson() + "}";
+    std::mt19937 rng(static_cast<std::uint32_t>(::getpid()));
+    std::uniform_real_distribution<double> jitter(0.5, 1.5);
     JsonValue reply;
-    if (!sendAndReceive(client, submit, reply))
-        return 1;
-    if (!reply.get("ok").asBool(false)) {
+    std::string id;
+    for (int attempt = 0;; ++attempt) {
+        if (!sendAndReceive(client, submit, reply))
+            return 1;
+        if (reply.get("ok").asBool(false)) {
+            id = reply.get("id").asString();
+            break;
+        }
+        if (reply.get("error").asString() == "overloaded" && attempt < 5) {
+            const std::uint64_t wait = static_cast<std::uint64_t>(
+                static_cast<double>(
+                    reply.get("retry_after_ms").asU64(1000))
+                * jitter(rng));
+            std::fprintf(stderr,
+                         "swordfish_submit: daemon overloaded; retrying "
+                         "in %llu ms\n",
+                         static_cast<unsigned long long>(wait));
+            std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+            continue;
+        }
         std::fprintf(stderr, "swordfish_submit: rejected: %s (%s)\n",
                      reply.get("message").asString().c_str(),
                      reply.get("error").asString().c_str());
         return 1;
     }
-    const std::string id = reply.get("id").asString();
     std::printf("submitted %s\n", id.c_str());
 
     // Stream progress until done. Each reply line is either an event or
@@ -168,7 +196,7 @@ main(int argc, char** argv)
         return 1;
     }
     std::string line;
-    while (client.recvLine(line, 120000)) {
+    while (client.recvLine(line, 120000) == service::RecvStatus::Line) {
         JsonValue msg;
         if (JsonValue::parse(line, msg))
             continue;
@@ -205,6 +233,8 @@ main(int argc, char** argv)
             return 0;
         }
     }
-    std::fprintf(stderr, "swordfish_submit: stream ended unexpectedly\n");
+    std::fprintf(stderr,
+                 "swordfish_submit: stream ended unexpectedly (%s)\n",
+                 client.lastError().c_str());
     return 1;
 }

@@ -34,8 +34,11 @@ jobErrorName(JobErrorKind kind)
       case JobErrorKind::BadRefreshSpec: return "bad_refresh_spec";
       case JobErrorKind::BadNoiseSpec: return "bad_noise_spec";
       case JobErrorKind::BadEnsemble: return "bad_ensemble";
+      case JobErrorKind::BadDeadline: return "bad_deadline";
+      case JobErrorKind::BadAttempts: return "bad_attempts";
       case JobErrorKind::QueueFull: return "queue_full";
       case JobErrorKind::QuotaExceeded: return "quota_exceeded";
+      case JobErrorKind::Overloaded: return "overloaded";
       case JobErrorKind::UnknownJob: return "unknown_job";
       case JobErrorKind::Draining: return "draining";
       case JobErrorKind::BadRequest: return "bad_request";

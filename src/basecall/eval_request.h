@@ -58,9 +58,13 @@ enum class JobErrorKind
     BadRefreshSpec,///< malformed refresh/healing spec
     BadNoiseSpec,  ///< malformed composable-noise spec
     BadEnsemble,   ///< ensemble replica count out of range
+    BadDeadline,   ///< negative / non-finite job deadline
+    BadAttempts,   ///< attempt budget out of range
     // service admission / operations
     QueueFull,     ///< admission queue at capacity
     QuotaExceeded, ///< tenant already at its in-flight quota
+    Overloaded,    ///< queue above the shedding high-watermark; the error
+                   ///< carries retryAfterMs as a client backoff hint
     UnknownJob,    ///< no such job id
     Draining,      ///< daemon is draining; no new admissions
     BadRequest,    ///< malformed wire request (op/frame level)
@@ -75,6 +79,7 @@ struct JobError
     JobErrorKind kind = JobErrorKind::None;
     std::string field;   ///< dotted path of the offending field ("" = whole)
     std::string message;
+    std::size_t retryAfterMs = 0; ///< Overloaded only: when to retry
 
     bool ok() const { return kind == JobErrorKind::None; }
     explicit operator bool() const { return !ok(); } ///< true on *error*

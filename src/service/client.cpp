@@ -14,15 +14,21 @@ ServiceClient::ServiceClient(const std::string& socket_path)
 {
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
-    if (socket_path.size() >= sizeof(addr.sun_path))
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        lastError_ = "socket path too long: " + socket_path;
         return;
+    }
     std::strncpy(addr.sun_path, socket_path.c_str(),
                  sizeof(addr.sun_path) - 1);
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0)
+    if (fd < 0) {
+        lastError_ = std::string("socket: ") + std::strerror(errno);
         return;
+    }
     if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr))
         < 0) {
+        lastError_ = "connect " + socket_path + ": "
+            + std::strerror(errno);
         ::close(fd);
         return;
     }
@@ -36,53 +42,88 @@ ServiceClient::~ServiceClient()
 }
 
 bool
-ServiceClient::sendLine(const std::string& line)
+ServiceClient::sendLine(const std::string& line, int timeout_ms)
 {
-    if (fd_ < 0)
+    if (fd_ < 0) {
+        lastError_ = "not connected";
         return false;
+    }
     std::string framed = line;
     framed.push_back('\n');
     std::size_t off = 0;
     while (off < framed.size()) {
+        // Wait for writability first: a daemon that stopped reading (or a
+        // full socket buffer on a wedged connection) must surface as a
+        // bounded failure, never as a client blocked inside send().
+        struct pollfd pfd = {fd_, POLLOUT, 0};
+        const int ready = ::poll(&pfd, 1, timeout_ms);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            lastError_ = std::string("poll: ") + std::strerror(errno);
+            return false;
+        }
+        if (ready == 0) {
+            lastError_ = "send timed out after "
+                + std::to_string(timeout_ms) + "ms";
+            return false;
+        }
         // MSG_NOSIGNAL: a daemon that went away mid-send must surface as
         // a false return, not a SIGPIPE killing the client process.
         const ssize_t n = ::send(fd_, framed.data() + off,
                                  framed.size() - off, MSG_NOSIGNAL);
         if (n < 0) {
-            if (errno == EINTR)
+            if (errno == EINTR || errno == EAGAIN)
                 continue;
+            lastError_ = std::string("send: ") + std::strerror(errno);
             return false;
         }
         off += static_cast<std::size_t>(n);
     }
+    lastError_.clear();
     return true;
 }
 
-bool
+RecvStatus
 ServiceClient::recvLine(std::string& out, int timeout_ms)
 {
-    if (fd_ < 0)
-        return false;
+    if (fd_ < 0) {
+        lastError_ = "not connected";
+        return RecvStatus::Error;
+    }
     for (;;) {
         const std::size_t nl = buffer_.find('\n');
         if (nl != std::string::npos) {
             out = buffer_.substr(0, nl);
             buffer_.erase(0, nl + 1);
-            return true;
+            lastError_.clear();
+            return RecvStatus::Line;
         }
         struct pollfd pfd = {fd_, POLLIN, 0};
         const int ready = ::poll(&pfd, 1, timeout_ms);
         if (ready < 0) {
             if (errno == EINTR)
                 continue;
-            return false;
+            lastError_ = std::string("poll: ") + std::strerror(errno);
+            return RecvStatus::Error;
         }
-        if (ready == 0)
-            return false; // timeout
+        if (ready == 0) {
+            lastError_ = "no response within "
+                + std::to_string(timeout_ms) + "ms";
+            return RecvStatus::Timeout;
+        }
         char chunk[4096];
         const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
-        if (n <= 0)
-            return false; // EOF or error
+        if (n == 0) {
+            lastError_ = "daemon closed the connection";
+            return RecvStatus::Closed;
+        }
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            lastError_ = std::string("read: ") + std::strerror(errno);
+            return RecvStatus::Error;
+        }
         buffer_.append(chunk, static_cast<std::size_t>(n));
     }
 }

@@ -3,6 +3,11 @@
  * Minimal blocking client for the swordfishd wire protocol, shared by the
  * swordfish_submit example and the service tests: connect to the AF_UNIX
  * socket, send request lines, read response lines.
+ *
+ * Failure reporting is typed where it matters for supervision: recvLine
+ * distinguishes a timeout (retryable in place) from a closed connection
+ * (reconnect) from a hard socket error, and ok()/lastError() describe why
+ * the last operation failed without the caller touching errno.
  */
 
 #ifndef SWORDFISH_SERVICE_CLIENT_H
@@ -11,6 +16,15 @@
 #include <string>
 
 namespace swordfish::service {
+
+/** Outcome of one recvLine call. */
+enum class RecvStatus
+{
+    Line,    ///< a full line was delivered
+    Timeout, ///< no full line within the wait; retry is safe
+    Closed,  ///< the daemon closed the connection (clean EOF)
+    Error,   ///< socket error; the connection is unusable
+};
 
 class ServiceClient
 {
@@ -24,18 +38,29 @@ class ServiceClient
 
     bool connected() const { return fd_ >= 0; }
 
-    /** Send one request line (newline appended). */
-    bool sendLine(const std::string& line);
+    /** True when the last operation (including construction) succeeded. */
+    bool ok() const { return lastError_.empty(); }
+
+    /** Human-readable reason for the last failure ("" when ok()). */
+    const std::string& lastError() const { return lastError_; }
+
+    /**
+     * Send one request line (newline appended). Waits for writability
+     * (POLLOUT) up to `timeout_ms` per chunk (-1 = forever), so a wedged
+     * daemon surfaces as a false return instead of a hung client.
+     */
+    bool sendLine(const std::string& line, int timeout_ms = 5000);
 
     /**
      * Read the next response line into `out` (newline stripped), waiting
-     * up to `timeout_ms` (-1 = forever). False on timeout/EOF/error.
+     * up to `timeout_ms` (-1 = forever).
      */
-    bool recvLine(std::string& out, int timeout_ms = -1);
+    RecvStatus recvLine(std::string& out, int timeout_ms = -1);
 
   private:
     int fd_ = -1;
     std::string buffer_;
+    std::string lastError_;
 };
 
 } // namespace swordfish::service

@@ -7,6 +7,7 @@
 #ifndef SWORDFISH_SERVICE_JOB_H
 #define SWORDFISH_SERVICE_JOB_H
 
+#include <stdexcept>
 #include <string>
 
 #include "service/job_spec.h"
@@ -15,8 +16,11 @@ namespace swordfish::service {
 
 /**
  * Lifecycle of one job. Queued -> Running -> {Completed, Failed,
- * Cancelled}; a Running job interrupted by a daemon shutdown goes back to
- * Queued (persisted), so a restarted daemon resumes it from its checkpoint.
+ * Cancelled, TimedOut, Quarantined}; a Running job interrupted by a
+ * daemon shutdown goes back to Queued (persisted), so a restarted daemon
+ * resumes it from its checkpoint, and a Running job that failed
+ * transiently goes back to Queued with an exponential-backoff eligibility
+ * time until its attempt budget runs out.
  */
 enum class JobState
 {
@@ -25,6 +29,8 @@ enum class JobState
     Completed,
     Failed,
     Cancelled,
+    TimedOut,    ///< wall-clock deadline expired mid-run
+    Quarantined, ///< poisoned: crashed the daemon too often to re-admit
 };
 
 /** Stable wire/spool label for a state. */
@@ -38,8 +44,20 @@ inline bool
 isTerminal(JobState state)
 {
     return state == JobState::Completed || state == JobState::Failed
-        || state == JobState::Cancelled;
+        || state == JobState::Cancelled || state == JobState::TimedOut
+        || state == JobState::Quarantined;
 }
+
+/**
+ * A job failure the supervision layer treats as transient: the attempt is
+ * abandoned and the job re-queued with exponential backoff (bounded by
+ * JobSpec::maxAttempts). Any other exception escaping job execution is
+ * permanent and fails the job — but never the daemon.
+ */
+struct TransientJobError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
 
 /** One streamed progress line: a block event with a per-job sequence. */
 struct JobEvent
@@ -57,8 +75,9 @@ struct JobStatus
     JobState state = JobState::Queued;
     JobSpec spec;
     JobResult result;   ///< meaningful once terminal (or re-queued)
-    std::string error;  ///< Failed detail
-    std::size_t events = 0; ///< progress events emitted so far
+    std::string error;  ///< Failed/TimedOut/Quarantined detail
+    std::size_t events = 0;   ///< progress events emitted so far
+    std::size_t attempts = 0; ///< execution starts (survives restarts)
 
     std::string toJson() const;
 };

@@ -19,6 +19,17 @@
  * spool/<id>.ckpt. A daemon killed mid-job re-admits the job on restart
  * and resumes from the checkpoint, bitwise-identical to an uninterrupted
  * run.
+ *
+ * Supervision (see DESIGN.md §4.15): a watchdog thread enforces per-job
+ * wall-clock deadlines cooperatively (stop flag at block boundaries ->
+ * TimedOut); exceptions escaping a job never kill a worker — transient
+ * ones (TransientJobError) re-queue the job with 2^attempts backoff until
+ * its attempt budget runs out, permanent ones fail it; attempt counts are
+ * persisted, so a job whose execution crashed the daemon maxAttempts
+ * times is quarantined at restart instead of re-admitted (poison-job
+ * containment), and unparseable spool records move to spool/quarantine/
+ * with a .reason file; an optional queue high-watermark sheds submissions
+ * early with a typed Overloaded error carrying a retry-after hint.
  */
 
 #ifndef SWORDFISH_SERVICE_JOB_MANAGER_H
@@ -45,6 +56,23 @@ struct JobManagerConfig
     std::size_t queueCapacity = 16;///< max jobs waiting in Queued
     std::size_t tenantQuota = 8;   ///< max queued+running jobs per tenant
     std::string spoolDir;          ///< "" = no persistence / no checkpoints
+
+    /**
+     * Overload shedding: submissions are rejected with a typed Overloaded
+     * error (carrying a retry-after hint) once this many jobs are queued.
+     * 0 disables shedding, leaving only the hard QueueFull bound; a
+     * useful watermark is below queueCapacity so well-behaved clients
+     * back off before the queue is actually full.
+     */
+    std::size_t shedWatermark = 0;
+
+    /** Base of the transient-retry backoff: attempt k (1-based) becomes
+     *  eligible again after backoffBaseMs * 2^(k-1). */
+    std::size_t backoffBaseMs = 1000;
+
+    /** Deadline-watchdog poll period (also wakes workers whose next job
+     *  is waiting out a backoff window). */
+    std::size_t watchdogPollMs = 50;
 };
 
 class JobManager
@@ -105,6 +133,8 @@ class JobManager
     void shutdown();
 
   private:
+    using Clock = std::chrono::steady_clock;
+
     struct Job
     {
         std::string id;
@@ -115,16 +145,28 @@ class JobManager
         std::atomic<bool> stop{false}; ///< per-job cooperative stop
         bool userCancelled = false;    ///< distinguishes Cancelled from
                                        ///< a shutdown re-queue
+        bool deadlineExpired = false;  ///< watchdog raised the stop flag
+        std::size_t attempts = 0;      ///< execution starts (persisted)
+        Clock::time_point notBefore{}; ///< backoff eligibility time
+        Clock::time_point startedAt{}; ///< current attempt start
         std::vector<JobEvent> events;
     };
 
     void workerLoop();
+    void watchdogLoop();
     Job* findLocked(const std::string& id);
     const Job* findLocked(const std::string& id) const;
-    /** The queue head when it is admissible right now, else nullptr. */
+    /** The first eligible queued job admissible right now, else nullptr.
+     *  Jobs waiting out a backoff window are invisible until eligible. */
     Job* runnableHeadLocked();
     void persistLocked(const Job& job);
     void removeCheckpoints(const Job& job);
+    /** Move a spool file to spool/quarantine/ with a .reason file. */
+    void quarantineSpoolFile(const std::string& path,
+                             const std::string& reason);
+    /** Classify an execution failure and settle the job (mu_ held). */
+    void settleFailureLocked(Job& job, bool transient,
+                             const std::string& what);
     std::string checkpointPath(const std::string& id) const;
     std::string spoolPath(const std::string& id) const;
     JobStatus snapshotLocked(const Job& job) const;
@@ -133,8 +175,12 @@ class JobManager
     mutable std::mutex mu_;
     std::condition_variable workCv_;  ///< workers: runnable head / stop
     std::condition_variable eventCv_; ///< streamers: new events / state
+    std::condition_variable watchdogCv_; ///< watchdog: poll tick / stop
+                                         ///< (own cv: it must not steal
+                                         ///< worker wakeups)
     std::vector<std::unique_ptr<Job>> jobs_; ///< admission order
     std::vector<std::thread> workers_;
+    std::thread watchdog_;            ///< deadline/backoff timer thread
     std::uint64_t nextId_ = 1;
     std::size_t runningCount_ = 0;
     bool exclusiveRunning_ = false;

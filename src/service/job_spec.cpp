@@ -121,6 +121,13 @@ JobSpec::validate() const
             add(JobErrorKind::BadNoiseSpec, "scenario.noise", err);
     }
 
+    if (!(deadlineS >= 0.0) || deadlineS > 1e9)
+        add(JobErrorKind::BadDeadline, "deadline_s",
+            "deadline must be a finite number of seconds >= 0 (0 = none)");
+    if (maxAttempts < 1 || maxAttempts > 100)
+        add(JobErrorKind::BadAttempts, "max_attempts",
+            "attempt budget must be in [1, 100]");
+
     if (!faults.empty()) {
         FaultConfig cfg;
         std::string err;
@@ -232,6 +239,8 @@ JobSpec::toJson() const
         .raw("scenario", scenario_json)
         .field("faults", faults)
         .field("refresh", refresh)
+        .field("deadline_s", deadlineS)
+        .field("max_attempts", static_cast<std::uint64_t>(maxAttempts))
         .raw("request", request.toJson())
         .str();
 }
@@ -344,6 +353,15 @@ JobSpec::fromJsonValue(const JsonValue& doc, JobSpec& out)
             if (!value.isString())
                 return badField(key);
             spec.refresh = value.asString();
+        } else if (key == "deadline_s") {
+            if (!value.isNumber() || !(value.asDouble() >= 0.0))
+                return badField(key);
+            spec.deadlineS = value.asDouble();
+        } else if (key == "max_attempts") {
+            std::size_t attempts = 0;
+            if (!readCount(value, attempts) || attempts == 0)
+                return badField(key);
+            spec.maxAttempts = attempts;
         } else if (key == "request") {
             if (!value.isObject())
                 return badField(key);

@@ -85,6 +85,25 @@ struct JobSpec
     std::string faults;  ///< util::FaultConfig::parse grammar, "" = off
     std::string refresh; ///< core::RefreshConfig::parse grammar, "" = off
 
+    // Supervision knobs (wire fields "deadline_s" / "max_attempts").
+    /**
+     * Wall-clock deadline in seconds, enforced cooperatively: a watchdog
+     * raises the job's stop flag once the deadline passes and the job is
+     * marked TimedOut when it yields at the next block boundary. 0 = no
+     * deadline.
+     */
+    double deadlineS = 0.0;
+
+    /**
+     * Execution-attempt budget shared by transient-failure retries and
+     * crash-loop quarantine: a transient failure re-queues the job (with
+     * 2^attempts backoff) while attempts < maxAttempts, and a spool
+     * record found still Running at restart with attempts >= maxAttempts
+     * — i.e. one that crashed the daemon that many times — is quarantined
+     * instead of re-admitted.
+     */
+    std::size_t maxAttempts = 3;
+
     // The request knobs (dataset pointer and hooks stay null — they are
     // bound at materialization time).
     basecall::EvalRequest request;

@@ -14,7 +14,9 @@
 #include <vector>
 
 #include "service/wire.h"
+#include "util/fault.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/shutdown.h"
 
 namespace swordfish::service {
@@ -148,10 +150,21 @@ handleRequestLine(int fd, JobManager& manager, const std::string& line)
 void
 serveConnection(int fd, JobManager& manager)
 {
+    // Chaos: this connection drops after its first request, without a
+    // reply — the worst-behaved peer a client can meet. Keyed on the
+    // process-lifetime connection ordinal so a chaos run drops the same
+    // connections every time.
+    static std::atomic<std::uint64_t> connSeq{0};
+    const std::uint64_t connKey =
+        connSeq.fetch_add(1, std::memory_order_relaxed);
+    const bool chaosDrop = faultInjector().enabled()
+        && faultInjector().fires(FaultSite::ConnDrop, connKey);
+
     std::string buffer;
     char chunk[4096];
     bool overlong = false;
-    for (;;) {
+    bool dropped = false;
+    for (;!dropped;) {
         struct pollfd pfd = {fd, POLLIN, 0};
         const int ready = ::poll(&pfd, 1, 200);
         if (shutdownRequested())
@@ -179,8 +192,14 @@ serveConnection(int fd, JobManager& manager)
                 overlong = false;
                 continue;
             }
-            if (!line.empty())
+            if (!line.empty()) {
+                if (chaosDrop) {
+                    metrics().counter("service.chaos.conn_drops").add();
+                    dropped = true;
+                    break;
+                }
                 handleRequestLine(fd, manager, line);
+            }
         }
         buffer.erase(0, start);
         if (buffer.size() > kMaxWireLine) {

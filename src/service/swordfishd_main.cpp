@@ -9,7 +9,8 @@
  * spool directory, bitwise-identically.
  *
  *   swordfishd --socket /tmp/swordfish.sock --spool /tmp/spool \
- *              [--workers N] [--queue N] [--quota N]
+ *              [--workers N] [--queue N] [--quota N] [--shed N] \
+ *              [--backoff-ms N] [--watchdog-ms N]
  */
 
 #include <csignal>
@@ -28,15 +29,21 @@ namespace {
 void
 usage(const char* argv0)
 {
-    std::fprintf(stderr,
-                 "usage: %s --socket PATH --spool DIR [--workers N] "
-                 "[--queue N] [--quota N]\n"
-                 "  --socket PATH  AF_UNIX socket to listen on\n"
-                 "  --spool DIR    job spool directory (crash-safe state)\n"
-                 "  --workers N    worker threads (default 1)\n"
-                 "  --queue N      admission queue capacity (default 16)\n"
-                 "  --quota N      per-tenant active-job quota (default 8)\n",
-                 argv0);
+    std::fprintf(
+        stderr,
+        "usage: %s --socket PATH --spool DIR [--workers N] "
+        "[--queue N] [--quota N] [--shed N] [--backoff-ms N] "
+        "[--watchdog-ms N]\n"
+        "  --socket PATH    AF_UNIX socket to listen on\n"
+        "  --spool DIR      job spool directory (crash-safe state)\n"
+        "  --workers N      worker threads (default 1)\n"
+        "  --queue N        admission queue capacity (default 16)\n"
+        "  --quota N        per-tenant active-job quota (default 8)\n"
+        "  --shed N         overload watermark: shed submits once N jobs\n"
+        "                   are queued (default: off)\n"
+        "  --backoff-ms N   transient-retry backoff base (default 1000)\n"
+        "  --watchdog-ms N  deadline watchdog poll period (default 50)\n",
+        argv0);
 }
 
 bool
@@ -96,6 +103,30 @@ main(int argc, char** argv)
             if (!parseCount(value, cfg.tenantQuota)) {
                 std::fprintf(stderr,
                              "swordfishd: --quota needs a positive "
+                             "integer, got '%s'\n",
+                             value);
+                return 2;
+            }
+        } else if (arg == "--shed") {
+            if (!parseCount(value, cfg.shedWatermark)) {
+                std::fprintf(stderr,
+                             "swordfishd: --shed needs a positive "
+                             "integer, got '%s'\n",
+                             value);
+                return 2;
+            }
+        } else if (arg == "--backoff-ms") {
+            if (!parseCount(value, cfg.backoffBaseMs)) {
+                std::fprintf(stderr,
+                             "swordfishd: --backoff-ms needs a positive "
+                             "integer, got '%s'\n",
+                             value);
+                return 2;
+            }
+        } else if (arg == "--watchdog-ms") {
+            if (!parseCount(value, cfg.watchdogPollMs)) {
+                std::fprintf(stderr,
+                             "swordfishd: --watchdog-ms needs a positive "
                              "integer, got '%s'\n",
                              value);
                 return 2;

@@ -98,12 +98,17 @@ parseWireRequest(const std::string& line, WireRequest& out)
 std::string
 errorResponse(const JobError& error)
 {
-    return JsonWriter()
-        .field("ok", false)
+    JsonWriter w;
+    w.field("ok", false)
         .field("error", jobErrorName(error.kind))
         .field("field", error.field)
-        .field("message", error.message)
-        .str();
+        .field("message", error.message);
+    // Overload shedding carries a machine-readable backoff hint so a
+    // client can retry politely instead of guessing.
+    if (error.retryAfterMs > 0)
+        w.field("retry_after_ms",
+                static_cast<std::uint64_t>(error.retryAfterMs));
+    return w.str();
 }
 
 std::string

@@ -41,6 +41,7 @@ RuntimeConfig::toJson() const
         .field("metrics_out", metricsOut)
         .field("artifacts", artifacts)
         .field("faults", faults)
+        .field("chaos", chaos)
         .field("refresh", refresh)
         .field("simd", simd)
         .field("noise", noise)
@@ -61,6 +62,7 @@ RuntimeConfig::fromEnvironment()
     cfg.metricsOut = envString("SWORDFISH_METRICS_OUT");
     cfg.artifacts = envString("SWORDFISH_ARTIFACTS");
     cfg.faults = envString("SWORDFISH_FAULTS");
+    cfg.chaos = envString("SWORDFISH_CHAOS");
     cfg.refresh = envString("SWORDFISH_REFRESH");
     cfg.simd = envString("SWORDFISH_SIMD");
     cfg.noise = envString("SWORDFISH_NOISE");

@@ -58,6 +58,7 @@ struct RuntimeConfig
     std::string metricsOut;  ///< SWORDFISH_METRICS_OUT; empty = no dump
     std::string artifacts;   ///< SWORDFISH_ARTIFACTS; empty = caller default
     std::string faults;      ///< SWORDFISH_FAULTS; empty = no injection
+    std::string chaos;       ///< SWORDFISH_CHAOS; empty = no service chaos
     std::string refresh;     ///< SWORDFISH_REFRESH; empty = healing off
     std::string simd;        ///< SWORDFISH_SIMD; empty = auto-detect
     std::string noise;       ///< SWORDFISH_NOISE; empty = per-scenario presets

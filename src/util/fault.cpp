@@ -18,6 +18,8 @@ constexpr std::uint64_t kRetryTag = 0xfa0173e7717ULL;
 
 constexpr const char* kSiteNames[kFaultSiteCount] = {
     "decode", "chunk", "program", "vmm.nan", "vmm.stuck", "task",
+    "service.spool.write", "service.spool.read", "service.job.throw",
+    "service.job.stall", "service.conn.drop",
 };
 
 /** Map a 64-bit hash to a uniform double in [0, 1). */
@@ -150,11 +152,16 @@ FaultConfig::toJson() const
 FaultInjector::FaultInjector()
 {
     auto* cfg = new FaultConfig();
-    const std::string& spec = runtimeConfig().faults;
+    // SWORDFISH_CHAOS composes after SWORDFISH_FAULTS: one grammar, one
+    // parse, later tokens (including a chaos seed=) win.
+    std::string spec = runtimeConfig().faults;
+    const std::string& chaos = runtimeConfig().chaos;
+    if (!chaos.empty())
+        spec += (spec.empty() ? "" : ",") + chaos;
     if (!spec.empty()) {
         std::string error;
         if (!FaultConfig::parse(spec, *cfg, error))
-            fatal("SWORDFISH_FAULTS: ", error);
+            fatal("SWORDFISH_FAULTS/SWORDFISH_CHAOS: ", error);
     }
     enabled_.store(cfg->anyEnabled(), std::memory_order_relaxed);
     leakIntentionally(cfg);
@@ -227,6 +234,18 @@ FaultInjector::retryStream(std::uint64_t read_stream, std::size_t attempt)
 {
     return hashSeed({read_stream, static_cast<std::uint64_t>(attempt),
                      kRetryTag});
+}
+
+std::uint64_t
+FaultInjector::serviceKey(const std::string& name)
+{
+    // FNV-1a, 64-bit: stable across processes (unlike std::hash).
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
 }
 
 FaultInjector&

@@ -33,9 +33,24 @@
  *  - WorkerTask (task): transient worker failure; the attempt is discarded
  *    and retried (bounded) with a fresh noise stream.
  *
+ * Service (swordfishd) chaos sites, keyed on (seed, site, job id) so a
+ * chaos schedule is replayable run to run:
+ *  - SpoolWrite (service.spool.write): a spool record write is dropped.
+ *  - SpoolRead (service.spool.read): a spool record reads as corrupt at
+ *    restart and is quarantined.
+ *  - JobThrow (service.job.throw): job execution throws a transient error
+ *    before running; exercises retry/backoff.
+ *  - JobStall (service.job.stall): the job stalls at block boundaries;
+ *    exercises deadline enforcement.
+ *  - ConnDrop (service.conn.drop): the daemon side of a connection drops
+ *    without replying.
+ *
  * Configure via SWORDFISH_FAULTS, e.g.
  *   SWORDFISH_FAULTS="seed=42,retries=2,decode=0.05,vmm.nan=0.1,task=0.2"
  * or programmatically (tests) via FaultInjector::configure / ScopedFaultConfig.
+ * SWORDFISH_CHAOS holds a second spec of the same grammar, appended after
+ * SWORDFISH_FAULTS (later tokens win), so a service chaos drill composes
+ * with — or stands apart from — an evaluation fault campaign.
  */
 
 #ifndef SWORDFISH_UTIL_FAULT_H
@@ -58,9 +73,15 @@ enum class FaultSite : std::size_t {
     VmmNan,
     VmmStuck,
     WorkerTask,
+    // Service-layer chaos sites (swordfishd supervision drills).
+    SpoolWrite,
+    SpoolRead,
+    JobThrow,
+    JobStall,
+    ConnDrop,
 };
 
-inline constexpr std::size_t kFaultSiteCount = 6;
+inline constexpr std::size_t kFaultSiteCount = 11;
 
 /** The env-spec name of a site ("decode", "vmm.nan", ...). */
 const char* faultSiteName(FaultSite site);
@@ -145,6 +166,13 @@ class FaultInjector
     static std::uint64_t retryStream(std::uint64_t read_stream,
                                      std::size_t attempt);
 
+    /**
+     * Stable key for a service entity named by a string (job id, spool
+     * file name): FNV-1a over the bytes, so a chaos schedule keyed on it
+     * replays identically across daemon restarts and machines.
+     */
+    static std::uint64_t serviceKey(const std::string& name);
+
     FaultInjector(const FaultInjector&) = delete;
     FaultInjector& operator=(const FaultInjector&) = delete;
 
@@ -182,6 +210,10 @@ class ScopedFaultConfig
 
 /** Env var naming the fault spec ("" / unset disables injection). */
 inline constexpr const char* kFaultsEnv = "SWORDFISH_FAULTS";
+
+/** Env var naming the service chaos spec, appended after SWORDFISH_FAULTS
+ *  (same grammar; later tokens win). */
+inline constexpr const char* kChaosEnv = "SWORDFISH_CHAOS";
 
 } // namespace swordfish
 

@@ -1,5 +1,6 @@
 #include "serialize.h"
 
+#include <cerrno>
 #include <cstdio>
 
 #include <fcntl.h>
@@ -52,11 +53,34 @@ atomicCommitFile(const std::string& temp_path, const std::string& path)
         std::remove(temp_path.c_str());
         return false;
     }
-    // Make the rename itself durable. Failing here does not undo the
-    // rename (the new file is in place, just not yet guaranteed on disk),
-    // so the directory sync is best-effort.
-    syncPath(parentDir(path), O_RDONLY | O_DIRECTORY);
+    // Make the rename itself durable: without the directory-entry sync a
+    // power loss can roll the rename back even though the file's bytes
+    // are on disk. Failing here does not undo the rename (the new file is
+    // in place, just not yet guaranteed durable), so a genuine sync
+    // failure degrades the commit to non-durable rather than undoing it.
+    fsyncDirectory(parentDir(path));
     return true;
+}
+
+bool
+fsyncErrnoIsBenign(int err)
+{
+    // EINVAL: fsync not supported on this object (POSIX allows it for
+    // directories); ENOTSUP/EOPNOTSUPP: filesystem-level refusal. These
+    // mean "this fs cannot make directory entries durable", not "your
+    // sync was lost" — treat the commit as done.
+    return err == EINVAL || err == ENOTSUP || err == EOPNOTSUPP;
+}
+
+bool
+fsyncDirectory(const std::string& dir)
+{
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return false;
+    const bool ok = ::fsync(fd) == 0 || fsyncErrnoIsBenign(errno);
+    ::close(fd);
+    return ok;
 }
 
 bool

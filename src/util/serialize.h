@@ -195,6 +195,23 @@ class BinaryReader
 std::string atomicTempPath(const std::string& path);
 
 /**
+ * True when an fsync errno means the filesystem cannot sync that object
+ * kind at all (EINVAL / ENOTSUP / EOPNOTSUPP — e.g. directory fsync on
+ * some network or FUSE filesystems) rather than that a sync was lost.
+ * Benign errnos must not fail an atomic commit, or spool writes would be
+ * impossible on those filesystems.
+ */
+bool fsyncErrnoIsBenign(int err);
+
+/**
+ * fsync the directory entry at `dir` so a rename into it survives power
+ * loss. Returns true on success or a benign unsupported-operation errno
+ * (see fsyncErrnoIsBenign); false when the directory cannot be opened or
+ * the sync genuinely failed.
+ */
+bool fsyncDirectory(const std::string& dir);
+
+/**
  * Durably move `temp_path` over `path`: fsync the temp file's bytes,
  * rename it into place, then fsync the containing directory so the rename
  * survives a crash. A failure at any point removes the temp file and

@@ -69,9 +69,10 @@ connectDaemon()
 JsonValue
 roundTrip(service::ServiceClient& client, const std::string& request)
 {
-    EXPECT_TRUE(client.sendLine(request));
+    EXPECT_TRUE(client.sendLine(request)) << client.lastError();
     std::string line;
-    EXPECT_TRUE(client.recvLine(line, 120000)) << "no reply to " << request;
+    EXPECT_EQ(client.recvLine(line, 120000), service::RecvStatus::Line)
+        << "no reply to " << request << ": " << client.lastError();
     JsonValue reply;
     EXPECT_FALSE(JsonValue::parse(line, reply)) << line;
     EXPECT_TRUE(reply.get("ok").asBool(false)) << line;
@@ -145,7 +146,7 @@ TEST(ServiceSmoke, FullDaemonLifecycle)
         "{\"op\":\"stream\",\"id\":\"" + job_a + "\",\"from\":0}"));
     std::string line;
     bool saw_event = false;
-    while (streamer->recvLine(line, 120000)) {
+    while (streamer->recvLine(line, 120000) == service::RecvStatus::Line) {
         JsonValue msg;
         ASSERT_FALSE(JsonValue::parse(line, msg)) << line;
         if (msg.has("event")) {
@@ -182,7 +183,7 @@ TEST(ServiceSmoke, FullDaemonLifecycle)
     ASSERT_TRUE(client->sendLine(
         "{\"op\":\"stream\",\"id\":\"" + job_a + "\",\"from\":0}"));
     JsonValue final_status;
-    while (client->recvLine(line, 120000)) {
+    while (client->recvLine(line, 120000) == service::RecvStatus::Line) {
         JsonValue msg;
         ASSERT_FALSE(JsonValue::parse(line, msg)) << line;
         ASSERT_TRUE(msg.get("ok").asBool(false)) << line;

@@ -1,5 +1,6 @@
 /** @file Tests for binary serialization and env/logging helpers. */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -396,4 +397,30 @@ TEST(AtomicWrite, WriteFileFailsCleanlyOnBadDirectory)
         tempPath("swordfish_no_such_dir/sub/metrics.json");
     EXPECT_FALSE(atomicWriteFile(path, "x"));
     EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(AtomicWrite, FsyncDirectoryAcceptsRealDirRejectsMissing)
+{
+    EXPECT_TRUE(
+        fsyncDirectory(std::filesystem::temp_directory_path().string()));
+    EXPECT_FALSE(fsyncDirectory(tempPath("swordfish_no_dir_to_fsync")));
+    // A plain file is not a directory; O_DIRECTORY must reject it.
+    const std::string file = tempPath("swordfish_fsync_plain_file");
+    ASSERT_TRUE(atomicWriteFile(file, "x"));
+    EXPECT_FALSE(fsyncDirectory(file));
+    std::remove(file.c_str());
+}
+
+TEST(AtomicWrite, FsyncBenignErrnoVocabulary)
+{
+    // Some filesystems (overlayfs, tmpfs variants) and sandbox seccomp
+    // profiles fail fsync on a directory fd with EINVAL/ENOTSUP; rename
+    // durability is then the platform's best offer and must not be
+    // reported as a write failure. Real I/O errors must.
+    EXPECT_TRUE(fsyncErrnoIsBenign(EINVAL));
+    EXPECT_TRUE(fsyncErrnoIsBenign(ENOTSUP));
+    EXPECT_TRUE(fsyncErrnoIsBenign(EOPNOTSUPP));
+    EXPECT_FALSE(fsyncErrnoIsBenign(EIO));
+    EXPECT_FALSE(fsyncErrnoIsBenign(EBADF));
+    EXPECT_FALSE(fsyncErrnoIsBenign(ENOSPC));
 }
